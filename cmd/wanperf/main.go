@@ -1,0 +1,441 @@
+// Command wanperf drives the reproduction of "Explaining Wide Area Data
+// Transfer Performance" (HPDC'17): it simulates a Globus-like transfer
+// fabric, engineers the paper's features, trains the models, and
+// regenerates every table and figure of the evaluation.
+//
+// Usage:
+//
+//	wanperf <command> [flags]
+//
+// Commands:
+//
+//	simulate   generate a transfer log and write it as CSV
+//	edges      list the heavily used edges the study selects
+//	models     train per-edge linear and nonlinear models (Figs 10, 11)
+//	table1     ESnet-testbed subsystem measurements and the Eq. 1 min rule
+//	table3     edge great-circle length percentiles
+//	table4     edge type shares
+//	table5     Pearson CC vs MIC per feature on the busiest edges
+//	fig3       rate vs relative load on the controlled testbed
+//	fig4       aggregate rate vs concurrency with Weibull fits
+//	fig5       rate vs total size × average file size
+//	fig6       size vs distance scatter summary
+//	fig8       rate vs relative load on production edges
+//	fig9       linear-model coefficient map
+//	fig12      nonlinear-model importance map
+//	fig13      accuracy vs load threshold
+//	eq1        the §3.2 production-edge analytical study
+//	global     the single model for all edges (§5.4)
+//	lmt        the storage-monitoring experiment (§5.5.2)
+//	ablation   feature-group ablation study (which features carry accuracy)
+//	all        everything above, in paper order
+//
+// Flags (shared):
+//
+//	-seed N     RNG seed (default 42)
+//	-small      use the reduced workload (fast, for exploration)
+//	-out FILE   for simulate: CSV output path (default stdout)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/simulate"
+)
+
+func main() {
+	if len(os.Args) < 2 || os.Args[1] == "-h" || os.Args[1] == "help" {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	seed := fs.Int64("seed", 42, "RNG seed")
+	small := fs.Bool("small", false, "use the reduced workload")
+	out := fs.String("out", "", "output path for simulate (default stdout)")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+
+	cfg := simulate.DefaultConfig()
+	if *small {
+		cfg = simulate.SmallConfig()
+	}
+	cfg.Seed = *seed
+
+	if err := run(cmd, cfg, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "wanperf:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, strings.TrimSpace(`
+usage: wanperf <command> [-seed N] [-small] [-out FILE]
+commands: simulate edges models table1 table3 table4 table5
+          fig3 fig4 fig5 fig6 fig8 fig9 fig12 fig13
+          eq1 global lmt ablation tuned worldspec all`))
+}
+
+// needsPipeline reports whether the command requires a simulated log.
+func needsPipeline(cmd string) bool {
+	switch cmd {
+	case "table1", "fig3", "lmt":
+		return false
+	}
+	return true
+}
+
+func run(cmd string, cfg simulate.Config, out string) error {
+	var pl *core.Pipeline
+	var edges []core.EdgeData
+	if needsPipeline(cmd) {
+		fmt.Fprintln(os.Stderr, "simulating...")
+		var err error
+		pl, err = core.Run(cfg)
+		if err != nil {
+			return err
+		}
+		edges = pl.StudyEdges()
+		fmt.Fprintf(os.Stderr, "%d transfers logged, %d study edges\n", len(pl.Log.Records), len(edges))
+	}
+
+	switch cmd {
+	case "simulate":
+		w := os.Stdout
+		if out != "" {
+			f, err := os.Create(out)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		return pl.Log.WriteCSV(w)
+
+	case "worldspec":
+		w := os.Stdout
+		if out != "" {
+			f, err := os.Create(out)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		return simulate.WriteWorldSpec(w, simulate.SpecFromWorld(pl.Gen.World))
+
+	case "edges":
+		for _, ed := range edges {
+			fmt.Printf("%-30s transfers=%d qualifying=%d Rmax=%.1f MB/s\n",
+				ed.Edge, len(ed.All), len(ed.Qualifying), ed.Rmax)
+		}
+
+	case "models":
+		results, err := pl.EvaluateEdges(edges)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Figure 10: per-edge APE distributions ==")
+		fmt.Print(core.RenderFig10(results))
+		fmt.Println("== Figure 11: per-edge MdAPE ==")
+		fmt.Print(core.RenderFig11(results))
+
+	case "table1":
+		rows, err := core.Table1()
+		if err != nil {
+			return err
+		}
+		fmt.Print(core.RenderTable1(rows))
+
+	case "table3":
+		rows, err := pl.Table3(edges)
+		if err != nil {
+			return err
+		}
+		fmt.Print(core.RenderTable3(rows))
+
+	case "table4":
+		fmt.Print(core.RenderTable4(pl.Table4(edges)))
+
+	case "table5":
+		n := 4
+		if len(edges) < n {
+			n = len(edges)
+		}
+		rows, err := pl.Table5(edges[:n])
+		if err != nil {
+			return err
+		}
+		fmt.Print(core.RenderTable5(rows))
+
+	case "fig3":
+		curves, err := core.Fig3(120, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(core.RenderLoadCurves(curves))
+
+	case "fig4":
+		curves, err := pl.Fig4(pl.BusiestEndpoints(4))
+		if err != nil {
+			return err
+		}
+		fmt.Print(core.RenderFig4(curves))
+
+	case "fig5":
+		ed, err := fig5Edge(pl, edges)
+		if err != nil {
+			return err
+		}
+		buckets, err := pl.Fig5(ed, 20)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("edge: %s\n", ed.Edge)
+		fmt.Print(core.RenderFig5(buckets))
+
+	case "fig6":
+		_, summary := pl.Fig6()
+		fmt.Print(core.RenderFig6(summary))
+
+	case "fig8":
+		fmt.Print(core.RenderLoadCurves(pl.Fig8(edges, 4)))
+
+	case "fig9":
+		results, err := pl.EvaluateEdges(edges)
+		if err != nil {
+			return err
+		}
+		fmt.Print(core.RenderFig9(results))
+
+	case "fig12":
+		results, err := pl.EvaluateEdges(edges)
+		if err != nil {
+			return err
+		}
+		fmt.Print(core.RenderFig12(results))
+
+	case "fig13":
+		rows, err := pl.Fig13(core.MinEdgeTransfers, 8)
+		if err != nil {
+			return err
+		}
+		fmt.Print(core.RenderFig13(rows))
+
+	case "eq1":
+		rows, summary, err := pl.Section32(edges)
+		if err != nil {
+			return err
+		}
+		fmt.Print(core.RenderSection32(rows, summary))
+
+	case "ablation":
+		n := 6
+		if len(edges) < n {
+			n = len(edges)
+		}
+		rows, err := pl.Ablate(edges, n)
+		if err != nil {
+			return err
+		}
+		fmt.Print(core.RenderAblation(rows))
+		fmt.Println("\nmean MdAPE increase when a group is removed:")
+		summary := core.SummarizeAblation(rows)
+		for _, g := range []string{"K (contending rates)", "S (contending streams)", "G (contending procs)", "all load (K+S+G)", "shape (Nb, Nf, Nd)", "tunables (C, P)"} {
+			if v, ok := summary[g]; ok {
+				fmt.Printf("  %-24s %+6.2f pp\n", g, v)
+			}
+		}
+
+	case "tuned":
+		n := 4
+		if len(edges) < n {
+			n = len(edges)
+		}
+		rows, err := pl.TunedModels(edges, n)
+		if err != nil {
+			return err
+		}
+		fmt.Print(core.RenderTuned(rows))
+
+	case "global":
+		res, err := pl.GlobalModel(edges)
+		if err != nil {
+			return err
+		}
+		fmt.Print(core.RenderGlobal(res))
+
+	case "lmt":
+		res, err := core.LMTExperiment(666, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(core.RenderLMT(res))
+
+	case "all":
+		return runAll(pl, edges, cfg)
+
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+	return nil
+}
+
+// fig5Edge picks the edge where file-size effects are most visible: among
+// busy server-to-server edges, the one whose average file sizes spread the
+// widest (a wide spread makes the small-vs-big split meaningful, which is
+// presumably why the paper chose JLAB→NERSC).
+func fig5Edge(pl *core.Pipeline, edges []core.EdgeData) (core.EdgeData, error) {
+	if len(edges) == 0 {
+		return core.EdgeData{}, fmt.Errorf("no study edges")
+	}
+	best := edges[0]
+	bestScore := -1.0
+	for _, ed := range edges {
+		if pl.Log.EndpointTypeOf(ed.Edge.Src).String() != "GCS" ||
+			pl.Log.EndpointTypeOf(ed.Edge.Dst).String() != "GCS" {
+			continue
+		}
+		if len(ed.All) < 500 {
+			continue
+		}
+		// Spread of log average-file-size across the edge's transfers.
+		var sum, sum2 float64
+		for _, i := range ed.All {
+			r := &pl.Log.Records[pl.Vecs[i].RecordIdx]
+			av := r.Bytes / float64(r.Files)
+			lg := math.Log(av)
+			sum += lg
+			sum2 += lg * lg
+		}
+		n := float64(len(ed.All))
+		spread := sum2/n - (sum/n)*(sum/n)
+		if spread > bestScore {
+			bestScore = spread
+			best = ed
+		}
+	}
+	return best, nil
+}
+
+func runAll(pl *core.Pipeline, edges []core.EdgeData, cfg simulate.Config) error {
+	section := func(name string) { fmt.Printf("\n===== %s =====\n", name) }
+
+	section("Table 1 (testbed, Eq. 1)")
+	rows1, err := core.Table1()
+	if err != nil {
+		return err
+	}
+	fmt.Print(core.RenderTable1(rows1))
+
+	section("Table 3 (edge lengths)")
+	rows3, err := pl.Table3(edges)
+	if err != nil {
+		return err
+	}
+	fmt.Print(core.RenderTable3(rows3))
+
+	section("Table 4 (edge types)")
+	fmt.Print(core.RenderTable4(pl.Table4(edges)))
+
+	section("Table 5 (CC vs MIC)")
+	n := 4
+	if len(edges) < n {
+		n = len(edges)
+	}
+	rows5, err := pl.Table5(edges[:n])
+	if err != nil {
+		return err
+	}
+	fmt.Print(core.RenderTable5(rows5))
+
+	section("Figure 3 (testbed load sweep)")
+	f3, err := core.Fig3(120, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(core.RenderLoadCurves(f3))
+
+	section("Figure 4 (rate vs concurrency, Weibull)")
+	f4, err := pl.Fig4(pl.BusiestEndpoints(4))
+	if err != nil {
+		return err
+	}
+	fmt.Print(core.RenderFig4(f4))
+
+	section("Figure 5 (file characteristics)")
+	ed5, err := fig5Edge(pl, edges)
+	if err != nil {
+		return err
+	}
+	f5, err := pl.Fig5(ed5, 20)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("edge: %s\n", ed5.Edge)
+	fmt.Print(core.RenderFig5(f5))
+
+	section("Figure 6 (size vs distance)")
+	_, f6 := pl.Fig6()
+	fmt.Print(core.RenderFig6(f6))
+
+	section("Figure 8 (production load sweep)")
+	fmt.Print(core.RenderLoadCurves(pl.Fig8(edges, 4)))
+
+	section("Equation 1 on production edges (§3.2)")
+	eqRows, eqSummary, err := pl.Section32(edges)
+	if err != nil {
+		return err
+	}
+	fmt.Print(core.RenderSection32(eqRows, eqSummary))
+
+	section("Figures 9-12 + headline MdAPE")
+	results, err := pl.EvaluateEdges(edges)
+	if err != nil {
+		return err
+	}
+	fmt.Println("-- Figure 9 (linear coefficients) --")
+	fmt.Print(core.RenderFig9(results))
+	fmt.Println("-- Figure 10 (APE distributions) --")
+	fmt.Print(core.RenderFig10(results))
+	fmt.Println("-- Figure 11 (MdAPE per edge) --")
+	fmt.Print(core.RenderFig11(results))
+	fmt.Println("-- Figure 12 (XGB importance) --")
+	fmt.Print(core.RenderFig12(results))
+
+	section("Single model for all edges (§5.4)")
+	g, err := pl.GlobalModel(edges)
+	if err != nil {
+		return err
+	}
+	fmt.Print(core.RenderGlobal(g))
+
+	section("Figure 13 (load thresholds)")
+	f13, err := pl.Fig13(core.MinEdgeTransfers, 8)
+	if err != nil {
+		return err
+	}
+	fmt.Print(core.RenderFig13(f13))
+
+	section("LMT experiment (§5.5.2)")
+	lr, err := core.LMTExperiment(666, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(core.RenderLMT(lr))
+
+	section("Feature-group ablation (extension)")
+	abl, err := pl.Ablate(edges, 6)
+	if err != nil {
+		return err
+	}
+	fmt.Print(core.RenderAblation(abl))
+	return nil
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/simulate"
+)
+
+func TestNeedsPipeline(t *testing.T) {
+	for _, cmd := range []string{"table1", "fig3", "lmt"} {
+		if needsPipeline(cmd) {
+			t.Errorf("%s should not need a pipeline", cmd)
+		}
+	}
+	for _, cmd := range []string{"simulate", "edges", "models", "fig9", "eq1", "ablation", "all"} {
+		if !needsPipeline(cmd) {
+			t.Errorf("%s should need a pipeline", cmd)
+		}
+	}
+}
+
+func TestRunUnknownCommand(t *testing.T) {
+	cfg := simulate.SmallConfig()
+	// Unknown commands need a pipeline (the default path), so this also
+	// exercises the simulate-then-dispatch flow end to end.
+	if err := run("definitely-not-a-command", cfg, ""); err == nil {
+		t.Error("unknown command accepted")
+	}
+}
+
+func TestFig5EdgePrefersServerToServer(t *testing.T) {
+	pl, err := core.Run(simulate.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := pl.StudyEdges()
+	if len(edges) == 0 {
+		t.Skip("no study edges in the small world")
+	}
+	ed, err := fig5Edge(pl, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The result must be one of the study edges.
+	found := false
+	for _, e := range edges {
+		if e.Edge == ed.Edge {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("fig5Edge returned %s, not in the study set", ed.Edge)
+	}
+	// If any qualifying GCS→GCS edge exists, a GCS→GCS edge is chosen.
+	hasServerPair := false
+	for _, e := range edges {
+		if pl.Log.EndpointTypeOf(e.Edge.Src).String() == "GCS" &&
+			pl.Log.EndpointTypeOf(e.Edge.Dst).String() == "GCS" && len(e.All) >= 500 {
+			hasServerPair = true
+		}
+	}
+	if hasServerPair {
+		if pl.Log.EndpointTypeOf(ed.Edge.Src).String() != "GCS" ||
+			pl.Log.EndpointTypeOf(ed.Edge.Dst).String() != "GCS" {
+			t.Errorf("fig5Edge picked %s despite server pairs being available", ed.Edge)
+		}
+	}
+}
+
+func TestFig5EdgeEmpty(t *testing.T) {
+	pl, err := core.Run(simulate.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fig5Edge(pl, nil); err == nil {
+		t.Error("empty edge list accepted")
+	}
+}

@@ -1,0 +1,62 @@
+// Quickstart: simulate a small transfer fabric, train the paper's
+// nonlinear model on the busiest edge, and predict a planned transfer.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// Simulate a reduced Globus-like fabric and engineer the §4 features.
+	cfg := repro.SmallConfig()
+	pl, err := repro.NewPipeline(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated %d transfers over %d endpoints\n",
+		len(pl.Log.Records), len(pl.Log.Endpoints))
+
+	// Pick the busiest heavily used edge.
+	edges := pl.StudyEdges()
+	if len(edges) == 0 {
+		log.Fatal("no heavily used edges; increase the workload")
+	}
+	busiest := edges[0]
+	fmt.Printf("busiest edge: %s (%d transfers, Rmax %.1f MB/s)\n",
+		busiest.Edge, len(busiest.All), busiest.Rmax)
+
+	// Train the per-edge nonlinear model (the paper's best performer).
+	pred, err := repro.TrainEdgePredictor(pl, busiest.Edge)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Predict a planned 50 GB, 200-file transfer under light load...
+	plan := repro.PlannedTransfer{
+		Bytes: 50e9, Files: 200, Dirs: 10, Conc: 4, Par: 4,
+	}
+	quiet, err := pred.Predict(plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// ...and under heavy competing load at the destination.
+	plan.Kdin = busiest.Rmax * 0.8
+	plan.Sdin = 32
+	plan.Gdst = 8
+	busy, err := pred.Predict(plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("predicted rate, quiet destination: %8.1f MB/s\n", quiet)
+	fmt.Printf("predicted rate, busy destination:  %8.1f MB/s\n", busy)
+	if d, err := pred.PredictDuration(plan); err == nil {
+		fmt.Printf("expected duration under load:      %8.1f s\n", d)
+	}
+}

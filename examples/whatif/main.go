@@ -1,0 +1,93 @@
+// Whatif: answer operational questions with a trained edge model — how
+// does the expected rate of a planned transfer change with the competing
+// load it will face, and with the shape of the dataset being moved?
+// This is the paper's "our features can also be used for optimization and
+// explanation" use case (§1).
+//
+//	go run ./examples/whatif
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/stats"
+)
+
+func main() {
+	pl, err := repro.NewPipeline(repro.SmallConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	edges := pl.StudyEdges()
+	if len(edges) == 0 {
+		log.Fatal("no study edges")
+	}
+	ed := edges[0]
+	pred, err := repro.TrainEdgePredictor(pl, ed.Edge)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("edge: %s (Rmax %.1f MB/s)\n\n", ed.Edge, ed.Rmax)
+
+	// Characterize the edge's historical load levels: the quartiles of
+	// the destination's competing incoming traffic.
+	vecs := pl.VectorsAt(ed.All)
+	var kdin, sdin, gdst []float64
+	for i := range vecs {
+		kdin = append(kdin, vecs[i].Kdin)
+		sdin = append(sdin, vecs[i].Sdin)
+		gdst = append(gdst, vecs[i].Gdst)
+	}
+	levels := []struct {
+		name string
+		pct  float64
+	}{
+		{"idle (p10)", 10},
+		{"typical (p50)", 50},
+		{"busy (p90)", 90},
+		{"slammed (p99)", 99},
+	}
+
+	plan := repro.PlannedTransfer{Bytes: 30e9, Files: 500, Dirs: 20, Conc: 4, Par: 4}
+	fmt.Println("what if the destination is...")
+	for _, lv := range levels {
+		k, _ := stats.Percentile(kdin, lv.pct)
+		s, _ := stats.Percentile(sdin, lv.pct)
+		g, _ := stats.Percentile(gdst, lv.pct)
+		plan.Kdin, plan.Sdin, plan.Gdst = k, s, g
+		rate, err := pred.Predict(plan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-14s Kdin=%7.1f  ->  %7.1f MB/s\n", lv.name, k, rate)
+	}
+
+	// And how does dataset shape matter, at typical load?
+	k, _ := stats.Percentile(kdin, 50)
+	s, _ := stats.Percentile(sdin, 50)
+	g, _ := stats.Percentile(gdst, 50)
+	fmt.Println("\nwhat if the 30 GB dataset is packaged as...")
+	for _, shape := range []struct {
+		name  string
+		files int
+	}{
+		{"1 tarball", 1},
+		{"100 files", 100},
+		{"10k files", 10000},
+		{"100k files", 100000},
+	} {
+		p := repro.PlannedTransfer{
+			Bytes: 30e9, Files: shape.files, Dirs: 1 + shape.files/50,
+			Conc: 4, Par: 4, Kdin: k, Sdin: s, Gdst: g,
+		}
+		rate, err := pred.Predict(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-12s -> %7.1f MB/s\n", shape.name, rate)
+	}
+	fmt.Println("\n(models interpolate within the edge's history; shapes far outside it")
+	fmt.Println(" fall back to the nearest observed behaviour, as tree models do)")
+}

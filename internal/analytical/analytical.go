@@ -1,0 +1,114 @@
+// Package analytical implements the simple three-measurement model of §3:
+// the maximum achievable end-to-end transfer rate over an edge is bounded by
+// the slowest of the three subsystems it crosses,
+//
+//	Rmax ≤ min(DRmax, MMmax, DWmax)                      (Equation 1)
+//
+// where DRmax is the source's peak disk-read rate, MMmax the peak
+// memory-to-memory (network) rate, and DWmax the destination's peak
+// disk-write rate. The package also classifies which subsystem binds —
+// the bottleneck taxonomy of §3.2 (of the paper's 45 well-modeled edges,
+// 11 were read-limited, 14 network-limited, 20 write-limited).
+package analytical
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrIncomplete is returned when a bound is requested from measurements
+// that are missing or non-positive.
+var ErrIncomplete = errors.New("analytical: incomplete measurements")
+
+// Bottleneck identifies the binding subsystem of Equation 1.
+type Bottleneck int
+
+// Bottleneck values.
+const (
+	DiskRead Bottleneck = iota
+	Network
+	DiskWrite
+)
+
+// String names the bottleneck as the paper does.
+func (b Bottleneck) String() string {
+	switch b {
+	case DiskRead:
+		return "disk read"
+	case Network:
+		return "network"
+	case DiskWrite:
+		return "disk write"
+	default:
+		return fmt.Sprintf("Bottleneck(%d)", int(b))
+	}
+}
+
+// Measurements holds the three subsystem peaks for one edge, in any
+// consistent rate unit.
+type Measurements struct {
+	DRmax float64 // source disk read peak
+	MMmax float64 // memory-to-memory (network) peak
+	DWmax float64 // destination disk write peak
+}
+
+// Bound returns the Equation 1 upper bound min(DRmax, MMmax, DWmax) and the
+// subsystem that provides it.
+func (m Measurements) Bound() (float64, Bottleneck, error) {
+	if m.DRmax <= 0 || m.MMmax <= 0 || m.DWmax <= 0 {
+		return 0, 0, ErrIncomplete
+	}
+	best := m.DRmax
+	which := DiskRead
+	if m.MMmax < best {
+		best = m.MMmax
+		which = Network
+	}
+	if m.DWmax < best {
+		best = m.DWmax
+		which = DiskWrite
+	}
+	return best, which, nil
+}
+
+// Consistent reports whether an observed end-to-end rate respects the
+// bound within a tolerance fraction (observed ≤ bound·(1+tol)). The paper
+// validates Equation 1 by checking exactly this on the ESnet testbed
+// (Table 1) and on production edges.
+func (m Measurements) Consistent(observed, tol float64) (bool, error) {
+	bound, _, err := m.Bound()
+	if err != nil {
+		return false, err
+	}
+	return observed <= bound*(1+tol), nil
+}
+
+// WithinBand reports whether an observed rate falls inside
+// [lo·bound, hi·bound]; §3.2 uses the band [0.8, 1.2] to count edges whose
+// behavior Equation 1 explains.
+func (m Measurements) WithinBand(observed, lo, hi float64) (bool, error) {
+	bound, _, err := m.Bound()
+	if err != nil {
+		return false, err
+	}
+	return observed >= lo*bound && observed <= hi*bound, nil
+}
+
+// ExplainShortfall quantifies how far an observed rate falls below the
+// bound: the ratio observed/bound, clamped to [0, 1]. Values near 1 mean
+// Equation 1 explains the edge; small values mean unmodeled factors
+// (competing load) dominate, motivating the paper's data-driven models.
+func (m Measurements) ExplainShortfall(observed float64) (float64, error) {
+	bound, _, err := m.Bound()
+	if err != nil {
+		return 0, err
+	}
+	r := observed / bound
+	if r < 0 {
+		r = 0
+	}
+	if r > 1 {
+		r = 1
+	}
+	return r, nil
+}

@@ -1,0 +1,123 @@
+package analytical
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestBoundPicksMinimum(t *testing.T) {
+	cases := []struct {
+		m    Measurements
+		want float64
+		who  Bottleneck
+	}{
+		{Measurements{DRmax: 9, MMmax: 8, DWmax: 7}, 7, DiskWrite},
+		{Measurements{DRmax: 5, MMmax: 8, DWmax: 7}, 5, DiskRead},
+		{Measurements{DRmax: 9, MMmax: 6, DWmax: 7}, 6, Network},
+	}
+	for _, c := range cases {
+		got, who, err := c.m.Bound()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want || who != c.who {
+			t.Errorf("Bound(%+v) = %g/%v, want %g/%v", c.m, got, who, c.want, c.who)
+		}
+	}
+}
+
+func TestBoundIncomplete(t *testing.T) {
+	bad := []Measurements{
+		{DRmax: 0, MMmax: 1, DWmax: 1},
+		{DRmax: 1, MMmax: -2, DWmax: 1},
+		{},
+	}
+	for _, m := range bad {
+		if _, _, err := m.Bound(); !errors.Is(err, ErrIncomplete) {
+			t.Errorf("Bound(%+v) err = %v, want ErrIncomplete", m, err)
+		}
+	}
+}
+
+func TestConsistent(t *testing.T) {
+	m := Measurements{DRmax: 9, MMmax: 8, DWmax: 7}
+	ok, err := m.Consistent(6.9, 0.01)
+	if err != nil || !ok {
+		t.Errorf("6.9 ≤ 7 should be consistent: %v %v", ok, err)
+	}
+	ok, _ = m.Consistent(7.05, 0.01)
+	if !ok {
+		t.Error("within tolerance should be consistent")
+	}
+	ok, _ = m.Consistent(8, 0.01)
+	if ok {
+		t.Error("8 > 7 should violate the bound")
+	}
+}
+
+func TestWithinBand(t *testing.T) {
+	m := Measurements{DRmax: 10, MMmax: 10, DWmax: 10}
+	// The paper's band is [0.8, 1.2]·bound.
+	for _, c := range []struct {
+		rate float64
+		want bool
+	}{
+		{8, true}, {10, true}, {12, true}, {7.9, false}, {12.1, false},
+	} {
+		got, err := m.WithinBand(c.rate, 0.8, 1.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("WithinBand(%g) = %v, want %v", c.rate, got, c.want)
+		}
+	}
+}
+
+func TestExplainShortfall(t *testing.T) {
+	m := Measurements{DRmax: 10, MMmax: 10, DWmax: 10}
+	r, err := m.ExplainShortfall(5)
+	if err != nil || r != 0.5 {
+		t.Errorf("shortfall = %g, %v", r, err)
+	}
+	r, _ = m.ExplainShortfall(15)
+	if r != 1 {
+		t.Errorf("shortfall clamps to 1, got %g", r)
+	}
+	r, _ = m.ExplainShortfall(-1)
+	if r != 0 {
+		t.Errorf("shortfall clamps to 0, got %g", r)
+	}
+}
+
+func TestBottleneckString(t *testing.T) {
+	if DiskRead.String() != "disk read" || Network.String() != "network" || DiskWrite.String() != "disk write" {
+		t.Error("bottleneck names wrong")
+	}
+	if Bottleneck(9).String() != "Bottleneck(9)" {
+		t.Error("unknown bottleneck name wrong")
+	}
+}
+
+// Property: the bound never exceeds any individual subsystem measurement.
+func TestBoundDominatedProperty(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		m := Measurements{DRmax: abs1(a), MMmax: abs1(b), DWmax: abs1(c)}
+		bound, _, err := m.Bound()
+		if err != nil {
+			return true // skipped degenerate draw
+		}
+		return bound <= m.DRmax && bound <= m.MMmax && bound <= m.DWmax
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs1(v float64) float64 {
+	if v < 0 {
+		v = -v
+	}
+	return v + 0.001
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblateStructure(t *testing.T) {
+	p, edges := smallPipeline(t)
+	rows, err := p.Ablate(edges, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per edge: one full-model row plus up to one row per group.
+	perEdge := map[string]int{}
+	fullSeen := map[string]bool{}
+	for _, r := range rows {
+		perEdge[r.Edge]++
+		if r.Group == "" {
+			if fullSeen[r.Edge] {
+				t.Errorf("edge %s has two full-model rows", r.Edge)
+			}
+			fullSeen[r.Edge] = true
+			if r.DeltaPct != 0 {
+				t.Errorf("full model row has nonzero delta %g", r.DeltaPct)
+			}
+		}
+		if r.MdAPE <= 0 {
+			t.Errorf("row %s/%s has MdAPE %g", r.Edge, r.Group, r.MdAPE)
+		}
+	}
+	if len(perEdge) != 2 {
+		t.Fatalf("ablated %d edges, want 2", len(perEdge))
+	}
+	for e, n := range perEdge {
+		if n < 4 {
+			t.Errorf("edge %s has only %d ablation rows", e, n)
+		}
+		if !fullSeen[e] {
+			t.Errorf("edge %s missing the full-model baseline", e)
+		}
+	}
+}
+
+func TestAblateRemovingAllLoadHurts(t *testing.T) {
+	// The paper's central finding: competing-load features carry the
+	// model. Removing all of them must cost real accuracy on most edges.
+	p, edges := smallPipeline(t)
+	n := len(edges)
+	if n > 3 {
+		n = 3
+	}
+	rows, err := p.Ablate(edges, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hurt := 0
+	edgesSeen := 0
+	for _, r := range rows {
+		if r.Group == "all load (K+S+G)" {
+			edgesSeen++
+			if r.DeltaPct > 0.5 {
+				hurt++
+			}
+		}
+	}
+	if edgesSeen == 0 {
+		t.Fatal("no all-load ablation rows")
+	}
+	if hurt*2 < edgesSeen {
+		t.Errorf("removing all load features hurt only %d of %d edges", hurt, edgesSeen)
+	}
+}
+
+func TestSummarizeAblation(t *testing.T) {
+	rows := []AblationRow{
+		{Edge: "a", Group: "", MdAPE: 2},
+		{Edge: "a", Group: "g1", MdAPE: 4, DeltaPct: 2},
+		{Edge: "b", Group: "g1", MdAPE: 5, DeltaPct: 4},
+	}
+	s := SummarizeAblation(rows)
+	if s["g1"] != 3 {
+		t.Errorf("mean delta = %g, want 3", s["g1"])
+	}
+	if _, ok := s[""]; ok {
+		t.Error("full-model rows must not appear in the summary")
+	}
+}
+
+func TestRenderAblation(t *testing.T) {
+	rows := []AblationRow{
+		{Edge: "a->b", Group: "", MdAPE: 2},
+		{Edge: "a->b", Group: "K (contending rates)", MdAPE: 3, DeltaPct: 1},
+	}
+	out := RenderAblation(rows)
+	if !strings.Contains(out, "(full model)") || !strings.Contains(out, "+1.00") {
+		t.Errorf("render broken:\n%s", out)
+	}
+}

@@ -1,0 +1,130 @@
+// Package core wires the substrates together into the paper's end-to-end
+// pipeline: simulate a transfer fabric (standing in for the production
+// Globus deployment), collect its log, engineer the §4 features, select the
+// heavily used edges, train and evaluate the §5 models, and regenerate
+// every table and figure of the evaluation.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/features"
+	"repro/internal/logs"
+	"repro/internal/simulate"
+)
+
+// Pipeline bundles a simulated log with its engineered features.
+type Pipeline struct {
+	Cfg  simulate.Config
+	Gen  *simulate.Generated
+	Log  *logs.Log
+	Vecs []features.Vector // aligned with Log.Records
+}
+
+// DefaultThreshold is the load threshold T of §4.3.2: only transfers with
+// rate ≥ T·Rmax(edge) enter the models, under the hypothesis that they
+// suffered little unknown (non-Globus) load.
+const DefaultThreshold = 0.5
+
+// MinEdgeTransfers is the paper's minimum number of qualifying transfers
+// for an edge to receive its own model (§5.1).
+const MinEdgeTransfers = 300
+
+// NumEdges is the number of heavily used edges the paper studies.
+const NumEdges = 30
+
+// Run generates the world and workload, simulates it, and engineers the
+// features. It is deterministic in cfg.Seed.
+func Run(cfg simulate.Config) (*Pipeline, error) {
+	l, g, err := simulate.GenerateLog(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{Cfg: cfg, Gen: g, Log: l, Vecs: features.Engineer(l)}, nil
+}
+
+// FromLog builds a pipeline from an existing log (e.g. read from CSV).
+func FromLog(l *logs.Log) *Pipeline {
+	return &Pipeline{Log: l, Vecs: features.Engineer(l)}
+}
+
+// EdgeData is one selected edge with its qualifying transfers.
+type EdgeData struct {
+	Edge       logs.EdgeKey
+	Rmax       float64 // highest rate observed on the edge, MB/s
+	All        []int   // vec indices of every transfer on the edge
+	Qualifying []int   // vec indices with rate ≥ threshold·Rmax
+}
+
+// SelectEdges returns up to maxEdges edges that have at least minQualifying
+// transfers with rate ≥ threshold·Rmax, ordered by descending qualifying
+// count (ties broken lexicographically). Passing maxEdges ≤ 0 returns all
+// qualifying edges.
+func (p *Pipeline) SelectEdges(minQualifying int, threshold float64, maxEdges int) []EdgeData {
+	type agg struct {
+		all  []int
+		rmax float64
+	}
+	byEdge := map[logs.EdgeKey]*agg{}
+	for i := range p.Vecs {
+		r := &p.Log.Records[p.Vecs[i].RecordIdx]
+		e := r.Edge()
+		a := byEdge[e]
+		if a == nil {
+			a = &agg{}
+			byEdge[e] = a
+		}
+		a.all = append(a.all, i)
+		if rate := r.Rate(); rate > a.rmax {
+			a.rmax = rate
+		}
+	}
+	var out []EdgeData
+	for e, a := range byEdge {
+		ed := EdgeData{Edge: e, Rmax: a.rmax, All: a.all}
+		for _, i := range a.all {
+			if p.Vecs[i].Rate >= threshold*a.rmax {
+				ed.Qualifying = append(ed.Qualifying, i)
+			}
+		}
+		if len(ed.Qualifying) >= minQualifying {
+			out = append(out, ed)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Qualifying) != len(out[j].Qualifying) {
+			return len(out[i].Qualifying) > len(out[j].Qualifying)
+		}
+		return out[i].Edge.String() < out[j].Edge.String()
+	})
+	if maxEdges > 0 && len(out) > maxEdges {
+		out = out[:maxEdges]
+	}
+	return out
+}
+
+// StudyEdges selects the paper's working set: the NumEdges busiest edges
+// with at least MinEdgeTransfers transfers above DefaultThreshold·Rmax.
+func (p *Pipeline) StudyEdges() []EdgeData {
+	return p.SelectEdges(MinEdgeTransfers, DefaultThreshold, NumEdges)
+}
+
+// EdgeByKey finds the selected edge with the given key.
+func EdgeByKey(edges []EdgeData, key logs.EdgeKey) (EdgeData, error) {
+	for _, e := range edges {
+		if e.Edge == key {
+			return e, nil
+		}
+	}
+	return EdgeData{}, fmt.Errorf("core: edge %s not in selection", key)
+}
+
+// VectorsAt returns copies of the vectors at the given indices.
+func (p *Pipeline) VectorsAt(indices []int) []features.Vector {
+	out := make([]features.Vector, len(indices))
+	for k, i := range indices {
+		out[k] = p.Vecs[i]
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSection32RunsOnStudyEdges(t *testing.T) {
+	p, edges := smallPipeline(t)
+	rows, summary, err := p.Section32(edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(edges) {
+		t.Fatalf("analyzed %d of %d edges", len(rows), len(edges))
+	}
+	if summary.Edges != len(edges) {
+		t.Errorf("summary counts %d edges", summary.Edges)
+	}
+	total := summary.Explained + summary.WithLoad + summary.Underperform + summary.ProbeMismatch
+	if total != summary.Edges {
+		t.Errorf("verdicts sum to %d of %d", total, summary.Edges)
+	}
+	for _, r := range rows {
+		if r.DRmaxEst <= 0 || r.DWmaxEst <= 0 || r.MMmaxProbe <= 0 {
+			t.Errorf("edge %s has degenerate estimates: %+v", r.Edge, r)
+		}
+		if r.Bound <= 0 {
+			t.Errorf("edge %s bound %g", r.Edge, r.Bound)
+		}
+		// The bound is the min of the three estimates.
+		if r.Bound > r.DRmaxEst+1e-9 || r.Bound > r.DWmaxEst+1e-9 || r.Bound > r.MMmaxProbe+1e-9 {
+			t.Errorf("edge %s bound %g exceeds an estimate", r.Edge, r.Bound)
+		}
+	}
+}
+
+func TestSection32VerdictConsistency(t *testing.T) {
+	p, edges := smallPipeline(t)
+	rows, _, err := p.Section32(edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		switch r.Verdict {
+		case Explained:
+			if r.Rmax < 0.8*r.Bound || r.Rmax > 1.2*r.Bound {
+				t.Errorf("edge %s marked explained but Rmax/bound = %.2f", r.Edge, r.Rmax/r.Bound)
+			}
+		case ProbeMismatch:
+			if r.Rmax <= 1.2*r.Bound {
+				t.Errorf("edge %s marked probe-mismatch but Rmax/bound = %.2f", r.Edge, r.Rmax/r.Bound)
+			}
+		case Underperforms:
+			if r.Rmax >= 0.8*r.Bound {
+				t.Errorf("edge %s marked underperforming but Rmax/bound = %.2f", r.Edge, r.Rmax/r.Bound)
+			}
+		}
+	}
+}
+
+func TestSection32SomeEdgesExplained(t *testing.T) {
+	// The §3.2 claim: the analytical bound explains a substantial subset
+	// of production edges but not all of them.
+	p, edges := smallPipeline(t)
+	_, summary, err := p.Section32(edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if summary.Explained+summary.WithLoad == 0 {
+		t.Error("Equation 1 explained no edges at all")
+	}
+}
+
+func TestRenderSection32(t *testing.T) {
+	p, edges := smallPipeline(t)
+	rows, summary, err := p.Section32(edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderSection32(rows, summary)
+	for _, want := range []string{"Equation 1 explains", "bottleneck", "paper: 45 edges"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestEq1VerdictString(t *testing.T) {
+	names := map[Eq1Verdict]string{
+		Explained:         "explained",
+		ExplainedWithLoad: "explained+load",
+		Underperforms:     "underperforms",
+		ProbeMismatch:     "probe-mismatch",
+	}
+	for v, want := range names {
+		if v.String() != want {
+			t.Errorf("%d prints %q, want %q", int(v), v.String(), want)
+		}
+	}
+	if Eq1Verdict(42).String() != "Eq1Verdict(42)" {
+		t.Error("unknown verdict prints wrong")
+	}
+}
+
+func TestSection32NeedsWorld(t *testing.T) {
+	p, _ := smallPipeline(t)
+	detached := FromLog(p.Log) // no generated world attached
+	if _, _, err := detached.Section32(nil); err == nil {
+		t.Error("Section32 without a world should error")
+	}
+}

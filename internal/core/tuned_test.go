@@ -1,0 +1,33 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTunedModels(t *testing.T) {
+	p, edges := smallPipeline(t)
+	rows, err := p.TunedModels(edges, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	r := rows[0]
+	if r.DefaultMdAPE <= 0 || r.TunedMdAPE <= 0 {
+		t.Errorf("degenerate errors: %+v", r)
+	}
+	// Tuning searches a grid containing near-default configurations, so
+	// it should never be drastically worse on held-out data.
+	if r.TunedMdAPE > r.DefaultMdAPE*2 {
+		t.Errorf("tuned %.2f%% much worse than default %.2f%%", r.TunedMdAPE, r.DefaultMdAPE)
+	}
+	if r.BestRounds == 0 || r.BestDepth == 0 || r.BestLR == 0 {
+		t.Errorf("chosen configuration not recorded: %+v", r)
+	}
+	out := RenderTuned(rows)
+	if !strings.Contains(out, "MEAN") || !strings.Contains(out, r.Edge) {
+		t.Error("render broken")
+	}
+}

@@ -1,0 +1,317 @@
+package features
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/logs"
+)
+
+// twoTransferLog builds the canonical hand-checkable scenario: transfer 0
+// (the subject) on a->b over [0,100], and one competitor whose endpoints,
+// interval, and settings are parameters.
+func twoTransferLog(compSrc, compDst string, cTs, cTe float64, conc, par, files int) *logs.Log {
+	l := logs.NewLog()
+	l.AddEndpoint(logs.Endpoint{ID: "a", Site: "ANL", Type: logs.GCS})
+	l.AddEndpoint(logs.Endpoint{ID: "b", Site: "BNL", Type: logs.GCS})
+	l.AddEndpoint(logs.Endpoint{ID: "c", Site: "LBL", Type: logs.GCS})
+	l.Append(logs.Record{ID: 0, Src: "a", Dst: "b", Ts: 0, Te: 100, Bytes: 1e9, Files: 10, Dirs: 1, Conc: 4, Par: 4})
+	l.Append(logs.Record{ID: 1, Src: compSrc, Dst: compDst, Ts: cTs, Te: cTe, Bytes: 2e9, Files: files, Dirs: 2, Conc: conc, Par: par})
+	return l
+}
+
+func subject(t *testing.T, l *logs.Log) Vector {
+	t.Helper()
+	vecs := Engineer(l)
+	for i := range vecs {
+		if l.Records[vecs[i].RecordIdx].ID == 0 {
+			return vecs[i]
+		}
+	}
+	t.Fatal("subject not found")
+	return Vector{}
+}
+
+func TestKsoutFullOverlap(t *testing.T) {
+	// Competitor shares the source, full overlap [0,100]: Ksout equals
+	// the competitor's rate (2 GB / 100 s = 20 MB/s), per Equation 2.
+	l := twoTransferLog("a", "c", 0, 100, 4, 4, 8)
+	v := subject(t, l)
+	if math.Abs(v.Ksout-20) > 1e-9 {
+		t.Errorf("Ksout = %g, want 20", v.Ksout)
+	}
+	if v.Ksin != 0 || v.Kdin != 0 || v.Kdout != 0 {
+		t.Errorf("other K features should be 0: %+v", v)
+	}
+	// Streams: min(4,8)·4 = 16 at full overlap.
+	if math.Abs(v.Ssout-16) > 1e-9 {
+		t.Errorf("Ssout = %g, want 16", v.Ssout)
+	}
+	// Gsrc: competitor contributes min(C,Nf)=4.
+	if math.Abs(v.Gsrc-4) > 1e-9 {
+		t.Errorf("Gsrc = %g, want 4", v.Gsrc)
+	}
+	if v.Gdst != 0 {
+		t.Errorf("Gdst = %g, want 0", v.Gdst)
+	}
+}
+
+func TestOverlapScaling(t *testing.T) {
+	// Competitor overlaps [50, 150] → O = 50 of the subject's 100 s.
+	// Its own rate is 2 GB / 100 s = 20 MB/s → Ksout = 0.5·20 = 10.
+	l := twoTransferLog("a", "c", 50, 150, 4, 4, 8)
+	v := subject(t, l)
+	if math.Abs(v.Ksout-10) > 1e-9 {
+		t.Errorf("Ksout = %g, want 10", v.Ksout)
+	}
+}
+
+func TestNoOverlapNoLoad(t *testing.T) {
+	l := twoTransferLog("a", "c", 200, 300, 4, 4, 8)
+	v := subject(t, l)
+	if v.Ksout != 0 || v.Ssout != 0 || v.Gsrc != 0 {
+		t.Errorf("disjoint competitor leaked into features: %+v", v)
+	}
+}
+
+func TestDirectionalSets(t *testing.T) {
+	// Competitor c->a: incoming at the subject's source → Ksin.
+	l := twoTransferLog("c", "a", 0, 100, 2, 3, 10)
+	v := subject(t, l)
+	if v.Ksin == 0 || v.Ksout != 0 {
+		t.Errorf("c->a should contribute Ksin only: %+v", v)
+	}
+	// And Gsrc counts it (either direction at the endpoint).
+	if math.Abs(v.Gsrc-2) > 1e-9 {
+		t.Errorf("Gsrc = %g, want 2", v.Gsrc)
+	}
+
+	// Competitor b->c: outgoing at the subject's destination → Kdout.
+	l = twoTransferLog("b", "c", 0, 100, 2, 3, 10)
+	v = subject(t, l)
+	if v.Kdout == 0 || v.Kdin != 0 {
+		t.Errorf("b->c should contribute Kdout only: %+v", v)
+	}
+	if math.Abs(v.Gdst-2) > 1e-9 {
+		t.Errorf("Gdst = %g, want 2", v.Gdst)
+	}
+
+	// Competitor c->b: incoming at the destination → Kdin.
+	l = twoTransferLog("c", "b", 0, 100, 2, 3, 10)
+	v = subject(t, l)
+	if v.Kdin == 0 || v.Kdout != 0 {
+		t.Errorf("c->b should contribute Kdin only: %+v", v)
+	}
+}
+
+func TestProcessesCappedByFiles(t *testing.T) {
+	// Competitor with C=16 but only 2 files uses 2 processes.
+	l := twoTransferLog("a", "c", 0, 100, 16, 4, 2)
+	v := subject(t, l)
+	if math.Abs(v.Gsrc-2) > 1e-9 {
+		t.Errorf("Gsrc = %g, want min(C,Nf)=2", v.Gsrc)
+	}
+	if math.Abs(v.Ssout-8) > 1e-9 {
+		t.Errorf("Ssout = %g, want 2·4=8", v.Ssout)
+	}
+}
+
+func TestOwnFeaturesCopied(t *testing.T) {
+	l := twoTransferLog("a", "c", 0, 100, 4, 4, 8)
+	v := subject(t, l)
+	if v.C != 4 || v.P != 4 || v.Nf != 10 || v.Nd != 1 || v.Nb != 1e9 {
+		t.Errorf("own features wrong: %+v", v)
+	}
+	if math.Abs(v.Rate-10) > 1e-9 {
+		t.Errorf("Rate = %g, want 10", v.Rate)
+	}
+}
+
+func TestSelfExcluded(t *testing.T) {
+	// A lone transfer competes with nothing, including itself.
+	l := logs.NewLog()
+	l.Append(logs.Record{ID: 0, Src: "a", Dst: "b", Ts: 0, Te: 100, Bytes: 1e9, Files: 1, Conc: 1, Par: 1})
+	vecs := Engineer(l)
+	v := vecs[0]
+	if v.Ksout != 0 || v.Kdin != 0 || v.Gsrc != 0 || v.Gdst != 0 {
+		t.Errorf("self-competition: %+v", v)
+	}
+}
+
+func TestRelativeExternalLoad(t *testing.T) {
+	v := Vector{Rate: 10, Ksout: 30, Kdin: 10}
+	// src: 30/(10+30)=0.75; dst: 10/20=0.5 → max 0.75.
+	if got := v.RelativeExternalLoad(); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("RelativeExternalLoad = %g, want 0.75", got)
+	}
+	idle := Vector{Rate: 10}
+	if idle.RelativeExternalLoad() != 0 {
+		t.Error("no competition should give 0")
+	}
+}
+
+func TestRelativeExternalLoadBounds(t *testing.T) {
+	f := func(rate, ksout, kdin float64) bool {
+		v := Vector{Rate: math.Abs(rate), Ksout: math.Abs(ksout), Kdin: math.Abs(kdin)}
+		l := v.RelativeExternalLoad()
+		return l >= 0 && l <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValuesOrderMatchesNames(t *testing.T) {
+	v := Vector{
+		Ksout: 1, Kdin: 2, C: 3, P: 4,
+		Ssout: 5, Ssin: 6, Sdout: 7, Sdin: 8,
+		Ksin: 9, Kdout: 10, Nd: 11, Nb: 12,
+		Gsrc: 13, Gdst: 14, Nf: 15, Nflt: 16,
+	}
+	vals := v.Values(true)
+	if len(vals) != len(NamesWithFaults) {
+		t.Fatalf("values len %d vs names %d", len(vals), len(NamesWithFaults))
+	}
+	for i, want := range []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16} {
+		if vals[i] != want {
+			t.Errorf("Values[%d] (%s) = %g, want %g", i, NamesWithFaults[i], vals[i], want)
+		}
+	}
+	if len(v.Values(false)) != len(Names) {
+		t.Error("Values(false) length mismatch")
+	}
+}
+
+func TestDatasetBuild(t *testing.T) {
+	l := twoTransferLog("a", "c", 0, 100, 4, 4, 8)
+	vecs := Engineer(l)
+	ds, err := Dataset(vecs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 2 || ds.NumFeatures() != len(Names) {
+		t.Fatalf("dataset %dx%d", ds.Len(), ds.NumFeatures())
+	}
+	withF, _ := Dataset(vecs, true)
+	if withF.NumFeatures() != len(NamesWithFaults) {
+		t.Error("faults column missing")
+	}
+}
+
+func TestComputeEndpointCaps(t *testing.T) {
+	l := twoTransferLog("a", "c", 0, 100, 4, 4, 8)
+	vecs := Engineer(l)
+	caps := ComputeEndpointCaps(l, vecs)
+	// Subject: rate 10, Ksout 20 → a's outgoing ≥ 30.
+	// Competitor: rate 20, Ksout 10 → also 30.
+	if math.Abs(caps.ROmax["a"]-30) > 1e-9 {
+		t.Errorf("ROmax[a] = %g, want 30", caps.ROmax["a"])
+	}
+	// b receives only the subject: RImax = 10 + Kdin(0) = 10.
+	if math.Abs(caps.RImax["b"]-10) > 1e-9 {
+		t.Errorf("RImax[b] = %g, want 10", caps.RImax["b"])
+	}
+}
+
+func TestGlobalDataset(t *testing.T) {
+	l := twoTransferLog("a", "c", 0, 100, 4, 4, 8)
+	vecs := Engineer(l)
+	caps := ComputeEndpointCaps(l, vecs)
+	ds, err := GlobalDataset(l, vecs, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumFeatures() != len(GlobalNames) {
+		t.Fatalf("global dataset has %d features, want %d", ds.NumFeatures(), len(GlobalNames))
+	}
+	ro, ok := ds.ColumnByName("ROmaxSrc")
+	if !ok {
+		t.Fatal("ROmaxSrc column missing")
+	}
+	for _, v := range ro {
+		if math.Abs(v-30) > 1e-9 {
+			t.Errorf("ROmaxSrc = %g, want 30 (both transfers source from a)", v)
+		}
+	}
+}
+
+func TestConcurrencySeries(t *testing.T) {
+	l := logs.NewLog()
+	// Two incoming transfers at b: [0,100] at 10 MB/s with 2 procs, and
+	// [50,150] at 20 MB/s with 3 procs.
+	l.Append(logs.Record{ID: 0, Src: "a", Dst: "b", Ts: 0, Te: 100, Bytes: 1e9, Files: 10, Conc: 2, Par: 1})
+	l.Append(logs.Record{ID: 1, Src: "c", Dst: "b", Ts: 50, Te: 150, Bytes: 2e9, Files: 10, Conc: 3, Par: 1})
+	samples, err := ConcurrencySeries(l, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect intervals [0,50): G=2 rate=10; [50,100): G=5 rate=30;
+	// [100,150): G=3 rate=20.
+	if len(samples) != 3 {
+		t.Fatalf("got %d samples: %+v", len(samples), samples)
+	}
+	want := []ConcurrencySample{
+		{Concurrency: 2, InRateMBps: 10, Duration: 50},
+		{Concurrency: 5, InRateMBps: 30, Duration: 50},
+		{Concurrency: 3, InRateMBps: 20, Duration: 50},
+	}
+	for i, w := range want {
+		got := samples[i]
+		if math.Abs(got.Concurrency-w.Concurrency) > 1e-9 ||
+			math.Abs(got.InRateMBps-w.InRateMBps) > 1e-9 ||
+			math.Abs(got.Duration-w.Duration) > 1e-9 {
+			t.Errorf("sample %d = %+v, want %+v", i, got, w)
+		}
+	}
+}
+
+func TestConcurrencySeriesOutgoingCountsProcsNotRate(t *testing.T) {
+	l := logs.NewLog()
+	l.Append(logs.Record{ID: 0, Src: "b", Dst: "a", Ts: 0, Te: 100, Bytes: 1e9, Files: 10, Conc: 4, Par: 1})
+	l.Append(logs.Record{ID: 1, Src: "c", Dst: "b", Ts: 0, Te: 100, Bytes: 1e9, Files: 10, Conc: 2, Par: 1})
+	samples, err := ConcurrencySeries(l, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 1 {
+		t.Fatalf("got %d samples", len(samples))
+	}
+	// Concurrency counts both directions (4+2); incoming rate only c->b.
+	if samples[0].Concurrency != 6 {
+		t.Errorf("Concurrency = %g, want 6", samples[0].Concurrency)
+	}
+	if math.Abs(samples[0].InRateMBps-10) > 1e-9 {
+		t.Errorf("InRate = %g, want 10", samples[0].InRateMBps)
+	}
+}
+
+func TestConcurrencySeriesUnknownEndpoint(t *testing.T) {
+	l := logs.NewLog()
+	if _, err := ConcurrencySeries(l, "ghost"); err == nil {
+		t.Error("unknown endpoint should error")
+	}
+}
+
+// Property: the Eq. 2 features scale linearly with overlap fraction.
+func TestOverlapLinearityProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(8))}
+	f := func(shiftRaw uint8) bool {
+		shift := float64(shiftRaw % 100) // competitor start in [0,100)
+		l := twoTransferLog("a", "c", shift, shift+100, 4, 4, 8)
+		v := Engineer(l)
+		var subj Vector
+		for i := range v {
+			if l.Records[v[i].RecordIdx].ID == 0 {
+				subj = v[i]
+			}
+		}
+		wantFrac := (100 - shift) / 100 // overlap of [shift, shift+100] with [0,100]
+		want := wantFrac * 20           // competitor rate 20 MB/s
+		return math.Abs(subj.Ksout-want) < 1e-6
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,164 @@
+package fit
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNelderMeadQuadratic(t *testing.T) {
+	f := func(p []float64) float64 {
+		dx := p[0] - 3
+		dy := p[1] + 2
+		return dx*dx + dy*dy
+	}
+	x, v, err := NelderMead(f, []float64{0, 0}, NelderMeadConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-3) > 1e-3 || math.Abs(x[1]+2) > 1e-3 {
+		t.Errorf("minimum at %v, want (3,-2)", x)
+	}
+	if v > 1e-5 {
+		t.Errorf("minimum value %g, want ~0", v)
+	}
+}
+
+func TestNelderMeadRosenbrock(t *testing.T) {
+	f := func(p []float64) float64 {
+		a := 1 - p[0]
+		b := p[1] - p[0]*p[0]
+		return a*a + 100*b*b
+	}
+	x, v, err := NelderMead(f, []float64{-1.2, 1}, NelderMeadConfig{MaxIter: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v > 1e-4 {
+		t.Errorf("Rosenbrock minimum %g at %v, want near 0 at (1,1)", v, x)
+	}
+}
+
+func TestNelderMead1D(t *testing.T) {
+	f := func(p []float64) float64 { return (p[0] - 7) * (p[0] - 7) }
+	x, _, err := NelderMead(f, []float64{100}, NelderMeadConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-7) > 1e-3 {
+		t.Errorf("got %v, want 7", x)
+	}
+}
+
+func TestNelderMeadEmptyStart(t *testing.T) {
+	if _, _, err := NelderMead(func([]float64) float64 { return 0 }, nil, NelderMeadConfig{}); !errors.Is(err, ErrBadStart) {
+		t.Errorf("got %v, want ErrBadStart", err)
+	}
+}
+
+func TestNelderMeadRejectsInfRegions(t *testing.T) {
+	// Objective rejects negatives; the optimizer must still find the
+	// constrained minimum at x=2 starting from a feasible point.
+	f := func(p []float64) float64 {
+		if p[0] < 0 {
+			return math.Inf(1)
+		}
+		return (p[0] - 2) * (p[0] - 2)
+	}
+	x, _, err := NelderMead(f, []float64{5}, NelderMeadConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2) > 1e-3 {
+		t.Errorf("got %v, want 2", x)
+	}
+}
+
+func TestWeibullEval(t *testing.T) {
+	w := WeibullCurve{A: 1, Shape: 2, Scale: 1}
+	if w.Eval(-1) != 0 {
+		t.Error("negative x should evaluate to 0")
+	}
+	if w.Eval(0) != 0 {
+		t.Error("shape>1 at x=0 should be 0")
+	}
+	// Peak of shape-2 Weibull density is at scale/√2.
+	mode := w.Mode()
+	want := 1 / math.Sqrt2
+	if math.Abs(mode-want) > 1e-12 {
+		t.Errorf("mode = %g, want %g", mode, want)
+	}
+	if w.Eval(mode) <= w.Eval(mode*0.5) || w.Eval(mode) <= w.Eval(mode*2) {
+		t.Error("Eval(mode) should be the maximum")
+	}
+}
+
+func TestWeibullEvalDegenerate(t *testing.T) {
+	bad := WeibullCurve{A: 1, Shape: 0, Scale: 1}
+	if bad.Eval(1) != 0 {
+		t.Error("non-positive shape should evaluate to 0")
+	}
+	bad = WeibullCurve{A: 1, Shape: 2, Scale: 0}
+	if bad.Eval(1) != 0 {
+		t.Error("non-positive scale should evaluate to 0")
+	}
+	if (WeibullCurve{Shape: 0.5}).Mode() != 0 {
+		t.Error("mode for shape<=1 should be 0")
+	}
+}
+
+func TestFitWeibullRecoversParameters(t *testing.T) {
+	truth := WeibullCurve{A: 5000, Shape: 2.2, Scale: 20}
+	var xs, ys []float64
+	for x := 1.0; x <= 60; x++ {
+		xs = append(xs, x)
+		ys = append(ys, truth.Eval(x))
+	}
+	got, err := FitWeibull(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Shape-truth.Shape)/truth.Shape > 0.05 {
+		t.Errorf("shape = %.3f, want %.3f", got.Shape, truth.Shape)
+	}
+	if math.Abs(got.Scale-truth.Scale)/truth.Scale > 0.05 {
+		t.Errorf("scale = %.3f, want %.3f", got.Scale, truth.Scale)
+	}
+	if math.Abs(got.Mode()-truth.Mode())/truth.Mode() > 0.05 {
+		t.Errorf("mode = %.2f, want %.2f", got.Mode(), truth.Mode())
+	}
+}
+
+func TestFitWeibullNoisy(t *testing.T) {
+	truth := WeibullCurve{A: 800, Shape: 1.8, Scale: 12}
+	rng := rand.New(rand.NewSource(9))
+	var xs, ys []float64
+	for x := 1.0; x <= 40; x++ {
+		xs = append(xs, x)
+		ys = append(ys, truth.Eval(x)*(1+0.05*rng.NormFloat64()))
+	}
+	got, err := FitWeibull(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rise-then-fall shape must be recovered.
+	if got.Shape <= 1 {
+		t.Errorf("fitted shape %.2f should exceed 1", got.Shape)
+	}
+	if math.Abs(got.Mode()-truth.Mode())/truth.Mode() > 0.25 {
+		t.Errorf("mode = %.2f, want ~%.2f", got.Mode(), truth.Mode())
+	}
+}
+
+func TestFitWeibullErrors(t *testing.T) {
+	if _, err := FitWeibull([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := FitWeibull([]float64{1, 2, 3}, []float64{1, 2, 3}); !errors.Is(err, ErrFewPoints) {
+		t.Errorf("got %v, want ErrFewPoints", err)
+	}
+	if _, err := FitWeibull([]float64{1, 2, 3, 4}, []float64{0, 0, 0, 0}); !errors.Is(err, ErrBadStart) {
+		t.Errorf("all-zero y: got %v, want ErrBadStart", err)
+	}
+}

@@ -1,0 +1,132 @@
+// Package fit provides derivative-free curve fitting: a Nelder–Mead simplex
+// optimizer and a Weibull-shaped curve model. Figure 4 of the paper fits a
+// Weibull curve to aggregate transfer rate versus total concurrency at an
+// endpoint; the same machinery calibrates the simulator's CPU-contention
+// response.
+package fit
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrBadStart is returned when the optimizer is given an empty start point.
+var ErrBadStart = errors.New("fit: empty start point")
+
+// Objective is a scalar function of a parameter vector. Implementations may
+// return +Inf to reject a region.
+type Objective func(params []float64) float64
+
+// NelderMeadConfig controls the simplex optimizer.
+type NelderMeadConfig struct {
+	MaxIter int     // maximum iterations (default 2000)
+	TolF    float64 // stop when the simplex f-spread falls below TolF (default 1e-10)
+	Step    float64 // initial simplex step relative to each coordinate (default 0.1)
+}
+
+// NelderMead minimizes f starting from x0 using the Nelder–Mead simplex
+// method with standard coefficients (reflection 1, expansion 2, contraction
+// 0.5, shrink 0.5). It returns the best point found and its value.
+func NelderMead(f Objective, x0 []float64, cfg NelderMeadConfig) ([]float64, float64, error) {
+	n := len(x0)
+	if n == 0 {
+		return nil, 0, ErrBadStart
+	}
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = 2000
+	}
+	if cfg.TolF <= 0 {
+		cfg.TolF = 1e-10
+	}
+	if cfg.Step <= 0 {
+		cfg.Step = 0.1
+	}
+
+	// Initial simplex: x0 plus a perturbation along each axis.
+	pts := make([][]float64, n+1)
+	vals := make([]float64, n+1)
+	pts[0] = append([]float64(nil), x0...)
+	for i := 1; i <= n; i++ {
+		p := append([]float64(nil), x0...)
+		h := cfg.Step * math.Abs(p[i-1])
+		if h == 0 {
+			h = cfg.Step
+		}
+		p[i-1] += h
+		pts[i] = p
+	}
+	for i := range pts {
+		vals[i] = f(pts[i])
+	}
+
+	order := make([]int, n+1)
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return vals[order[a]] < vals[order[b]] })
+		best, worst, second := order[0], order[n], order[n-1]
+
+		if math.Abs(vals[worst]-vals[best]) < cfg.TolF {
+			break
+		}
+
+		// Centroid of all but the worst point.
+		centroid := make([]float64, n)
+		for _, i := range order[:n] {
+			for d := 0; d < n; d++ {
+				centroid[d] += pts[i][d]
+			}
+		}
+		for d := 0; d < n; d++ {
+			centroid[d] /= float64(n)
+		}
+
+		reflect := blend(centroid, pts[worst], 2, -1)
+		fr := f(reflect)
+		switch {
+		case fr < vals[best]:
+			expand := blend(centroid, pts[worst], 3, -2)
+			fe := f(expand)
+			if fe < fr {
+				pts[worst], vals[worst] = expand, fe
+			} else {
+				pts[worst], vals[worst] = reflect, fr
+			}
+		case fr < vals[second]:
+			pts[worst], vals[worst] = reflect, fr
+		default:
+			contract := blend(centroid, pts[worst], 0.5, 0.5)
+			fc := f(contract)
+			if fc < vals[worst] {
+				pts[worst], vals[worst] = contract, fc
+			} else {
+				// Shrink everything toward the best point.
+				for _, i := range order[1:] {
+					for d := 0; d < n; d++ {
+						pts[i][d] = pts[best][d] + 0.5*(pts[i][d]-pts[best][d])
+					}
+					vals[i] = f(pts[i])
+				}
+			}
+		}
+	}
+
+	bi := 0
+	for i := range vals {
+		if vals[i] < vals[bi] {
+			bi = i
+		}
+	}
+	return pts[bi], vals[bi], nil
+}
+
+// blend returns a·ca + b·cb elementwise.
+func blend(a, b []float64, ca, cb float64) []float64 {
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = ca*a[i] + cb*b[i]
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package fit
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrFewPoints is returned when a curve fit has fewer points than
+// parameters.
+var ErrFewPoints = errors.New("fit: not enough points")
+
+// WeibullCurve is the scaled Weibull-density curve the paper fits to
+// aggregate transfer rate versus total concurrency (Figure 4):
+//
+//	y(x) = A · (k/λ) · (x/λ)^(k−1) · exp(−(x/λ)^k)
+//
+// The curve rises to a single maximum and then declines — matching the
+// observation that aggregate throughput first increases with concurrency and
+// eventually degrades as endpoint contention dominates.
+type WeibullCurve struct {
+	A      float64 // amplitude (area scale)
+	Shape  float64 // k > 1 gives the rise-then-fall shape
+	Scale  float64 // λ > 0
+	RSS    float64 // residual sum of squares at the fitted optimum
+	Points int     // number of points used in the fit
+}
+
+// Eval returns the curve value at x (zero for x < 0).
+func (w WeibullCurve) Eval(x float64) float64 {
+	if x < 0 || w.Scale <= 0 || w.Shape <= 0 {
+		return 0
+	}
+	if x == 0 {
+		if w.Shape == 1 {
+			return w.A * w.Shape / w.Scale
+		}
+		if w.Shape < 1 {
+			return math.Inf(1)
+		}
+		return 0
+	}
+	r := x / w.Scale
+	return w.A * (w.Shape / w.Scale) * math.Pow(r, w.Shape-1) * math.Exp(-math.Pow(r, w.Shape))
+}
+
+// Mode returns the x at which the curve peaks (for Shape > 1).
+func (w WeibullCurve) Mode() float64 {
+	if w.Shape <= 1 {
+		return 0
+	}
+	return w.Scale * math.Pow((w.Shape-1)/w.Shape, 1/w.Shape)
+}
+
+// FitWeibull fits a WeibullCurve to (x, y) points by least squares using
+// Nelder–Mead from a moment-based start. It returns ErrFewPoints when fewer
+// than four points are supplied and ErrBadStart when all y are zero.
+func FitWeibull(x, y []float64) (WeibullCurve, error) {
+	if len(x) != len(y) {
+		return WeibullCurve{}, errors.New("fit: x/y length mismatch")
+	}
+	if len(x) < 4 {
+		return WeibullCurve{}, ErrFewPoints
+	}
+
+	// Moment-based starting point: peak location approximates the mode,
+	// total mass approximates A.
+	var peakX, peakY, mass, maxX float64
+	for i := range x {
+		if y[i] > peakY {
+			peakY, peakX = y[i], x[i]
+		}
+		if x[i] > maxX {
+			maxX = x[i]
+		}
+		mass += y[i]
+	}
+	if peakY <= 0 {
+		return WeibullCurve{}, ErrBadStart
+	}
+	if peakX <= 0 {
+		peakX = maxX / 2
+	}
+	if peakX <= 0 {
+		peakX = 1
+	}
+	start := []float64{mass, 1.8, peakX * 1.3}
+
+	obj := func(p []float64) float64 {
+		a, k, lam := p[0], p[1], p[2]
+		if a <= 0 || k <= 1.01 || lam <= 1e-9 {
+			return math.Inf(1)
+		}
+		w := WeibullCurve{A: a, Shape: k, Scale: lam}
+		var rss float64
+		for i := range x {
+			d := w.Eval(x[i]) - y[i]
+			rss += d * d
+		}
+		if math.IsNaN(rss) {
+			return math.Inf(1)
+		}
+		return rss
+	}
+
+	best, bestVal := start, obj(start)
+	// Multi-start over a few shape values for robustness.
+	for _, k0 := range []float64{1.3, 1.8, 2.5, 4.0} {
+		s := []float64{mass, k0, peakX * 1.3}
+		p, v, err := NelderMead(obj, s, NelderMeadConfig{MaxIter: 4000, Step: 0.25})
+		if err == nil && v < bestVal {
+			best, bestVal = p, v
+		}
+	}
+	if math.IsInf(bestVal, 1) {
+		return WeibullCurve{}, ErrBadStart
+	}
+	return WeibullCurve{A: best[0], Shape: best[1], Scale: best[2], RSS: bestVal, Points: len(x)}, nil
+}

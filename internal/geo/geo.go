@@ -1,0 +1,170 @@
+// Package geo provides geographic primitives used throughout the
+// reproduction: great-circle distances between sites (the paper uses the
+// great-circle distance between source and destination endpoints as a lower
+// bound on edge length and as a proxy for round-trip time), and a catalogue
+// of named sites with coordinates.
+//
+// The paper (§4.2, Figure 6, Table 3) characterizes transfers by the
+// great-circle distance of their edge and distinguishes intracontinental
+// from intercontinental transfers.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// EarthRadiusKm is the mean Earth radius in kilometres, used by the
+// haversine great-circle computation.
+const EarthRadiusKm = 6371.0
+
+// Coord is a geographic coordinate in decimal degrees.
+type Coord struct {
+	Lat float64 // latitude, degrees north
+	Lon float64 // longitude, degrees east
+}
+
+// Valid reports whether the coordinate lies in the usual geographic range.
+func (c Coord) Valid() bool {
+	return c.Lat >= -90 && c.Lat <= 90 && c.Lon >= -180 && c.Lon <= 180
+}
+
+// String renders the coordinate as "lat,lon" with 4 decimal places.
+func (c Coord) String() string {
+	return fmt.Sprintf("%.4f,%.4f", c.Lat, c.Lon)
+}
+
+// GreatCircleKm returns the great-circle (haversine) distance between two
+// coordinates in kilometres. It is symmetric and non-negative, and zero for
+// identical coordinates.
+func GreatCircleKm(a, b Coord) float64 {
+	const degToRad = math.Pi / 180
+	lat1 := a.Lat * degToRad
+	lat2 := b.Lat * degToRad
+	dLat := (b.Lat - a.Lat) * degToRad
+	dLon := (b.Lon - a.Lon) * degToRad
+
+	sinLat := math.Sin(dLat / 2)
+	sinLon := math.Sin(dLon / 2)
+	h := sinLat*sinLat + math.Cos(lat1)*math.Cos(lat2)*sinLon*sinLon
+	if h > 1 {
+		h = 1
+	}
+	return 2 * EarthRadiusKm * math.Asin(math.Sqrt(h))
+}
+
+// RTTEstimate returns a rough round-trip-time estimate in milliseconds for a
+// path whose great-circle length is distKm. It assumes signal propagation at
+// ~2/3 c in fibre and a path-stretch factor of 1.5 over the great circle,
+// plus a small fixed equipment latency. The paper uses distance only as a
+// proxy for RTT; the simulator needs an actual RTT to drive the TCP
+// throughput model, and this conversion keeps the two consistent.
+func RTTEstimate(distKm float64) float64 {
+	const (
+		fibreSpeedKmPerMs = 200.0 // ~2/3 of c
+		pathStretch       = 1.5
+		equipmentMs       = 0.5
+	)
+	return 2*distKm*pathStretch/fibreSpeedKmPerMs + equipmentMs
+}
+
+// Continent is a coarse continent label used to separate intracontinental
+// from intercontinental transfers (Figure 6 shows a clear distinction
+// between the two).
+type Continent int
+
+// Continent labels for the sites in the catalogue.
+const (
+	NorthAmerica Continent = iota
+	Europe
+	Asia
+	Oceania
+	SouthAmerica
+)
+
+// String returns the continent name.
+func (c Continent) String() string {
+	switch c {
+	case NorthAmerica:
+		return "North America"
+	case Europe:
+		return "Europe"
+	case Asia:
+		return "Asia"
+	case Oceania:
+		return "Oceania"
+	case SouthAmerica:
+		return "South America"
+	default:
+		return fmt.Sprintf("Continent(%d)", int(c))
+	}
+}
+
+// Site is a named physical location hosting one or more endpoints.
+type Site struct {
+	Name      string
+	Coord     Coord
+	Continent Continent
+}
+
+// Intercontinental reports whether the two sites are on different continents.
+func Intercontinental(a, b Site) bool { return a.Continent != b.Continent }
+
+// Catalogue returns the built-in site catalogue: the real sites named in the
+// paper (the ESnet testbed sites and the heavily used endpoints of §4–5)
+// plus synthetic university sites that populate the long tail of edges.
+// The returned slice is freshly allocated; callers may modify it.
+func Catalogue() []Site {
+	return []Site{
+		// ESnet testbed + paper-named facilities.
+		{Name: "ANL", Coord: Coord{41.7183, -87.9786}, Continent: NorthAmerica},
+		{Name: "BNL", Coord: Coord{40.8713, -72.8869}, Continent: NorthAmerica},
+		{Name: "LBL", Coord: Coord{37.8768, -122.2506}, Continent: NorthAmerica},
+		{Name: "CERN", Coord: Coord{46.2330, 6.0557}, Continent: Europe},
+		{Name: "NERSC", Coord: Coord{37.8760, -122.2530}, Continent: NorthAmerica},
+		{Name: "ALCF", Coord: Coord{41.7170, -87.9810}, Continent: NorthAmerica},
+		{Name: "TACC", Coord: Coord{30.3900, -97.7250}, Continent: NorthAmerica},
+		{Name: "SDSC", Coord: Coord{32.8840, -117.2390}, Continent: NorthAmerica},
+		{Name: "JLAB", Coord: Coord{37.0980, -76.4820}, Continent: NorthAmerica},
+		{Name: "UCAR", Coord: Coord{40.0150, -105.2700}, Continent: NorthAmerica},
+		{Name: "ORNL", Coord: Coord{35.9310, -84.3100}, Continent: NorthAmerica},
+		{Name: "Colorado", Coord: Coord{40.0076, -105.2659}, Continent: NorthAmerica},
+		{Name: "FNAL", Coord: Coord{41.8320, -88.2520}, Continent: NorthAmerica},
+		{Name: "PNNL", Coord: Coord{46.2800, -119.2760}, Continent: NorthAmerica},
+		{Name: "SLAC", Coord: Coord{37.4200, -122.2050}, Continent: NorthAmerica},
+		// Synthetic long-tail sites on several continents.
+		{Name: "UChicago", Coord: Coord{41.7886, -87.5987}, Continent: NorthAmerica},
+		{Name: "UMich", Coord: Coord{42.2780, -83.7382}, Continent: NorthAmerica},
+		{Name: "UWash", Coord: Coord{47.6553, -122.3035}, Continent: NorthAmerica},
+		{Name: "NCSA", Coord: Coord{40.1150, -88.2240}, Continent: NorthAmerica},
+		{Name: "PSC", Coord: Coord{40.4450, -79.9490}, Continent: NorthAmerica},
+		{Name: "IU", Coord: Coord{39.1720, -86.5230}, Continent: NorthAmerica},
+		{Name: "GATech", Coord: Coord{33.7756, -84.3963}, Continent: NorthAmerica},
+		{Name: "UFL", Coord: Coord{29.6436, -82.3549}, Continent: NorthAmerica},
+		{Name: "Caltech", Coord: Coord{34.1377, -118.1253}, Continent: NorthAmerica},
+		{Name: "MIT", Coord: Coord{42.3601, -71.0942}, Continent: NorthAmerica},
+		{Name: "Toronto", Coord: Coord{43.6629, -79.3957}, Continent: NorthAmerica},
+		{Name: "DESY", Coord: Coord{53.5750, 9.8790}, Continent: Europe},
+		{Name: "RAL", Coord: Coord{51.5710, -1.3150}, Continent: Europe},
+		{Name: "Juelich", Coord: Coord{50.9220, 6.3620}, Continent: Europe},
+		{Name: "CSCS", Coord: Coord{46.0280, 8.9590}, Continent: Europe},
+		{Name: "IN2P3", Coord: Coord{45.7830, 4.8650}, Continent: Europe},
+		{Name: "KEK", Coord: Coord{36.1490, 140.0750}, Continent: Asia},
+		{Name: "RIKEN", Coord: Coord{34.6480, 135.2210}, Continent: Asia},
+		{Name: "KISTI", Coord: Coord{36.3910, 127.3630}, Continent: Asia},
+		{Name: "NCI", Coord: Coord{-35.2750, 149.1200}, Continent: Oceania},
+		{Name: "Pawsey", Coord: Coord{-31.9540, 115.8050}, Continent: Oceania},
+		{Name: "LNCC", Coord: Coord{-22.4510, -42.9710}, Continent: SouthAmerica},
+	}
+}
+
+// FindSite returns the site with the given name from the catalogue, or
+// false if no such site exists.
+func FindSite(name string) (Site, bool) {
+	for _, s := range Catalogue() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Site{}, false
+}

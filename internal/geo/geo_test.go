@@ -1,0 +1,173 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGreatCircleKnownDistances(t *testing.T) {
+	// Reference distances computed from the haversine formula with
+	// R = 6371 km; tolerance 2% covers coordinate rounding.
+	cases := []struct {
+		name   string
+		a, b   Coord
+		wantKm float64
+	}{
+		{"Chicago-Geneva", Coord{41.88, -87.63}, Coord{46.20, 6.14}, 7072},
+		{"NYC-LA", Coord{40.71, -74.01}, Coord{34.05, -118.24}, 3936},
+		{"equator-quarter", Coord{0, 0}, Coord{0, 90}, 10007},
+		{"pole-to-pole", Coord{90, 0}, Coord{-90, 0}, 20015},
+	}
+	for _, c := range cases {
+		got := GreatCircleKm(c.a, c.b)
+		if math.Abs(got-c.wantKm)/c.wantKm > 0.02 {
+			t.Errorf("%s: got %.0f km, want ~%.0f km", c.name, got, c.wantKm)
+		}
+	}
+}
+
+func TestGreatCircleZeroForIdentical(t *testing.T) {
+	c := Coord{41.7, -87.9}
+	if d := GreatCircleKm(c, c); d != 0 {
+		t.Errorf("distance to self = %g, want 0", d)
+	}
+}
+
+func TestGreatCircleSymmetric(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		a := Coord{Lat: wrapLat(lat1), Lon: wrapLon(lon1)}
+		b := Coord{Lat: wrapLat(lat2), Lon: wrapLon(lon2)}
+		d1 := GreatCircleKm(a, b)
+		d2 := GreatCircleKm(b, a)
+		return math.Abs(d1-d2) < 1e-9*(1+d1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreatCircleNonNegativeAndBounded(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		a := Coord{Lat: wrapLat(lat1), Lon: wrapLon(lon1)}
+		b := Coord{Lat: wrapLat(lat2), Lon: wrapLon(lon2)}
+		d := GreatCircleKm(a, b)
+		return d >= 0 && d <= math.Pi*EarthRadiusKm+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func wrapLat(v float64) float64 { return math.Mod(math.Abs(v), 180) - 90 }
+func wrapLon(v float64) float64 { return math.Mod(math.Abs(v), 360) - 180 }
+
+func TestRTTEstimateMonotonic(t *testing.T) {
+	prev := RTTEstimate(0)
+	if prev <= 0 {
+		t.Fatalf("RTT at zero distance = %g, want > 0 (equipment latency)", prev)
+	}
+	for _, d := range []float64{10, 100, 1000, 5000, 10000} {
+		got := RTTEstimate(d)
+		if got <= prev {
+			t.Errorf("RTT(%g)=%g not greater than RTT at shorter distance %g", d, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestRTTEstimatePlausible(t *testing.T) {
+	// Transcontinental US (~4000 km) should be tens of milliseconds.
+	rtt := RTTEstimate(4000)
+	if rtt < 20 || rtt > 100 {
+		t.Errorf("RTT(4000 km) = %.1f ms, want 20-100 ms", rtt)
+	}
+}
+
+func TestCatalogueValid(t *testing.T) {
+	sites := Catalogue()
+	if len(sites) < 30 {
+		t.Fatalf("catalogue has %d sites, want >= 30", len(sites))
+	}
+	seen := map[string]bool{}
+	for _, s := range sites {
+		if s.Name == "" {
+			t.Error("site with empty name")
+		}
+		if seen[s.Name] {
+			t.Errorf("duplicate site name %q", s.Name)
+		}
+		seen[s.Name] = true
+		if !s.Coord.Valid() {
+			t.Errorf("site %s has invalid coordinate %v", s.Name, s.Coord)
+		}
+	}
+}
+
+func TestCataloguePaperSites(t *testing.T) {
+	// The sites named in the paper must exist for the testbed and the
+	// experiment drivers.
+	for _, name := range []string{"ANL", "BNL", "LBL", "CERN", "NERSC", "TACC", "SDSC", "JLAB", "UCAR", "ALCF", "Colorado"} {
+		if _, ok := FindSite(name); !ok {
+			t.Errorf("paper site %q missing from catalogue", name)
+		}
+	}
+}
+
+func TestFindSiteUnknown(t *testing.T) {
+	if _, ok := FindSite("Atlantis"); ok {
+		t.Error("FindSite returned ok for unknown site")
+	}
+}
+
+func TestIntercontinental(t *testing.T) {
+	anl, _ := FindSite("ANL")
+	cern, _ := FindSite("CERN")
+	bnl, _ := FindSite("BNL")
+	if !Intercontinental(anl, cern) {
+		t.Error("ANL-CERN should be intercontinental")
+	}
+	if Intercontinental(anl, bnl) {
+		t.Error("ANL-BNL should be intracontinental")
+	}
+}
+
+func TestContinentString(t *testing.T) {
+	names := map[Continent]string{
+		NorthAmerica: "North America",
+		Europe:       "Europe",
+		Asia:         "Asia",
+		Oceania:      "Oceania",
+		SouthAmerica: "South America",
+	}
+	for c, want := range names {
+		if got := c.String(); got != want {
+			t.Errorf("Continent(%d).String() = %q, want %q", int(c), got, want)
+		}
+	}
+	if got := Continent(99).String(); got != "Continent(99)" {
+		t.Errorf("unknown continent prints %q", got)
+	}
+}
+
+func TestCoordValid(t *testing.T) {
+	valid := []Coord{{0, 0}, {90, 180}, {-90, -180}, {45.5, -120.3}}
+	for _, c := range valid {
+		if !c.Valid() {
+			t.Errorf("%v should be valid", c)
+		}
+	}
+	invalid := []Coord{{91, 0}, {-91, 0}, {0, 181}, {0, -181}}
+	for _, c := range invalid {
+		if c.Valid() {
+			t.Errorf("%v should be invalid", c)
+		}
+	}
+}
+
+func TestCoordString(t *testing.T) {
+	got := Coord{41.7183, -87.9786}.String()
+	if got != "41.7183,-87.9786" {
+		t.Errorf("String() = %q", got)
+	}
+}

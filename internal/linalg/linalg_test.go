@@ -1,0 +1,367 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMatrixShape(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("unexpected shape %dx%d len=%d", m.Rows, m.Cols, len(m.Data))
+	}
+}
+
+func TestNewMatrixPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for zero rows")
+		}
+	}()
+	NewMatrix(0, 3)
+}
+
+func TestFromRows(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(2, 1) != 6 || m.At(0, 0) != 1 {
+		t.Errorf("element mismatch: %v", m.Data)
+	}
+}
+
+func TestFromRowsRagged(t *testing.T) {
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); !errors.Is(err, ErrDimension) {
+		t.Errorf("ragged input: got %v, want ErrDimension", err)
+	}
+	if _, err := FromRows(nil); !errors.Is(err, ErrDimension) {
+		t.Errorf("empty input: got %v, want ErrDimension", err)
+	}
+}
+
+func TestSetAtRow(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(1, 0, 7)
+	if m.At(1, 0) != 7 {
+		t.Error("Set/At mismatch")
+	}
+	row := m.Row(1)
+	row[1] = 9 // view, not copy
+	if m.At(1, 1) != 9 {
+		t.Error("Row should be a view")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	mt := m.T()
+	if mt.Rows != 3 || mt.Cols != 2 {
+		t.Fatalf("transpose shape %dx%d", mt.Rows, mt.Cols)
+	}
+	if mt.At(2, 1) != 6 || mt.At(0, 1) != 4 {
+		t.Error("transpose elements wrong")
+	}
+}
+
+func TestMul(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float64{{5, 6}, {7, 8}})
+	c, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if c.At(i, j) != want[i][j] {
+				t.Errorf("c[%d][%d]=%g want %g", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMulDimensionMismatch(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(2, 3)
+	if _, err := a.Mul(b); !errors.Is(err, ErrDimension) {
+		t.Errorf("got %v, want ErrDimension", err)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	y, err := a.MulVec([]float64{1, 0, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != -2 || y[1] != -2 {
+		t.Errorf("got %v", y)
+	}
+	if _, err := a.MulVec([]float64{1}); !errors.Is(err, ErrDimension) {
+		t.Error("expected dimension error")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := a.Clone()
+	b.Set(0, 0, 99)
+	if a.At(0, 0) == 99 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestDotAndNorm(t *testing.T) {
+	if Dot([]float64{1, 2, 3}, []float64{4, 5, 6}) != 32 {
+		t.Error("Dot wrong")
+	}
+	if got := Norm2([]float64{3, 4}); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Norm2 = %g, want 5", got)
+	}
+	// Scaling guards against overflow.
+	if got := Norm2([]float64{3e200, 4e200}); math.IsInf(got, 1) {
+		t.Error("Norm2 overflowed")
+	}
+	if Norm2(nil) != 0 {
+		t.Error("Norm2(nil) != 0")
+	}
+}
+
+func TestQRSolvesExactSystem(t *testing.T) {
+	a, _ := FromRows([][]float64{{2, 1}, {1, 3}})
+	// x = (1, 2) → b = (4, 7)
+	x, err := SolveLeastSquares(a, []float64{4, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-10 || math.Abs(x[1]-2) > 1e-10 {
+		t.Errorf("got %v, want [1 2]", x)
+	}
+}
+
+func TestQRLeastSquaresOverdetermined(t *testing.T) {
+	// Fit y = 2x + 1 through noisy-free overdetermined points.
+	rows := [][]float64{}
+	var b []float64
+	for x := 0.0; x < 10; x++ {
+		rows = append(rows, []float64{1, x})
+		b = append(b, 1+2*x)
+	}
+	a, _ := FromRows(rows)
+	coef, err := SolveLeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(coef[0]-1) > 1e-9 || math.Abs(coef[1]-2) > 1e-9 {
+		t.Errorf("got %v, want [1 2]", coef)
+	}
+}
+
+func TestQRRankDeficient(t *testing.T) {
+	// Two identical columns.
+	a, _ := FromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	d, err := DecomposeQR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.FullRank() {
+		t.Error("rank-deficient matrix reported full rank")
+	}
+	if _, err := d.Solve([]float64{1, 2, 3}); !errors.Is(err, ErrSingular) {
+		t.Errorf("got %v, want ErrSingular", err)
+	}
+}
+
+func TestQRUnderdetermined(t *testing.T) {
+	a := NewMatrix(2, 3)
+	if _, err := DecomposeQR(a); !errors.Is(err, ErrDimension) {
+		t.Errorf("got %v, want ErrDimension", err)
+	}
+}
+
+func TestQRSolveWrongLength(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 0}, {0, 1}, {1, 1}})
+	d, _ := DecomposeQR(a)
+	if _, err := d.Solve([]float64{1, 2}); !errors.Is(err, ErrDimension) {
+		t.Errorf("got %v, want ErrDimension", err)
+	}
+}
+
+// TestQRResidualOrthogonality checks the defining property of least
+// squares: the residual is orthogonal to every column of A.
+func TestQRResidualOrthogonality(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n, p := 30, 5
+		a := NewMatrix(n, p)
+		b := make([]float64, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < p; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+			b[i] = rng.NormFloat64()
+		}
+		x, err := SolveLeastSquares(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ax, _ := a.MulVec(x)
+		res := make([]float64, n)
+		for i := range res {
+			res[i] = b[i] - ax[i]
+		}
+		at := a.T()
+		ortho, _ := at.MulVec(res)
+		for j, v := range ortho {
+			if math.Abs(v) > 1e-8 {
+				t.Fatalf("trial %d: residual not orthogonal to column %d: %g", trial, j, v)
+			}
+		}
+	}
+}
+
+func TestQRRFactorUpperTriangular(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := NewMatrix(6, 4)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	d, err := DecomposeQR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := d.R()
+	for i := 1; i < r.Rows; i++ {
+		for j := 0; j < i; j++ {
+			if r.At(i, j) != 0 {
+				t.Errorf("R[%d][%d]=%g, want 0", i, j, r.At(i, j))
+			}
+		}
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	// SPD matrix and known solution.
+	a, _ := FromRows([][]float64{{4, 2}, {2, 3}})
+	x, err := mustCholesky(t, a).Solve([]float64{8, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Check A·x = b.
+	b, _ := a.MulVec(x)
+	if math.Abs(b[0]-8) > 1e-10 || math.Abs(b[1]-7) > 1e-10 {
+		t.Errorf("A·x = %v, want [8 7]", b)
+	}
+}
+
+func mustCholesky(t *testing.T, a *Matrix) *Cholesky {
+	t.Helper()
+	c, err := DecomposeCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCholeskyRejectsNonSPD(t *testing.T) {
+	a, _ := FromRows([][]float64{{0, 0}, {0, 0}})
+	if _, err := DecomposeCholesky(a); !errors.Is(err, ErrSingular) {
+		t.Errorf("got %v, want ErrSingular", err)
+	}
+	neg, _ := FromRows([][]float64{{-1, 0}, {0, 1}})
+	if _, err := DecomposeCholesky(neg); !errors.Is(err, ErrSingular) {
+		t.Errorf("negative-definite: got %v, want ErrSingular", err)
+	}
+}
+
+func TestCholeskyRejectsNonSquare(t *testing.T) {
+	if _, err := DecomposeCholesky(NewMatrix(2, 3)); !errors.Is(err, ErrDimension) {
+		t.Errorf("got %v, want ErrDimension", err)
+	}
+}
+
+// TestCholeskyReconstruction is a property test: for random SPD matrices
+// A = MᵀM + I, L·Lᵀ reconstructs A.
+func TestCholeskyReconstruction(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(3))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4
+		m := NewMatrix(n, n)
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64()
+		}
+		mt := m.T()
+		a, _ := mt.Mul(m)
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+1)
+		}
+		c, err := DecomposeCholesky(a)
+		if err != nil {
+			return false
+		}
+		l := c.L()
+		lt := l.T()
+		back, _ := l.Mul(lt)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if math.Abs(back.At(i, j)-a.At(i, j)) > 1e-8 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQRCholeskyAgree cross-checks the two solvers on random
+// well-conditioned least-squares problems via the normal equations.
+func TestQRCholeskyAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		n, p := 40, 4
+		a := NewMatrix(n, p)
+		b := make([]float64, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < p; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+			b[i] = rng.NormFloat64()
+		}
+		xQR, err := SolveLeastSquares(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		at := a.T()
+		ata, _ := at.Mul(a)
+		atb, _ := at.MulVec(b)
+		ch, err := DecomposeCholesky(ata)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xCh, err := ch.Solve(atb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range xQR {
+			if math.Abs(xQR[j]-xCh[j]) > 1e-6 {
+				t.Fatalf("trial %d: QR %v vs Cholesky %v", trial, xQR, xCh)
+			}
+		}
+	}
+}
+
+func TestCholeskySolveWrongLength(t *testing.T) {
+	a, _ := FromRows([][]float64{{4, 2}, {2, 3}})
+	c := mustCholesky(t, a)
+	if _, err := c.Solve([]float64{1}); !errors.Is(err, ErrDimension) {
+		t.Errorf("got %v, want ErrDimension", err)
+	}
+}

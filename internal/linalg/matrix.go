@@ -1,0 +1,147 @@
+// Package linalg implements the dense linear algebra needed by the
+// regression models: a row-major matrix type, QR decomposition via
+// Householder reflections, Cholesky decomposition, and triangular solves.
+// It is deliberately small — just enough to support ordinary least squares
+// on standardized feature matrices — but numerically careful.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrDimension is returned when operand shapes are incompatible.
+var ErrDimension = errors.New("linalg: dimension mismatch")
+
+// ErrSingular is returned when a factorization or solve encounters a
+// (numerically) singular matrix.
+var ErrSingular = errors.New("linalg: singular matrix")
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, Data[r*Cols+c]
+}
+
+// NewMatrix allocates a zero matrix with the given shape. It panics if the
+// shape is not positive, since that is always a programming error.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("linalg: invalid shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, fmt.Errorf("%w: empty input", ErrDimension)
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			return nil, fmt.Errorf("%w: row %d has %d cols, want %d", ErrDimension, i, len(r), m.Cols)
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
+	}
+	return m, nil
+}
+
+// At returns element (r, c).
+func (m *Matrix) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set assigns element (r, c).
+func (m *Matrix) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+
+// Row returns a view (not a copy) of row r.
+func (m *Matrix) Row(r int) []float64 { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// Clone returns a deep copy of the matrix.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// T returns the transpose as a new matrix.
+func (m *Matrix) T() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			out.Set(c, r, m.At(r, c))
+		}
+	}
+	return out
+}
+
+// Mul returns the matrix product m·b.
+func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
+	if m.Cols != b.Rows {
+		return nil, fmt.Errorf("%w: %dx%d * %dx%d", ErrDimension, m.Rows, m.Cols, b.Rows, b.Cols)
+	}
+	out := NewMatrix(m.Rows, b.Cols)
+	for r := 0; r < m.Rows; r++ {
+		mrow := m.Row(r)
+		orow := out.Row(r)
+		for k := 0; k < m.Cols; k++ {
+			v := mrow[k]
+			if v == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for c := range orow {
+				orow[c] += v * brow[c]
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns the matrix-vector product m·x.
+func (m *Matrix) MulVec(x []float64) ([]float64, error) {
+	if m.Cols != len(x) {
+		return nil, fmt.Errorf("%w: %dx%d * vec(%d)", ErrDimension, m.Rows, m.Cols, len(x))
+	}
+	out := make([]float64, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		var s float64
+		for c, v := range row {
+			s += v * x[c]
+		}
+		out[r] = s
+	}
+	return out, nil
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v, computed with scaling to avoid
+// overflow for large entries.
+func Norm2(v []float64) float64 {
+	var scale, ssq float64
+	ssq = 1
+	for _, x := range v {
+		if x == 0 {
+			continue
+		}
+		ax := math.Abs(x)
+		if scale < ax {
+			r := scale / ax
+			ssq = 1 + ssq*r*r
+			scale = ax
+		} else {
+			r := ax / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}

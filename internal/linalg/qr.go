@@ -1,0 +1,128 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// QR holds a Householder QR decomposition of an m×n matrix A (m ≥ n) such
+// that A = Q·R with Q orthogonal (m×m, stored implicitly as reflectors) and
+// R upper triangular (n×n).
+type QR struct {
+	qr   *Matrix   // packed reflectors below diagonal, R on/above diagonal
+	rd   []float64 // diagonal of R
+	m, n int
+}
+
+// DecomposeQR computes the QR decomposition of a. The input is not
+// modified. It returns ErrDimension when a has fewer rows than columns.
+func DecomposeQR(a *Matrix) (*QR, error) {
+	if a.Rows < a.Cols {
+		return nil, fmt.Errorf("%w: QR needs rows >= cols, got %dx%d", ErrDimension, a.Rows, a.Cols)
+	}
+	m, n := a.Rows, a.Cols
+	qr := a.Clone()
+	rd := make([]float64, n)
+
+	for k := 0; k < n; k++ {
+		// Norm of column k below row k.
+		var nrm float64
+		for i := k; i < m; i++ {
+			nrm = math.Hypot(nrm, qr.At(i, k))
+		}
+		if nrm == 0 {
+			rd[k] = 0
+			continue
+		}
+		if qr.At(k, k) < 0 {
+			nrm = -nrm
+		}
+		for i := k; i < m; i++ {
+			qr.Set(i, k, qr.At(i, k)/nrm)
+		}
+		qr.Set(k, k, qr.At(k, k)+1)
+		// Apply reflector to remaining columns.
+		for j := k + 1; j < n; j++ {
+			var s float64
+			for i := k; i < m; i++ {
+				s += qr.At(i, k) * qr.At(i, j)
+			}
+			s = -s / qr.At(k, k)
+			for i := k; i < m; i++ {
+				qr.Set(i, j, qr.At(i, j)+s*qr.At(i, k))
+			}
+		}
+		rd[k] = -nrm
+	}
+	return &QR{qr: qr, rd: rd, m: m, n: n}, nil
+}
+
+// FullRank reports whether R has no (numerically) zero diagonal entry.
+func (d *QR) FullRank() bool {
+	for _, v := range d.rd {
+		if math.Abs(v) < 1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
+// Solve returns the least-squares solution x minimizing ‖A·x − b‖₂.
+// It returns ErrSingular when A is rank deficient.
+func (d *QR) Solve(b []float64) ([]float64, error) {
+	if len(b) != d.m {
+		return nil, fmt.Errorf("%w: b has %d entries, want %d", ErrDimension, len(b), d.m)
+	}
+	if !d.FullRank() {
+		return nil, ErrSingular
+	}
+	y := make([]float64, d.m)
+	copy(y, b)
+
+	// Apply Householder reflectors: y = Qᵀ·b.
+	for k := 0; k < d.n; k++ {
+		if d.qr.At(k, k) == 0 {
+			continue
+		}
+		var s float64
+		for i := k; i < d.m; i++ {
+			s += d.qr.At(i, k) * y[i]
+		}
+		s = -s / d.qr.At(k, k)
+		for i := k; i < d.m; i++ {
+			y[i] += s * d.qr.At(i, k)
+		}
+	}
+	// Back-substitution with R.
+	x := make([]float64, d.n)
+	for k := d.n - 1; k >= 0; k-- {
+		s := y[k]
+		for j := k + 1; j < d.n; j++ {
+			s -= d.qr.At(k, j) * x[j]
+		}
+		x[k] = s / d.rd[k]
+	}
+	return x, nil
+}
+
+// SolveLeastSquares is a convenience wrapper: it decomposes a and solves for
+// the least-squares coefficients in one call.
+func SolveLeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	d, err := DecomposeQR(a)
+	if err != nil {
+		return nil, err
+	}
+	return d.Solve(b)
+}
+
+// R returns a copy of the upper-triangular factor (n×n).
+func (d *QR) R() *Matrix {
+	r := NewMatrix(d.n, d.n)
+	for i := 0; i < d.n; i++ {
+		r.Set(i, i, d.rd[i])
+		for j := i + 1; j < d.n; j++ {
+			r.Set(i, j, d.qr.At(i, j))
+		}
+	}
+	return r
+}

@@ -1,0 +1,164 @@
+// Package lmt plays the role of the Lustre Monitoring Tool in §5.5.2 of the
+// paper: an out-of-band storage monitor that samples, every few seconds,
+// the *true* disk I/O load on each storage target (OST) and the CPU load on
+// each object storage server (OSS) — including activity that Globus knows
+// nothing about. The paper shows that adding four such features (source OSS
+// CPU, destination OSS CPU, source OST reads, destination OST writes) to
+// the model drops the 95th-percentile prediction error from 9.29% to 1.26%:
+// once the unknowns are observed, transfer rate is almost fully explained.
+//
+// The Collector implements simulate.Monitor, binning the simulator's
+// between-event load reports into fixed sampling periods exactly as LMT's
+// 5-second cadence would.
+package lmt
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/simulate"
+)
+
+// ErrUnknownEndpoint is returned when features are requested for an
+// endpoint the collector was not configured to watch.
+var ErrUnknownEndpoint = errors.New("lmt: endpoint not monitored")
+
+// ErrNoSamples is returned when a window contains no samples.
+var ErrNoSamples = errors.New("lmt: no samples in window")
+
+// bin accumulates time-weighted load within one sampling period.
+type bin struct {
+	wRead    float64 // ∫ disk-read MB/s dt (total, incl. non-Globus)
+	wWrite   float64 // ∫ disk-write MB/s dt (total, incl. non-Globus)
+	wBgRead  float64 // ∫ non-Globus read MB/s dt
+	wBgWrite float64 // ∫ non-Globus write MB/s dt
+	wProcs   float64 // ∫ process count dt
+	wCPU     float64 // ∫ (1 − storage efficiency) dt: CPU pressure proxy
+	wTotal   float64 // ∫ dt
+}
+
+// Collector records storage load for a chosen set of endpoints.
+type Collector struct {
+	period float64
+	eps    map[string][]bin
+}
+
+// NewCollector creates a collector sampling at the given period (seconds;
+// the paper's LMT setup used 5) for the listed endpoint IDs.
+func NewCollector(period float64, endpoints ...string) *Collector {
+	if period <= 0 {
+		period = 5
+	}
+	c := &Collector{period: period, eps: make(map[string][]bin, len(endpoints))}
+	for _, id := range endpoints {
+		c.eps[id] = nil
+	}
+	return c
+}
+
+var _ simulate.Monitor = (*Collector)(nil)
+
+// OnInterval records the constant loads over [t0, t1) into sampling bins.
+func (c *Collector) OnInterval(t0, t1 float64, loads []simulate.EndpointLoad) {
+	if t1 <= t0 {
+		return
+	}
+	for i := range loads {
+		l := &loads[i]
+		bins, ok := c.eps[l.EndpointID]
+		if !ok {
+			continue
+		}
+		first := int(t0 / c.period)
+		last := int(t1 / c.period)
+		if need := last + 1; need > len(bins) {
+			grown := make([]bin, need)
+			copy(grown, bins)
+			bins = grown
+		}
+		for b := first; b <= last; b++ {
+			lo := math.Max(t0, float64(b)*c.period)
+			hi := math.Min(t1, float64(b+1)*c.period)
+			if hi <= lo {
+				continue
+			}
+			w := hi - lo
+			bins[b].wRead += w * l.DiskReadMBps
+			bins[b].wWrite += w * l.DiskWriteMBps
+			bins[b].wBgRead += w * l.BgReadMBps
+			bins[b].wBgWrite += w * l.BgWriteMBps
+			bins[b].wProcs += w * float64(l.Procs)
+			bins[b].wCPU += w * (1 - l.CPUEff)
+			bins[b].wTotal += w
+		}
+		c.eps[l.EndpointID] = bins
+	}
+}
+
+// StorageLoad is the time-averaged storage state of one endpoint over a
+// window, in the units the model features use.
+type StorageLoad struct {
+	ReadMBps    float64 // mean OST disk-read load (total)
+	WriteMBps   float64 // mean OST disk-write load (total)
+	BgReadMBps  float64 // mean non-Globus read: total minus log-known Globus I/O
+	BgWriteMBps float64 // mean non-Globus write: total minus log-known Globus I/O
+	Procs       float64 // mean process count on the OSS
+	CPULoad     float64 // mean CPU pressure (0 = idle, →1 = saturated)
+}
+
+// Window returns the mean storage load at an endpoint over [t0, t1].
+func (c *Collector) Window(endpoint string, t0, t1 float64) (StorageLoad, error) {
+	bins, ok := c.eps[endpoint]
+	if !ok {
+		return StorageLoad{}, ErrUnknownEndpoint
+	}
+	first := int(t0 / c.period)
+	last := int(t1 / c.period)
+	var agg bin
+	for b := first; b <= last && b < len(bins); b++ {
+		if b < 0 {
+			continue
+		}
+		agg.wRead += bins[b].wRead
+		agg.wWrite += bins[b].wWrite
+		agg.wBgRead += bins[b].wBgRead
+		agg.wBgWrite += bins[b].wBgWrite
+		agg.wProcs += bins[b].wProcs
+		agg.wCPU += bins[b].wCPU
+		agg.wTotal += bins[b].wTotal
+	}
+	if agg.wTotal <= 0 {
+		return StorageLoad{}, ErrNoSamples
+	}
+	return StorageLoad{
+		ReadMBps:    agg.wRead / agg.wTotal,
+		WriteMBps:   agg.wWrite / agg.wTotal,
+		BgReadMBps:  agg.wBgRead / agg.wTotal,
+		BgWriteMBps: agg.wBgWrite / agg.wTotal,
+		Procs:       agg.wProcs / agg.wTotal,
+		CPULoad:     agg.wCPU / agg.wTotal,
+	}, nil
+}
+
+// FeatureNames are the four storage-load features of §5.5.2, in the order
+// Features returns them: CPU load on source and destination OSS, and the
+// non-Globus disk I/O on the source (read) and destination (write) OSTs.
+// The non-Globus component is what monitoring adds over the transfer log:
+// the raw OST counters measure total I/O, and subtracting the Globus
+// transfers' log-known contribution isolates the competing load the log
+// cannot see (§4.3.2's "other competing load").
+var FeatureNames = []string{"OSSCPUSrc", "OSSCPUDst", "OSTReadSrc", "OSTWriteDst"}
+
+// Features returns the four §5.5.2 features for a transfer between src and
+// dst spanning [t0, t1].
+func (c *Collector) Features(src, dst string, t0, t1 float64) ([]float64, error) {
+	s, err := c.Window(src, t0, t1)
+	if err != nil {
+		return nil, err
+	}
+	d, err := c.Window(dst, t0, t1)
+	if err != nil {
+		return nil, err
+	}
+	return []float64{s.CPULoad, d.CPULoad, s.BgReadMBps, d.BgWriteMBps}, nil
+}

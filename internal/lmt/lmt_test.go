@@ -1,0 +1,186 @@
+package lmt
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/simulate"
+)
+
+func load(id string, read, write, bgR, bgW float64, procs int, eff float64) simulate.EndpointLoad {
+	return simulate.EndpointLoad{
+		EndpointID:    id,
+		DiskReadMBps:  read,
+		DiskWriteMBps: write,
+		BgReadMBps:    bgR,
+		BgWriteMBps:   bgW,
+		Procs:         procs,
+		CPUEff:        eff,
+	}
+}
+
+func TestWindowAveragesConstantLoad(t *testing.T) {
+	c := NewCollector(5, "a")
+	c.OnInterval(0, 100, []simulate.EndpointLoad{load("a", 200, 100, 40, 20, 8, 0.9)})
+	got, err := c.Window("a", 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.ReadMBps-200) > 1e-9 || math.Abs(got.WriteMBps-100) > 1e-9 {
+		t.Errorf("totals: %+v", got)
+	}
+	if math.Abs(got.BgReadMBps-40) > 1e-9 || math.Abs(got.BgWriteMBps-20) > 1e-9 {
+		t.Errorf("background: %+v", got)
+	}
+	if math.Abs(got.Procs-8) > 1e-9 {
+		t.Errorf("procs: %+v", got)
+	}
+	if math.Abs(got.CPULoad-0.1) > 1e-9 {
+		t.Errorf("CPU load %g, want 1-0.9", got.CPULoad)
+	}
+}
+
+func TestWindowTimeWeighted(t *testing.T) {
+	c := NewCollector(5, "a")
+	// 30 seconds at 300 MB/s, then 70 seconds at 100 MB/s.
+	c.OnInterval(0, 30, []simulate.EndpointLoad{load("a", 300, 0, 0, 0, 0, 1)})
+	c.OnInterval(30, 100, []simulate.EndpointLoad{load("a", 100, 0, 0, 0, 0, 1)})
+	got, err := c.Window("a", 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (300*30 + 100*70) / 100.0
+	if math.Abs(got.ReadMBps-want) > 1e-9 {
+		t.Errorf("weighted mean %g, want %g", got.ReadMBps, want)
+	}
+}
+
+func TestWindowPartial(t *testing.T) {
+	c := NewCollector(5, "a")
+	c.OnInterval(0, 50, []simulate.EndpointLoad{load("a", 100, 0, 0, 0, 0, 1)})
+	c.OnInterval(50, 100, []simulate.EndpointLoad{load("a", 300, 0, 0, 0, 0, 1)})
+	// A window covering only the second half sees mostly 300.
+	got, err := c.Window("a", 55, 95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ReadMBps < 250 {
+		t.Errorf("window over the second half reads %g, want near 300", got.ReadMBps)
+	}
+}
+
+func TestIntervalSplitAcrossBins(t *testing.T) {
+	// One interval spanning several sampling periods must distribute its
+	// weight so that any window recovers the exact constant level.
+	c := NewCollector(5, "a")
+	c.OnInterval(2.5, 17.5, []simulate.EndpointLoad{load("a", 120, 60, 0, 0, 4, 1)})
+	got, err := c.Window("a", 2.5, 17.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.ReadMBps-120) > 1e-9 || math.Abs(got.WriteMBps-60) > 1e-9 {
+		t.Errorf("split interval averages %+v", got)
+	}
+}
+
+func TestUnknownEndpoint(t *testing.T) {
+	c := NewCollector(5, "a")
+	c.OnInterval(0, 10, []simulate.EndpointLoad{load("b", 1, 1, 0, 0, 0, 1)})
+	if _, err := c.Window("b", 0, 10); !errors.Is(err, ErrUnknownEndpoint) {
+		t.Errorf("got %v, want ErrUnknownEndpoint (b not monitored)", err)
+	}
+}
+
+func TestNoSamples(t *testing.T) {
+	c := NewCollector(5, "a")
+	if _, err := c.Window("a", 0, 10); !errors.Is(err, ErrNoSamples) {
+		t.Errorf("got %v, want ErrNoSamples", err)
+	}
+	c.OnInterval(0, 10, []simulate.EndpointLoad{load("a", 1, 1, 0, 0, 0, 1)})
+	if _, err := c.Window("a", 500, 600); !errors.Is(err, ErrNoSamples) {
+		t.Errorf("got %v, want ErrNoSamples for out-of-range window", err)
+	}
+}
+
+func TestFeaturesOrder(t *testing.T) {
+	c := NewCollector(5, "s", "d")
+	c.OnInterval(0, 10, []simulate.EndpointLoad{
+		load("s", 500, 50, 111, 5, 4, 0.8),
+		load("d", 50, 400, 6, 222, 2, 0.6),
+	})
+	f, err := c.Features("s", "d", 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f) != len(FeatureNames) {
+		t.Fatalf("got %d features, want %d", len(f), len(FeatureNames))
+	}
+	// Order: OSSCPUSrc, OSSCPUDst, OSTReadSrc (non-Globus), OSTWriteDst.
+	if math.Abs(f[0]-0.2) > 1e-9 || math.Abs(f[1]-0.4) > 1e-9 {
+		t.Errorf("CPU features: %v", f)
+	}
+	if math.Abs(f[2]-111) > 1e-9 || math.Abs(f[3]-222) > 1e-9 {
+		t.Errorf("background I/O features: %v", f)
+	}
+}
+
+func TestFeaturesMissingEndpoint(t *testing.T) {
+	c := NewCollector(5, "s")
+	c.OnInterval(0, 10, []simulate.EndpointLoad{load("s", 1, 1, 0, 0, 0, 1)})
+	if _, err := c.Features("s", "ghost", 0, 10); err == nil {
+		t.Error("missing destination accepted")
+	}
+}
+
+func TestZeroPeriodDefaults(t *testing.T) {
+	c := NewCollector(0, "a")
+	c.OnInterval(0, 10, []simulate.EndpointLoad{load("a", 10, 10, 0, 0, 0, 1)})
+	if _, err := c.Window("a", 0, 10); err != nil {
+		t.Errorf("default period broken: %v", err)
+	}
+}
+
+func TestEmptyIntervalIgnored(t *testing.T) {
+	c := NewCollector(5, "a")
+	c.OnInterval(10, 10, []simulate.EndpointLoad{load("a", 999, 0, 0, 0, 0, 1)})
+	if _, err := c.Window("a", 0, 20); !errors.Is(err, ErrNoSamples) {
+		t.Error("zero-length interval should contribute nothing")
+	}
+}
+
+// Integration: attach the collector to a real engine run and verify its
+// view matches the log-derived transfer rate.
+func TestCollectorAgainstEngine(t *testing.T) {
+	w := simulate.NewWorld([]*simulate.Endpoint{
+		{ID: "x", Type: 0, DiskReadMBps: 500, DiskWriteMBps: 400, NICMBps: 1250,
+			PerProcDiskMBps: 200, CPUKnee: 100, CPUSteep: 2},
+		{ID: "y", Type: 0, DiskReadMBps: 500, DiskWriteMBps: 400, NICMBps: 1250,
+			PerProcDiskMBps: 200, CPUKnee: 100, CPUSteep: 2},
+	})
+	w.FaultBaseHazard = 0
+	w.JitterSigma = 0
+	w.E2EEfficiency = 1
+	w.SetupTime = 0
+	w.PerFileGap = 0
+	w.PerFileCost = 0
+	eng := simulate.NewEngine(w, 1)
+	c := NewCollector(5, "x", "y")
+	eng.SetMonitor(c)
+	eng.Submit(simulate.TransferSpec{Src: "x", Dst: "y", Start: 0, Bytes: 4e9, Files: 4, Conc: 4, Par: 4})
+	l, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &l.Records[0]
+	sl, err := c.Window("y", r.Ts, r.Te)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sl.WriteMBps-r.Rate()) > r.Rate()*0.05 {
+		t.Errorf("collector write load %.1f vs transfer rate %.1f", sl.WriteMBps, r.Rate())
+	}
+	if sl.BgWriteMBps != 0 {
+		t.Errorf("no background configured but collector saw %g", sl.BgWriteMBps)
+	}
+}

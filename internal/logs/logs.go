@@ -1,0 +1,303 @@
+// Package logs defines the transfer-log schema the whole reproduction is
+// built around. The paper's raw material is the Globus transfer log: for
+// each transfer it records start time, completion time, total bytes, number
+// of files, number of directories, the tunable parameters (concurrency C and
+// parallelism P), the source and destination endpoints, and the number of
+// faults. Everything downstream — feature engineering (§4), regression
+// (§5) — consumes only this schema, which is what makes the simulated
+// substitute for the proprietary logs faithful: it emits the same records.
+package logs
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// EndpointType distinguishes Globus Connect Server from Globus Connect
+// Personal endpoints (Table 4 groups edges by this).
+type EndpointType int
+
+// Endpoint types.
+const (
+	GCS EndpointType = iota // Globus Connect Server
+	GCP                     // Globus Connect Personal
+)
+
+// String returns "GCS" or "GCP".
+func (t EndpointType) String() string {
+	if t == GCP {
+		return "GCP"
+	}
+	return "GCS"
+}
+
+// Endpoint describes one endpoint appearing in the log.
+type Endpoint struct {
+	ID   string       // unique endpoint identifier
+	Site string       // site name (resolvable in the geo catalogue)
+	Type EndpointType // GCS or GCP
+}
+
+// Record is one completed transfer, mirroring the Globus log fields used by
+// the paper. Times are in seconds since an arbitrary epoch.
+type Record struct {
+	ID     int     // sequential transfer id
+	Src    string  // source endpoint ID
+	Dst    string  // destination endpoint ID
+	Ts     float64 // start time (s)
+	Te     float64 // end time (s), > Ts
+	Bytes  float64 // total bytes transferred (Nb)
+	Files  int     // number of files (Nf)
+	Dirs   int     // number of directories (Nd)
+	Conc   int     // concurrency C
+	Par    int     // parallelism P
+	Faults int     // number of faults (Nflt); known only after the fact
+}
+
+// Duration returns Te − Ts in seconds.
+func (r *Record) Duration() float64 { return r.Te - r.Ts }
+
+// Rate returns the average transfer rate in MB/s (10^6 bytes per second),
+// the paper's unit for transfer rate. It returns 0 for non-positive
+// durations.
+func (r *Record) Rate() float64 {
+	d := r.Duration()
+	if d <= 0 {
+		return 0
+	}
+	return r.Bytes / d / 1e6
+}
+
+// Streams returns the number of TCP streams the transfer drives:
+// min(C, Nf)·P, following §4.3.1 (a transfer with fewer files than its
+// concurrency can use only Nf GridFTP process pairs).
+func (r *Record) Streams() int { return r.Processes() * r.Par }
+
+// Processes returns the number of GridFTP process pairs: min(C, Nf).
+func (r *Record) Processes() int {
+	if r.Files < r.Conc {
+		return r.Files
+	}
+	return r.Conc
+}
+
+// EdgeKey identifies a directed source→destination endpoint pair.
+type EdgeKey struct {
+	Src, Dst string
+}
+
+// String renders the edge as "src->dst".
+func (e EdgeKey) String() string { return e.Src + "->" + e.Dst }
+
+// Edge returns the record's edge key.
+func (r *Record) Edge() EdgeKey { return EdgeKey{Src: r.Src, Dst: r.Dst} }
+
+// Log is an in-memory transfer log: the endpoint directory plus all records.
+type Log struct {
+	Endpoints map[string]Endpoint
+	Records   []Record
+}
+
+// NewLog returns an empty log.
+func NewLog() *Log {
+	return &Log{Endpoints: make(map[string]Endpoint)}
+}
+
+// AddEndpoint registers an endpoint; re-registration overwrites.
+func (l *Log) AddEndpoint(e Endpoint) { l.Endpoints[e.ID] = e }
+
+// Append adds a record to the log.
+func (l *Log) Append(r Record) { l.Records = append(l.Records, r) }
+
+// SortByStart orders records by start time (stable on record ID), the order
+// the feature-engineering time-series analysis assumes.
+func (l *Log) SortByStart() {
+	sort.SliceStable(l.Records, func(i, j int) bool {
+		if l.Records[i].Ts != l.Records[j].Ts {
+			return l.Records[i].Ts < l.Records[j].Ts
+		}
+		return l.Records[i].ID < l.Records[j].ID
+	})
+}
+
+// Edges returns the distinct edge keys with their transfer counts.
+func (l *Log) Edges() map[EdgeKey]int {
+	out := make(map[EdgeKey]int)
+	for i := range l.Records {
+		out[l.Records[i].Edge()]++
+	}
+	return out
+}
+
+// EdgeRecords returns the indices (into l.Records) of transfers over the
+// given edge, in log order.
+func (l *Log) EdgeRecords(e EdgeKey) []int {
+	var out []int
+	for i := range l.Records {
+		if l.Records[i].Src == e.Src && l.Records[i].Dst == e.Dst {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// MaxEdgeRate returns the highest observed transfer rate (MB/s) over the
+// edge, the Rmax(E) of §4.3.2. The second return is false when the edge has
+// no transfers.
+func (l *Log) MaxEdgeRate(e EdgeKey) (float64, bool) {
+	best := 0.0
+	found := false
+	for i := range l.Records {
+		r := &l.Records[i]
+		if r.Src == e.Src && r.Dst == e.Dst {
+			found = true
+			if rate := r.Rate(); rate > best {
+				best = rate
+			}
+		}
+	}
+	return best, found
+}
+
+// TopEdges returns edge keys having at least minTransfers records, ordered
+// by descending transfer count (ties broken lexicographically for
+// determinism).
+func (l *Log) TopEdges(minTransfers int) []EdgeKey {
+	counts := l.Edges()
+	var out []EdgeKey
+	for e, c := range counts {
+		if c >= minTransfers {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if counts[out[i]] != counts[out[j]] {
+			return counts[out[i]] > counts[out[j]]
+		}
+		return out[i].String() < out[j].String()
+	})
+	return out
+}
+
+// EndpointTypeOf returns the type of the endpoint with the given ID,
+// defaulting to GCS when unknown.
+func (l *Log) EndpointTypeOf(id string) EndpointType {
+	if e, ok := l.Endpoints[id]; ok {
+		return e.Type
+	}
+	return GCS
+}
+
+// SiteOf returns the site name of the endpoint with the given ID, or "".
+func (l *Log) SiteOf(id string) string {
+	if e, ok := l.Endpoints[id]; ok {
+		return e.Site
+	}
+	return ""
+}
+
+// csvHeader is the column layout used by WriteCSV/ReadCSV.
+var csvHeader = []string{"id", "src", "dst", "ts", "te", "bytes", "files", "dirs", "conc", "par", "faults"}
+
+// WriteCSV writes the records (not the endpoint directory) as CSV.
+func (l *Log) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	row := make([]string, len(csvHeader))
+	for i := range l.Records {
+		r := &l.Records[i]
+		row[0] = strconv.Itoa(r.ID)
+		row[1] = r.Src
+		row[2] = r.Dst
+		row[3] = strconv.FormatFloat(r.Ts, 'g', -1, 64)
+		row[4] = strconv.FormatFloat(r.Te, 'g', -1, 64)
+		row[5] = strconv.FormatFloat(r.Bytes, 'g', -1, 64)
+		row[6] = strconv.Itoa(r.Files)
+		row[7] = strconv.Itoa(r.Dirs)
+		row[8] = strconv.Itoa(r.Conc)
+		row[9] = strconv.Itoa(r.Par)
+		row[10] = strconv.Itoa(r.Faults)
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses records produced by WriteCSV into a fresh log (endpoint
+// directory left empty; callers re-attach it separately).
+func ReadCSV(r io.Reader) (*Log, error) {
+	cr := csv.NewReader(r)
+	head, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("logs: reading header: %w", err)
+	}
+	if len(head) != len(csvHeader) {
+		return nil, fmt.Errorf("logs: header has %d columns, want %d", len(head), len(csvHeader))
+	}
+	for i, h := range head {
+		if h != csvHeader[i] {
+			return nil, fmt.Errorf("logs: header column %d is %q, want %q", i, h, csvHeader[i])
+		}
+	}
+	l := NewLog()
+	for {
+		row, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		rec, err := parseRow(row)
+		if err != nil {
+			return nil, err
+		}
+		l.Append(rec)
+	}
+	return l, nil
+}
+
+func parseRow(row []string) (Record, error) {
+	var r Record
+	var err error
+	fail := func(col string, e error) (Record, error) {
+		return Record{}, fmt.Errorf("logs: parsing %s: %w", col, e)
+	}
+	if r.ID, err = strconv.Atoi(row[0]); err != nil {
+		return fail("id", err)
+	}
+	r.Src, r.Dst = row[1], row[2]
+	if r.Ts, err = strconv.ParseFloat(row[3], 64); err != nil {
+		return fail("ts", err)
+	}
+	if r.Te, err = strconv.ParseFloat(row[4], 64); err != nil {
+		return fail("te", err)
+	}
+	if r.Bytes, err = strconv.ParseFloat(row[5], 64); err != nil {
+		return fail("bytes", err)
+	}
+	if r.Files, err = strconv.Atoi(row[6]); err != nil {
+		return fail("files", err)
+	}
+	if r.Dirs, err = strconv.Atoi(row[7]); err != nil {
+		return fail("dirs", err)
+	}
+	if r.Conc, err = strconv.Atoi(row[8]); err != nil {
+		return fail("conc", err)
+	}
+	if r.Par, err = strconv.Atoi(row[9]); err != nil {
+		return fail("par", err)
+	}
+	if r.Faults, err = strconv.Atoi(row[10]); err != nil {
+		return fail("faults", err)
+	}
+	return r, nil
+}

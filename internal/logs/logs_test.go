@@ -1,0 +1,214 @@
+package logs
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleLog() *Log {
+	l := NewLog()
+	l.AddEndpoint(Endpoint{ID: "a", Site: "ANL", Type: GCS})
+	l.AddEndpoint(Endpoint{ID: "b", Site: "BNL", Type: GCS})
+	l.AddEndpoint(Endpoint{ID: "p", Site: "NCSA", Type: GCP})
+	l.Append(Record{ID: 0, Src: "a", Dst: "b", Ts: 100, Te: 200, Bytes: 1e9, Files: 10, Dirs: 1, Conc: 4, Par: 4})
+	l.Append(Record{ID: 1, Src: "a", Dst: "b", Ts: 50, Te: 150, Bytes: 2e9, Files: 2, Dirs: 1, Conc: 4, Par: 2})
+	l.Append(Record{ID: 2, Src: "b", Dst: "p", Ts: 120, Te: 220, Bytes: 5e8, Files: 100, Dirs: 5, Conc: 8, Par: 1})
+	return l
+}
+
+func TestRecordRate(t *testing.T) {
+	r := Record{Ts: 0, Te: 100, Bytes: 1e9}
+	if got := r.Rate(); got != 10 {
+		t.Errorf("Rate = %g MB/s, want 10", got)
+	}
+	zero := Record{Ts: 5, Te: 5, Bytes: 1e9}
+	if zero.Rate() != 0 {
+		t.Error("zero-duration rate should be 0")
+	}
+	if (&Record{Ts: 10, Te: 4}).Rate() != 0 {
+		t.Error("negative duration rate should be 0")
+	}
+}
+
+func TestRecordProcessesAndStreams(t *testing.T) {
+	r := Record{Conc: 8, Par: 4, Files: 3}
+	if r.Processes() != 3 {
+		t.Errorf("Processes = %d, want min(C,Nf)=3", r.Processes())
+	}
+	if r.Streams() != 12 {
+		t.Errorf("Streams = %d, want 3*4=12", r.Streams())
+	}
+	many := Record{Conc: 4, Par: 2, Files: 100}
+	if many.Processes() != 4 || many.Streams() != 8 {
+		t.Errorf("Processes=%d Streams=%d", many.Processes(), many.Streams())
+	}
+}
+
+func TestSortByStart(t *testing.T) {
+	l := sampleLog()
+	l.SortByStart()
+	if l.Records[0].ID != 1 || l.Records[1].ID != 0 || l.Records[2].ID != 2 {
+		t.Errorf("order after sort: %d %d %d", l.Records[0].ID, l.Records[1].ID, l.Records[2].ID)
+	}
+}
+
+func TestEdgesCounting(t *testing.T) {
+	l := sampleLog()
+	edges := l.Edges()
+	if edges[EdgeKey{"a", "b"}] != 2 || edges[EdgeKey{"b", "p"}] != 1 {
+		t.Errorf("edge counts: %v", edges)
+	}
+	if len(edges) != 2 {
+		t.Errorf("edge count = %d, want 2", len(edges))
+	}
+}
+
+func TestEdgeRecords(t *testing.T) {
+	l := sampleLog()
+	idxs := l.EdgeRecords(EdgeKey{"a", "b"})
+	if len(idxs) != 2 {
+		t.Fatalf("got %d records", len(idxs))
+	}
+	for _, i := range idxs {
+		if l.Records[i].Src != "a" || l.Records[i].Dst != "b" {
+			t.Error("wrong record in edge set")
+		}
+	}
+}
+
+func TestMaxEdgeRate(t *testing.T) {
+	l := sampleLog()
+	r, ok := l.MaxEdgeRate(EdgeKey{"a", "b"})
+	if !ok {
+		t.Fatal("edge should exist")
+	}
+	// Records: 1 GB over 100 s (10 MB/s) and 2 GB over 100 s (20 MB/s).
+	if r != 20 {
+		t.Errorf("max rate = %g, want 20", r)
+	}
+	if _, ok := l.MaxEdgeRate(EdgeKey{"x", "y"}); ok {
+		t.Error("missing edge should report not found")
+	}
+}
+
+func TestTopEdges(t *testing.T) {
+	l := sampleLog()
+	top := l.TopEdges(1)
+	if len(top) != 2 || top[0] != (EdgeKey{"a", "b"}) {
+		t.Errorf("TopEdges = %v", top)
+	}
+	if got := l.TopEdges(2); len(got) != 1 {
+		t.Errorf("TopEdges(2) = %v", got)
+	}
+	if got := l.TopEdges(10); len(got) != 0 {
+		t.Errorf("TopEdges(10) = %v", got)
+	}
+}
+
+func TestEndpointLookups(t *testing.T) {
+	l := sampleLog()
+	if l.EndpointTypeOf("p") != GCP {
+		t.Error("p should be GCP")
+	}
+	if l.EndpointTypeOf("unknown") != GCS {
+		t.Error("unknown endpoints default to GCS")
+	}
+	if l.SiteOf("a") != "ANL" || l.SiteOf("zz") != "" {
+		t.Error("SiteOf wrong")
+	}
+}
+
+func TestEndpointTypeString(t *testing.T) {
+	if GCS.String() != "GCS" || GCP.String() != "GCP" {
+		t.Error("type strings wrong")
+	}
+}
+
+func TestEdgeKeyString(t *testing.T) {
+	if (EdgeKey{"a", "b"}).String() != "a->b" {
+		t.Error("EdgeKey.String wrong")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	l := sampleLog()
+	var buf bytes.Buffer
+	if err := l.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Records) != len(l.Records) {
+		t.Fatalf("round trip lost records: %d vs %d", len(back.Records), len(l.Records))
+	}
+	for i := range l.Records {
+		if back.Records[i] != l.Records[i] {
+			t.Errorf("record %d differs: %+v vs %+v", i, back.Records[i], l.Records[i])
+		}
+	}
+}
+
+func TestCSVRoundTripProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(6))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := NewLog()
+		n := 1 + rng.Intn(20)
+		for i := 0; i < n; i++ {
+			ts := rng.Float64() * 1e6
+			l.Append(Record{
+				ID: i, Src: "s", Dst: "d",
+				Ts: ts, Te: ts + 1 + rng.Float64()*1e4,
+				Bytes: rng.Float64() * 1e12, Files: 1 + rng.Intn(1e5),
+				Dirs: rng.Intn(100), Conc: 1 + rng.Intn(16), Par: 1 + rng.Intn(8),
+				Faults: rng.Intn(5),
+			})
+		}
+		var buf bytes.Buffer
+		if err := l.WriteCSV(&buf); err != nil {
+			return false
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			return false
+		}
+		if len(back.Records) != n {
+			return false
+		}
+		for i := range l.Records {
+			if back.Records[i] != l.Records[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadCSVRejectsBadHeader(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("nope,nope\n1,2\n")); err == nil {
+		t.Error("bad header accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestReadCSVRejectsBadValues(t *testing.T) {
+	good := "id,src,dst,ts,te,bytes,files,dirs,conc,par,faults\n"
+	bad := good + "x,a,b,1,2,3,4,5,6,7,8\n"
+	if _, err := ReadCSV(strings.NewReader(bad)); err == nil {
+		t.Error("non-integer id accepted")
+	}
+	bad = good + "1,a,b,notafloat,2,3,4,5,6,7,8\n"
+	if _, err := ReadCSV(strings.NewReader(bad)); err == nil {
+		t.Error("non-float ts accepted")
+	}
+}

@@ -1,0 +1,240 @@
+// Package dataset provides the tabular-data container shared by the
+// regression models: named feature columns, a target column, zero-mean /
+// unit-variance standardization (§5 "we normalize each input to have zero
+// mean and unit variance"), low-variance feature elimination (the paper
+// drops C and P on edges where they barely vary), and deterministic
+// train/test splitting (the paper uses a random 70/30 split per edge).
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ErrShape is returned when rows or columns are inconsistent.
+var ErrShape = errors.New("dataset: inconsistent shape")
+
+// ErrEmpty is returned for operations on empty datasets.
+var ErrEmpty = errors.New("dataset: empty dataset")
+
+// Dataset is a feature matrix with named columns and a target vector.
+// X is row-major: X[i] is the feature vector of sample i.
+type Dataset struct {
+	Names []string    // column names, len == number of features
+	X     [][]float64 // len(X) samples, each len(Names) wide
+	Y     []float64   // len == len(X)
+}
+
+// New constructs a dataset after validating shapes.
+func New(names []string, x [][]float64, y []float64) (*Dataset, error) {
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("%w: %d rows vs %d targets", ErrShape, len(x), len(y))
+	}
+	for i, row := range x {
+		if len(row) != len(names) {
+			return nil, fmt.Errorf("%w: row %d has %d cols, want %d", ErrShape, i, len(row), len(names))
+		}
+	}
+	return &Dataset{Names: names, X: x, Y: y}, nil
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// NumFeatures returns the number of feature columns.
+func (d *Dataset) NumFeatures() int { return len(d.Names) }
+
+// Column returns a copy of feature column j.
+func (d *Dataset) Column(j int) []float64 {
+	out := make([]float64, len(d.X))
+	for i, row := range d.X {
+		out[i] = row[j]
+	}
+	return out
+}
+
+// ColumnByName returns a copy of the named feature column, or false when the
+// name is unknown.
+func (d *Dataset) ColumnByName(name string) ([]float64, bool) {
+	for j, n := range d.Names {
+		if n == name {
+			return d.Column(j), true
+		}
+	}
+	return nil, false
+}
+
+// Clone returns a deep copy of the dataset.
+func (d *Dataset) Clone() *Dataset {
+	x := make([][]float64, len(d.X))
+	for i, row := range d.X {
+		x[i] = append([]float64(nil), row...)
+	}
+	return &Dataset{
+		Names: append([]string(nil), d.Names...),
+		X:     x,
+		Y:     append([]float64(nil), d.Y...),
+	}
+}
+
+// Subset returns a new dataset containing the given sample indices (rows are
+// copied).
+func (d *Dataset) Subset(indices []int) *Dataset {
+	x := make([][]float64, len(indices))
+	y := make([]float64, len(indices))
+	for k, i := range indices {
+		x[k] = append([]float64(nil), d.X[i]...)
+		y[k] = d.Y[i]
+	}
+	return &Dataset{Names: append([]string(nil), d.Names...), X: x, Y: y}
+}
+
+// Split partitions the dataset into train and test subsets with the given
+// train fraction, shuffling deterministically with the provided seed.
+func (d *Dataset) Split(trainFrac float64, seed int64) (train, test *Dataset) {
+	n := d.Len()
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(n, func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
+	cut := int(math.Round(float64(n) * trainFrac))
+	if cut < 1 {
+		cut = 1
+	}
+	if cut > n {
+		cut = n
+	}
+	return d.Subset(idx[:cut]), d.Subset(idx[cut:])
+}
+
+// DropColumns returns a new dataset without the named columns. Unknown names
+// are ignored.
+func (d *Dataset) DropColumns(names ...string) *Dataset {
+	drop := map[string]bool{}
+	for _, n := range names {
+		drop[n] = true
+	}
+	keep := make([]int, 0, len(d.Names))
+	for j, n := range d.Names {
+		if !drop[n] {
+			keep = append(keep, j)
+		}
+	}
+	return d.selectColumns(keep)
+}
+
+func (d *Dataset) selectColumns(keep []int) *Dataset {
+	names := make([]string, len(keep))
+	for k, j := range keep {
+		names[k] = d.Names[j]
+	}
+	x := make([][]float64, len(d.X))
+	for i, row := range d.X {
+		nr := make([]float64, len(keep))
+		for k, j := range keep {
+			nr[k] = row[j]
+		}
+		x[i] = nr
+	}
+	return &Dataset{Names: names, X: x, Y: append([]float64(nil), d.Y...)}
+}
+
+// DropLowVariance removes feature columns whose (population) variance falls
+// below minVar, returning the reduced dataset and the names of the dropped
+// columns. Figures 9 and 12 mark such features with a red cross.
+func (d *Dataset) DropLowVariance(minVar float64) (*Dataset, []string) {
+	keep := make([]int, 0, len(d.Names))
+	var dropped []string
+	for j := range d.Names {
+		col := d.Column(j)
+		if variance(col) < minVar {
+			dropped = append(dropped, d.Names[j])
+			continue
+		}
+		keep = append(keep, j)
+	}
+	return d.selectColumns(keep), dropped
+}
+
+func variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	var m float64
+	for _, x := range xs {
+		m += x
+	}
+	m /= float64(len(xs))
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// Scaler standardizes features to zero mean and unit variance. Columns with
+// zero variance are left centred but unscaled (divisor 1).
+type Scaler struct {
+	Mean []float64
+	Std  []float64
+}
+
+// FitScaler computes per-column means and standard deviations from d.
+func FitScaler(d *Dataset) (*Scaler, error) {
+	if d.Len() == 0 {
+		return nil, ErrEmpty
+	}
+	p := d.NumFeatures()
+	s := &Scaler{Mean: make([]float64, p), Std: make([]float64, p)}
+	for j := 0; j < p; j++ {
+		col := d.Column(j)
+		var m float64
+		for _, v := range col {
+			m += v
+		}
+		m /= float64(len(col))
+		var v float64
+		for _, x := range col {
+			dx := x - m
+			v += dx * dx
+		}
+		sd := math.Sqrt(v / float64(len(col)))
+		if sd == 0 {
+			sd = 1
+		}
+		s.Mean[j], s.Std[j] = m, sd
+	}
+	return s, nil
+}
+
+// Transform returns a standardized copy of d using the scaler's statistics.
+func (s *Scaler) Transform(d *Dataset) (*Dataset, error) {
+	if len(s.Mean) != d.NumFeatures() {
+		return nil, fmt.Errorf("%w: scaler has %d cols, dataset %d", ErrShape, len(s.Mean), d.NumFeatures())
+	}
+	out := d.Clone()
+	for _, row := range out.X {
+		for j := range row {
+			row[j] = (row[j] - s.Mean[j]) / s.Std[j]
+		}
+	}
+	return out, nil
+}
+
+// TransformRow standardizes a single feature vector in place-compatible
+// fashion (a new slice is returned).
+func (s *Scaler) TransformRow(row []float64) ([]float64, error) {
+	if len(row) != len(s.Mean) {
+		return nil, fmt.Errorf("%w: row has %d cols, scaler %d", ErrShape, len(row), len(s.Mean))
+	}
+	out := make([]float64, len(row))
+	for j := range row {
+		out[j] = (row[j] - s.Mean[j]) / s.Std[j]
+	}
+	return out, nil
+}

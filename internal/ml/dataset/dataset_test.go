@@ -1,0 +1,257 @@
+package dataset
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func sample(t *testing.T) *Dataset {
+	t.Helper()
+	d, err := New(
+		[]string{"a", "b", "c"},
+		[][]float64{
+			{1, 10, 5},
+			{2, 10, 6},
+			{3, 10, 7},
+			{4, 10, 8},
+		},
+		[]float64{1, 2, 3, 4},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewValidatesShape(t *testing.T) {
+	if _, err := New([]string{"a"}, [][]float64{{1}}, []float64{1, 2}); !errors.Is(err, ErrShape) {
+		t.Error("row/target mismatch should be ErrShape")
+	}
+	if _, err := New([]string{"a", "b"}, [][]float64{{1}}, []float64{1}); !errors.Is(err, ErrShape) {
+		t.Error("row width mismatch should be ErrShape")
+	}
+}
+
+func TestColumnAccess(t *testing.T) {
+	d := sample(t)
+	col := d.Column(0)
+	want := []float64{1, 2, 3, 4}
+	for i := range want {
+		if col[i] != want[i] {
+			t.Fatalf("Column(0) = %v", col)
+		}
+	}
+	byName, ok := d.ColumnByName("c")
+	if !ok || byName[3] != 8 {
+		t.Errorf("ColumnByName(c) = %v, %v", byName, ok)
+	}
+	if _, ok := d.ColumnByName("nope"); ok {
+		t.Error("unknown column should not be found")
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	d := sample(t)
+	c := d.Clone()
+	c.X[0][0] = 99
+	c.Y[0] = 99
+	c.Names[0] = "zz"
+	if d.X[0][0] == 99 || d.Y[0] == 99 || d.Names[0] == "zz" {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestSubset(t *testing.T) {
+	d := sample(t)
+	s := d.Subset([]int{2, 0})
+	if s.Len() != 2 || s.Y[0] != 3 || s.Y[1] != 1 {
+		t.Errorf("Subset wrong: %+v", s)
+	}
+	s.X[0][0] = 99
+	if d.X[2][0] == 99 {
+		t.Error("Subset shares row storage")
+	}
+}
+
+func TestSplitSizesAndDisjoint(t *testing.T) {
+	n := 100
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = []float64{float64(i)}
+		y[i] = float64(i)
+	}
+	d, _ := New([]string{"i"}, x, y)
+	train, test := d.Split(0.7, 42)
+	if train.Len() != 70 || test.Len() != 30 {
+		t.Fatalf("split sizes %d/%d, want 70/30", train.Len(), test.Len())
+	}
+	seen := map[float64]bool{}
+	for _, v := range train.Y {
+		seen[v] = true
+	}
+	for _, v := range test.Y {
+		if seen[v] {
+			t.Fatalf("value %g in both splits", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("splits cover %d of %d", len(seen), n)
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	d := sample(t)
+	a1, b1 := d.Split(0.5, 7)
+	a2, b2 := d.Split(0.5, 7)
+	for i := range a1.Y {
+		if a1.Y[i] != a2.Y[i] {
+			t.Fatal("same seed gave different train split")
+		}
+	}
+	for i := range b1.Y {
+		if b1.Y[i] != b2.Y[i] {
+			t.Fatal("same seed gave different test split")
+		}
+	}
+}
+
+func TestSplitExtremeFractions(t *testing.T) {
+	d := sample(t)
+	train, test := d.Split(0, 1)
+	if train.Len() < 1 {
+		t.Error("train must keep at least one sample")
+	}
+	if train.Len()+test.Len() != d.Len() {
+		t.Error("split lost samples")
+	}
+	train, test = d.Split(1.5, 1)
+	if test.Len() != 0 || train.Len() != d.Len() {
+		t.Error("overfull fraction should put everything in train")
+	}
+}
+
+func TestDropColumns(t *testing.T) {
+	d := sample(t)
+	r := d.DropColumns("b", "missing")
+	if r.NumFeatures() != 2 || r.Names[0] != "a" || r.Names[1] != "c" {
+		t.Fatalf("DropColumns names = %v", r.Names)
+	}
+	if r.X[1][1] != 6 {
+		t.Errorf("column values misaligned after drop: %v", r.X[1])
+	}
+}
+
+func TestDropLowVariance(t *testing.T) {
+	d := sample(t)
+	r, dropped := d.DropLowVariance(1e-9)
+	if len(dropped) != 1 || dropped[0] != "b" {
+		t.Fatalf("dropped = %v, want [b]", dropped)
+	}
+	if r.NumFeatures() != 2 {
+		t.Errorf("kept %d features", r.NumFeatures())
+	}
+}
+
+func TestScalerStandardizes(t *testing.T) {
+	d := sample(t)
+	s, err := FitScaler(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	std, err := s.Transform(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < std.NumFeatures(); j++ {
+		col := std.Column(j)
+		var mean float64
+		for _, v := range col {
+			mean += v
+		}
+		mean /= float64(len(col))
+		if math.Abs(mean) > 1e-12 {
+			t.Errorf("column %d mean %g after standardization", j, mean)
+		}
+	}
+	// The constant column is centred but not scaled (std divisor 1).
+	if s.Std[1] != 1 {
+		t.Errorf("constant column std divisor = %g, want 1", s.Std[1])
+	}
+	// Non-constant columns get unit variance.
+	colA := std.Column(0)
+	var v float64
+	for _, x := range colA {
+		v += x * x
+	}
+	v /= float64(len(colA))
+	if math.Abs(v-1) > 1e-12 {
+		t.Errorf("standardized variance = %g, want 1", v)
+	}
+}
+
+func TestScalerTransformRow(t *testing.T) {
+	d := sample(t)
+	s, _ := FitScaler(d)
+	row, err := s.TransformRow([]float64{2.5, 10, 6.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(row[0]) > 1e-9 || math.Abs(row[2]) > 1e-9 {
+		t.Errorf("midpoint row should standardize to ~0: %v", row)
+	}
+	if _, err := s.TransformRow([]float64{1}); !errors.Is(err, ErrShape) {
+		t.Error("short row should be ErrShape")
+	}
+}
+
+func TestScalerShapeMismatch(t *testing.T) {
+	d := sample(t)
+	s, _ := FitScaler(d)
+	other, _ := New([]string{"x"}, [][]float64{{1}}, []float64{1})
+	if _, err := s.Transform(other); !errors.Is(err, ErrShape) {
+		t.Error("mismatched dataset should be ErrShape")
+	}
+}
+
+func TestFitScalerEmpty(t *testing.T) {
+	d := &Dataset{Names: []string{"a"}}
+	if _, err := FitScaler(d); !errors.Is(err, ErrEmpty) {
+		t.Error("empty dataset should be ErrEmpty")
+	}
+}
+
+// Property: Split never loses or duplicates samples for any fraction/seed.
+func TestSplitPartitionProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(4))}
+	f := func(seed int64, fracRaw uint8) bool {
+		frac := float64(fracRaw) / 255
+		n := 37
+		x := make([][]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = []float64{float64(i)}
+			y[i] = float64(i)
+		}
+		d, _ := New([]string{"i"}, x, y)
+		train, test := d.Split(frac, seed)
+		if train.Len()+test.Len() != n {
+			return false
+		}
+		seen := map[float64]bool{}
+		for _, v := range append(append([]float64{}, train.Y...), test.Y...) {
+			if seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(seen) == n
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

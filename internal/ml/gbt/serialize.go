@@ -1,0 +1,128 @@
+package gbt
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Serialization: a trained ensemble round-trips through a compact JSON
+// form, so models can be trained offline (e.g. from historical logs) and
+// shipped to the scheduler or prediction service that uses them.
+
+// jsonNode is the serialized form of one tree node, flattened into an
+// array with child indices (index 0 is the root, -1 means no child).
+type jsonNode struct {
+	Feature   int     `json:"f"`
+	Threshold float64 `json:"t,omitempty"`
+	Weight    float64 `json:"w,omitempty"`
+	Gain      float64 `json:"g,omitempty"`
+	Left      int     `json:"l"`
+	Right     int     `json:"r"`
+}
+
+// jsonModel is the serialized ensemble.
+type jsonModel struct {
+	Version int          `json:"version"`
+	Base    float64      `json:"base"`
+	Names   []string     `json:"names"`
+	Trees   [][]jsonNode `json:"trees"`
+}
+
+const serializationVersion = 1
+
+// ErrBadModel is returned when deserialization encounters a malformed or
+// unsupported payload.
+var ErrBadModel = errors.New("gbt: malformed model payload")
+
+// Save writes the model as JSON.
+func (m *Model) Save(w io.Writer) error {
+	if len(m.trees) == 0 {
+		return ErrNotTrained
+	}
+	jm := jsonModel{Version: serializationVersion, Base: m.Base, Names: m.Names}
+	for _, t := range m.trees {
+		var flat []jsonNode
+		flatten(t.root, &flat)
+		jm.Trees = append(jm.Trees, flat)
+	}
+	return json.NewEncoder(w).Encode(&jm)
+}
+
+// flatten appends the subtree rooted at n in pre-order and returns its
+// index within the array.
+func flatten(n *node, out *[]jsonNode) int {
+	idx := len(*out)
+	*out = append(*out, jsonNode{Feature: n.feature, Left: -1, Right: -1})
+	if n.feature < 0 {
+		(*out)[idx].Weight = n.weight
+		return idx
+	}
+	(*out)[idx].Threshold = n.threshold
+	(*out)[idx].Gain = n.gain
+	(*out)[idx].Left = flatten(n.left, out)
+	(*out)[idx].Right = flatten(n.right, out)
+	return idx
+}
+
+// Load reads a model previously written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var jm jsonModel
+	if err := json.NewDecoder(r).Decode(&jm); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadModel, err)
+	}
+	if jm.Version != serializationVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadModel, jm.Version)
+	}
+	if len(jm.Names) == 0 || len(jm.Trees) == 0 {
+		return nil, fmt.Errorf("%w: empty model", ErrBadModel)
+	}
+	m := &Model{Base: jm.Base, Names: jm.Names}
+	for ti, flat := range jm.Trees {
+		root, err := unflatten(flat, 0, len(jm.Names))
+		if err != nil {
+			return nil, fmt.Errorf("%w: tree %d: %v", ErrBadModel, ti, err)
+		}
+		m.trees = append(m.trees, &tree{root: root})
+	}
+	return m, nil
+}
+
+// unflatten rebuilds the subtree at index i, validating indices and
+// feature references.
+func unflatten(flat []jsonNode, i, numFeatures int) (*node, error) {
+	if i < 0 || i >= len(flat) {
+		return nil, fmt.Errorf("node index %d out of range", i)
+	}
+	jn := flat[i]
+	if jn.Feature < 0 {
+		return &node{feature: -1, weight: jn.Weight}, nil
+	}
+	if jn.Feature >= numFeatures {
+		return nil, fmt.Errorf("feature %d out of range", jn.Feature)
+	}
+	if jn.Left == i || jn.Right == i {
+		return nil, fmt.Errorf("node %d references itself", i)
+	}
+	// Pre-order layout guarantees children come later; enforce it so a
+	// crafted payload cannot loop.
+	if jn.Left <= i || jn.Right <= i {
+		return nil, fmt.Errorf("node %d has non-forward child", i)
+	}
+	left, err := unflatten(flat, jn.Left, numFeatures)
+	if err != nil {
+		return nil, err
+	}
+	right, err := unflatten(flat, jn.Right, numFeatures)
+	if err != nil {
+		return nil, err
+	}
+	return &node{
+		feature:   jn.Feature,
+		threshold: jn.Threshold,
+		gain:      jn.Gain,
+		left:      left,
+		right:     right,
+	}, nil
+}

@@ -1,0 +1,117 @@
+package gbt
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func trainedModel(t *testing.T) (*Model, [][]float64) {
+	t.Helper()
+	d := makeDataset(t, 300, 21, func(x []float64) float64 {
+		if x[0] > 0 {
+			return 3*x[1] + 5
+		}
+		return -x[1]
+	}, 0.1, 3)
+	m, err := Train(d, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	probes := make([][]float64, 50)
+	for i := range probes {
+		probes[i] = []float64{rng.Float64()*10 - 5, rng.Float64()*10 - 5, rng.Float64()*10 - 5}
+	}
+	return m, probes
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m, probes := trainedModel(t)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumTrees() != m.NumTrees() {
+		t.Fatalf("tree count %d vs %d", back.NumTrees(), m.NumTrees())
+	}
+	for _, p := range probes {
+		want, _ := m.Predict(p)
+		got, err := back.Predict(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("prediction differs after round trip: %g vs %g", got, want)
+		}
+	}
+	// Importances survive (gain is serialized).
+	wi := m.Importance()
+	gi := back.Importance()
+	for k, v := range wi {
+		if gi[k] != v {
+			t.Errorf("importance %s differs: %g vs %g", k, gi[k], v)
+		}
+	}
+}
+
+func TestSaveUntrained(t *testing.T) {
+	var m Model
+	if err := m.Save(&bytes.Buffer{}); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("got %v, want ErrNotTrained", err)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"not json",
+		`{"version": 99, "base": 1, "names": ["a"], "trees": [[{"f": -1}]]}`,
+		`{"version": 1, "base": 1, "names": [], "trees": []}`,
+		`{"version": 1, "base": 1, "names": ["a"], "trees": []}`,
+	}
+	for i, c := range cases {
+		if _, err := Load(strings.NewReader(c)); !errors.Is(err, ErrBadModel) {
+			t.Errorf("case %d: got %v, want ErrBadModel", i, err)
+		}
+	}
+}
+
+func TestLoadRejectsMalformedTrees(t *testing.T) {
+	cases := []string{
+		// Feature index out of range.
+		`{"version": 1, "base": 0, "names": ["a"], "trees": [[{"f": 5, "l": 1, "r": 2}, {"f": -1}, {"f": -1}]]}`,
+		// Child index out of range.
+		`{"version": 1, "base": 0, "names": ["a"], "trees": [[{"f": 0, "l": 10, "r": 2}, {"f": -1}, {"f": -1}]]}`,
+		// Self-referencing node (cycle).
+		`{"version": 1, "base": 0, "names": ["a"], "trees": [[{"f": 0, "l": 0, "r": 0}]]}`,
+		// Backward reference (cycle across nodes).
+		`{"version": 1, "base": 0, "names": ["a"], "trees": [[{"f": 0, "l": 1, "r": 2}, {"f": 0, "l": 0, "r": 2}, {"f": -1}]]}`,
+	}
+	for i, c := range cases {
+		if _, err := Load(strings.NewReader(c)); !errors.Is(err, ErrBadModel) {
+			t.Errorf("case %d: got %v, want ErrBadModel", i, err)
+		}
+	}
+}
+
+func TestLoadMinimalValidModel(t *testing.T) {
+	payload := `{"version": 1, "base": 2.5, "names": ["a"], "trees": [[{"f": -1, "w": 0.5, "l": -1, "r": -1}]]}`
+	m, err := Load(strings.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Predict([]float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3.0 {
+		t.Errorf("Predict = %g, want base+leaf = 3.0", got)
+	}
+}

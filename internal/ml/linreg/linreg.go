@@ -1,0 +1,126 @@
+// Package linreg implements ordinary least squares linear regression
+// (Equation 3 of the paper: R = β0 + β1·x1 + … + βm·xm) fitted by QR
+// decomposition, exactly the estimator the paper uses for its per-edge and
+// global linear models (§5.1, §5.4). Coefficients on standardized inputs
+// are directly comparable across features, which is how Figure 9 reads
+// feature significance off the model.
+package linreg
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/linalg"
+	"repro/internal/ml/dataset"
+)
+
+// ErrNotTrained is returned when Predict is called before Fit succeeds.
+var ErrNotTrained = errors.New("linreg: model not trained")
+
+// Model is a fitted linear regression.
+type Model struct {
+	Intercept    float64   // β0
+	Coefficients []float64 // β1..βm, aligned with Names
+	Names        []string  // feature names at fit time
+	trained      bool
+}
+
+// Fit estimates the coefficients minimizing the residual sum of squares
+// (Equation 4). The caller is expected to pass standardized features when
+// coefficient magnitudes are to be compared. Fit falls back to a
+// ridge-regularized normal-equation solve when the design matrix is rank
+// deficient (e.g. duplicated columns), so it always returns a usable model
+// for non-empty input.
+func Fit(d *dataset.Dataset) (*Model, error) {
+	n, p := d.Len(), d.NumFeatures()
+	if n == 0 {
+		return nil, dataset.ErrEmpty
+	}
+	if p == 0 {
+		return nil, fmt.Errorf("linreg: no features")
+	}
+
+	// Design matrix with a leading column of ones for the intercept.
+	a := linalg.NewMatrix(n, p+1)
+	for i, row := range d.X {
+		a.Set(i, 0, 1)
+		for j, v := range row {
+			a.Set(i, j+1, v)
+		}
+	}
+
+	beta, err := linalg.SolveLeastSquares(a, d.Y)
+	if errors.Is(err, linalg.ErrSingular) || errors.Is(err, linalg.ErrDimension) {
+		beta, err = ridgeSolve(a, d.Y, 1e-8)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Model{
+		Intercept:    beta[0],
+		Coefficients: beta[1:],
+		Names:        append([]string(nil), d.Names...),
+		trained:      true,
+	}, nil
+}
+
+// ridgeSolve solves (AᵀA + λI)·β = Aᵀy, which is always well posed for
+// λ > 0. The intercept column is regularized too; λ is tiny so the effect
+// on well-determined coefficients is negligible.
+func ridgeSolve(a *linalg.Matrix, y []float64, lambda float64) ([]float64, error) {
+	at := a.T()
+	ata, err := at.Mul(a)
+	if err != nil {
+		return nil, err
+	}
+	for j := 0; j < ata.Rows; j++ {
+		ata.Set(j, j, ata.At(j, j)+lambda)
+	}
+	aty, err := at.MulVec(y)
+	if err != nil {
+		return nil, err
+	}
+	ch, err := linalg.DecomposeCholesky(ata)
+	if err != nil {
+		return nil, err
+	}
+	return ch.Solve(aty)
+}
+
+// Predict returns the model value for one feature vector.
+func (m *Model) Predict(x []float64) (float64, error) {
+	if !m.trained {
+		return 0, ErrNotTrained
+	}
+	if len(x) != len(m.Coefficients) {
+		return 0, fmt.Errorf("linreg: feature vector has %d entries, want %d", len(x), len(m.Coefficients))
+	}
+	out := m.Intercept
+	for j, c := range m.Coefficients {
+		out += c * x[j]
+	}
+	return out, nil
+}
+
+// PredictAll returns predictions for every row of d.
+func (m *Model) PredictAll(d *dataset.Dataset) ([]float64, error) {
+	out := make([]float64, d.Len())
+	for i, row := range d.X {
+		v, err := m.Predict(row)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// CoefficientByName returns the coefficient of the named feature.
+func (m *Model) CoefficientByName(name string) (float64, bool) {
+	for j, n := range m.Names {
+		if n == name {
+			return m.Coefficients[j], true
+		}
+	}
+	return 0, false
+}

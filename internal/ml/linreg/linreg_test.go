@@ -1,0 +1,167 @@
+package linreg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ml/dataset"
+)
+
+func makeLinear(t *testing.T, n int, coefs []float64, intercept, noise float64, seed int64) *dataset.Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	p := len(coefs)
+	names := make([]string, p)
+	for j := range names {
+		names[j] = string(rune('a' + j))
+	}
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, p)
+		v := intercept
+		for j := range row {
+			row[j] = rng.NormFloat64() * 3
+			v += coefs[j] * row[j]
+		}
+		x[i] = row
+		y[i] = v + noise*rng.NormFloat64()
+	}
+	d, err := dataset.New(names, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestFitRecoversExactCoefficients(t *testing.T) {
+	want := []float64{2, -3, 0.5}
+	d := makeLinear(t, 50, want, 7, 0, 1)
+	m, err := Fit(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Intercept-7) > 1e-8 {
+		t.Errorf("intercept = %g, want 7", m.Intercept)
+	}
+	for j, w := range want {
+		if math.Abs(m.Coefficients[j]-w) > 1e-8 {
+			t.Errorf("coef[%d] = %g, want %g", j, m.Coefficients[j], w)
+		}
+	}
+}
+
+func TestFitNoisyCoefficientsClose(t *testing.T) {
+	want := []float64{1.5, -0.8}
+	d := makeLinear(t, 2000, want, -2, 0.5, 2)
+	m, err := Fit(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, w := range want {
+		if math.Abs(m.Coefficients[j]-w) > 0.05 {
+			t.Errorf("coef[%d] = %g, want ~%g", j, m.Coefficients[j], w)
+		}
+	}
+}
+
+func TestFitCollinearFallsBackToRidge(t *testing.T) {
+	// Duplicate columns are rank deficient for QR; the ridge fallback
+	// must still produce a usable model.
+	n := 30
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	rng := rand.New(rand.NewSource(3))
+	for i := range x {
+		v := rng.NormFloat64()
+		x[i] = []float64{v, v}
+		y[i] = 4 * v
+	}
+	d, _ := dataset.New([]string{"a", "dup"}, x, y)
+	m, err := Fit(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two coefficients share the weight; predictions must be right.
+	pred, err := m.Predict([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pred-4) > 1e-3 {
+		t.Errorf("collinear prediction = %g, want 4", pred)
+	}
+}
+
+func TestPredictAll(t *testing.T) {
+	d := makeLinear(t, 40, []float64{1}, 0, 0, 4)
+	m, err := Fit(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, err := m.PredictAll(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range preds {
+		if math.Abs(preds[i]-d.Y[i]) > 1e-8 {
+			t.Fatalf("prediction %d: %g vs %g", i, preds[i], d.Y[i])
+		}
+	}
+}
+
+func TestPredictErrors(t *testing.T) {
+	var m Model
+	if _, err := m.Predict([]float64{1}); !errors.Is(err, ErrNotTrained) {
+		t.Error("untrained model should refuse to predict")
+	}
+	d := makeLinear(t, 10, []float64{1, 2}, 0, 0, 5)
+	tm, _ := Fit(d)
+	if _, err := tm.Predict([]float64{1}); err == nil {
+		t.Error("wrong-width vector should error")
+	}
+}
+
+func TestFitEmpty(t *testing.T) {
+	d := &dataset.Dataset{Names: []string{"a"}}
+	if _, err := Fit(d); !errors.Is(err, dataset.ErrEmpty) {
+		t.Errorf("got %v, want ErrEmpty", err)
+	}
+}
+
+func TestFitNoFeatures(t *testing.T) {
+	d := &dataset.Dataset{Names: nil, X: [][]float64{{}}, Y: []float64{1}}
+	if _, err := Fit(d); err == nil {
+		t.Error("no features should error")
+	}
+}
+
+func TestCoefficientByName(t *testing.T) {
+	d := makeLinear(t, 30, []float64{5, -1}, 0, 0, 6)
+	m, _ := Fit(d)
+	c, ok := m.CoefficientByName("a")
+	if !ok || math.Abs(c-5) > 1e-8 {
+		t.Errorf("CoefficientByName(a) = %g, %v", c, ok)
+	}
+	if _, ok := m.CoefficientByName("zzz"); ok {
+		t.Error("unknown name should not be found")
+	}
+}
+
+// The residual mean must vanish when an intercept is fitted.
+func TestResidualsZeroMean(t *testing.T) {
+	d := makeLinear(t, 500, []float64{0.3, 1.2, -2}, 3, 2.0, 7)
+	m, err := Fit(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, _ := m.PredictAll(d)
+	var sum float64
+	for i := range preds {
+		sum += d.Y[i] - preds[i]
+	}
+	if math.Abs(sum/float64(len(preds))) > 1e-8 {
+		t.Errorf("mean residual = %g, want 0", sum/float64(len(preds)))
+	}
+}

@@ -1,0 +1,56 @@
+package linreg
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// jsonModel is the serialized form of a fitted linear model.
+type jsonModel struct {
+	Version      int       `json:"version"`
+	Intercept    float64   `json:"intercept"`
+	Coefficients []float64 `json:"coefficients"`
+	Names        []string  `json:"names"`
+}
+
+const serializationVersion = 1
+
+// ErrBadModel is returned when deserialization encounters a malformed or
+// unsupported payload.
+var ErrBadModel = errors.New("linreg: malformed model payload")
+
+// Save writes the model as JSON, the counterpart of gbt.Model.Save for the
+// linear family.
+func (m *Model) Save(w io.Writer) error {
+	if !m.trained {
+		return ErrNotTrained
+	}
+	return json.NewEncoder(w).Encode(jsonModel{
+		Version:      serializationVersion,
+		Intercept:    m.Intercept,
+		Coefficients: m.Coefficients,
+		Names:        m.Names,
+	})
+}
+
+// Load reads a model previously written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var jm jsonModel
+	if err := json.NewDecoder(r).Decode(&jm); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadModel, err)
+	}
+	if jm.Version != serializationVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadModel, jm.Version)
+	}
+	if len(jm.Coefficients) == 0 || len(jm.Coefficients) != len(jm.Names) {
+		return nil, fmt.Errorf("%w: %d coefficients for %d names", ErrBadModel, len(jm.Coefficients), len(jm.Names))
+	}
+	return &Model{
+		Intercept:    jm.Intercept,
+		Coefficients: jm.Coefficients,
+		Names:        jm.Names,
+		trained:      true,
+	}, nil
+}

@@ -1,0 +1,58 @@
+package linreg
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	d := makeLinear(t, 60, []float64{2, -1, 0.5}, 4, 0.1, 31)
+	m, err := Fit(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := []float64{1.5, -0.3, 2.2}
+	want, _ := m.Predict(probe)
+	got, err := back.Predict(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("prediction differs after round trip: %g vs %g", got, want)
+	}
+	if c, ok := back.CoefficientByName("b"); !ok || c != m.Coefficients[1] {
+		t.Error("names lost in round trip")
+	}
+}
+
+func TestSaveUntrained(t *testing.T) {
+	var m Model
+	if err := m.Save(&bytes.Buffer{}); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("got %v, want ErrNotTrained", err)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"nope",
+		`{"version": 9, "intercept": 1, "coefficients": [1], "names": ["a"]}`,
+		`{"version": 1, "intercept": 1, "coefficients": [], "names": []}`,
+		`{"version": 1, "intercept": 1, "coefficients": [1, 2], "names": ["a"]}`,
+	}
+	for i, c := range cases {
+		if _, err := Load(strings.NewReader(c)); !errors.Is(err, ErrBadModel) {
+			t.Errorf("case %d: got %v, want ErrBadModel", i, err)
+		}
+	}
+}

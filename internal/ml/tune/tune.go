@@ -1,0 +1,211 @@
+// Package tune provides k-fold cross-validated hyperparameter search for
+// the gradient-boosted tree model — the paper's §8 future-work direction
+// ("whether more advanced machine learning methods … can yield better
+// models") made concrete: instead of a fixed configuration, search a small
+// grid and keep the setting with the lowest cross-validated MdAPE.
+package tune
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/ml/dataset"
+	"repro/internal/ml/gbt"
+	"repro/internal/stats"
+)
+
+// ErrTooFewSamples is returned when the dataset cannot support the
+// requested number of folds.
+var ErrTooFewSamples = errors.New("tune: too few samples for k-fold CV")
+
+// Grid is the hyperparameter search space: the cross product of the
+// listed values. Empty slices fall back to the default parameter value.
+type Grid struct {
+	Rounds         []int
+	MaxDepth       []int
+	LearningRate   []float64
+	Lambda         []float64
+	SubsampleRows  []float64
+	MinChildWeight []float64
+}
+
+// DefaultGrid is a compact space that covers the regimes that matter for
+// transfer-rate data: shallow-vs-deep trees, slow-vs-fast learning.
+func DefaultGrid() Grid {
+	return Grid{
+		Rounds:       []int{100, 200},
+		MaxDepth:     []int{3, 4, 6},
+		LearningRate: []float64{0.05, 0.1, 0.2},
+		Lambda:       []float64{1},
+	}
+}
+
+// expand enumerates the grid as concrete parameter sets.
+func (g Grid) expand() []gbt.Params {
+	base := gbt.DefaultParams()
+	orDefaultI := func(xs []int, d int) []int {
+		if len(xs) == 0 {
+			return []int{d}
+		}
+		return xs
+	}
+	orDefaultF := func(xs []float64, d float64) []float64 {
+		if len(xs) == 0 {
+			return []float64{d}
+		}
+		return xs
+	}
+	var out []gbt.Params
+	for _, rounds := range orDefaultI(g.Rounds, base.Rounds) {
+		for _, depth := range orDefaultI(g.MaxDepth, base.MaxDepth) {
+			for _, lr := range orDefaultF(g.LearningRate, base.LearningRate) {
+				for _, lam := range orDefaultF(g.Lambda, base.Lambda) {
+					for _, sub := range orDefaultF(g.SubsampleRows, base.SubsampleRows) {
+						for _, mcw := range orDefaultF(g.MinChildWeight, base.MinChildWeight) {
+							p := base
+							p.Rounds = rounds
+							p.MaxDepth = depth
+							p.LearningRate = lr
+							p.Lambda = lam
+							p.SubsampleRows = sub
+							p.MinChildWeight = mcw
+							out = append(out, p)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Result is the outcome of a search: the winning parameters and the CV
+// score of every candidate.
+type Result struct {
+	Best      gbt.Params
+	BestScore float64 // cross-validated MdAPE of the winner
+	Scores    []CandidateScore
+}
+
+// CandidateScore pairs a parameter set with its cross-validated MdAPE.
+type CandidateScore struct {
+	Params gbt.Params
+	MdAPE  float64
+}
+
+// Search evaluates every grid point with k-fold cross validation on d and
+// returns the configuration minimizing mean MdAPE across folds. The search
+// is deterministic in seed.
+func Search(d *dataset.Dataset, g Grid, folds int, seed int64) (Result, error) {
+	var res Result
+	if folds < 2 {
+		folds = 3
+	}
+	if d.Len() < folds*2 {
+		return res, fmt.Errorf("%w: %d samples, %d folds", ErrTooFewSamples, d.Len(), folds)
+	}
+	splits := kfold(d, folds, seed)
+	candidates := g.expand()
+	if len(candidates) == 0 {
+		return res, errors.New("tune: empty grid")
+	}
+
+	res.BestScore = math.Inf(1)
+	for _, params := range candidates {
+		params.Seed = seed
+		score, err := crossValidate(splits, params)
+		if err != nil {
+			return res, err
+		}
+		res.Scores = append(res.Scores, CandidateScore{Params: params, MdAPE: score})
+		if score < res.BestScore {
+			res.BestScore = score
+			res.Best = params
+		}
+	}
+	return res, nil
+}
+
+// fold is one train/validation split.
+type fold struct {
+	train, valid *dataset.Dataset
+}
+
+// kfold deterministically partitions d into k folds.
+func kfold(d *dataset.Dataset, k int, seed int64) []fold {
+	n := d.Len()
+	// Reuse the dataset's deterministic shuffling by splitting off each
+	// fold with Subset over a shared permutation.
+	perm := permutation(n, seed)
+	var folds []fold
+	for f := 0; f < k; f++ {
+		lo := f * n / k
+		hi := (f + 1) * n / k
+		var trainIdx, validIdx []int
+		for i, p := range perm {
+			if i >= lo && i < hi {
+				validIdx = append(validIdx, p)
+			} else {
+				trainIdx = append(trainIdx, p)
+			}
+		}
+		folds = append(folds, fold{train: d.Subset(trainIdx), valid: d.Subset(validIdx)})
+	}
+	return folds
+}
+
+// permutation is a deterministic Fisher–Yates shuffle driven by a simple
+// SplitMix-style generator, so the folds do not depend on math/rand
+// internals.
+func permutation(n int, seed int64) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	state := uint64(seed)*0x9E3779B97F4A7C15 + 0xBF58476D1CE4E5B9
+	next := func() uint64 {
+		state += 0x9E3779B97F4A7C15
+		z := state
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		return z ^ (z >> 31)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := int(next() % uint64(i+1))
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// crossValidate returns the mean validation MdAPE over the folds.
+func crossValidate(folds []fold, params gbt.Params) (float64, error) {
+	var sum float64
+	for _, f := range folds {
+		m, err := gbt.Train(f.train, params)
+		if err != nil {
+			return 0, err
+		}
+		pred, err := m.PredictAll(f.valid)
+		if err != nil {
+			return 0, err
+		}
+		md, err := stats.MdAPE(f.valid.Y, pred)
+		if err != nil {
+			return 0, err
+		}
+		sum += md
+	}
+	return sum / float64(len(folds)), nil
+}
+
+// TrainBest runs Search and then fits the winning configuration on the
+// full dataset.
+func TrainBest(d *dataset.Dataset, g Grid, folds int, seed int64) (*gbt.Model, Result, error) {
+	res, err := Search(d, g, folds, seed)
+	if err != nil {
+		return nil, res, err
+	}
+	m, err := gbt.Train(d, res.Best)
+	return m, res, err
+}

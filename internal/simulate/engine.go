@@ -1,0 +1,771 @@
+package simulate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/logs"
+)
+
+// TransferSpec describes one transfer to simulate. The Skip* flags support
+// the testbed measurement modes of §3.1: /dev/zero sources skip the source
+// disk, /dev/null sinks skip the destination disk, and local loopback
+// measurements skip the network.
+type TransferSpec struct {
+	Src, Dst string  // endpoint IDs
+	Start    float64 // submission time (s)
+	Bytes    float64 // total bytes
+	Files    int     // Nf
+	Dirs     int     // Nd
+	Conc     int     // C
+	Par      int     // P
+
+	SkipSrcDisk bool // source reads from /dev/zero
+	SkipDstDisk bool // destination writes to /dev/null
+	SkipNetwork bool // both endpoints on the same host (loopback)
+}
+
+// Monitor observes the simulation between events; the lmt package uses it
+// to reproduce the §5.5.2 storage-monitoring experiment. OnInterval is
+// called once per inter-event interval [t0, t1) during which all loads are
+// constant.
+type Monitor interface {
+	OnInterval(t0, t1 float64, loads []EndpointLoad)
+}
+
+// EndpointLoad is the true instantaneous load at one endpoint — including
+// the background load that the transfer log does NOT record. Only a
+// Monitor (the simulated LMT) can see it.
+type EndpointLoad struct {
+	EndpointID    string
+	DiskReadMBps  float64 // total read load including background
+	DiskWriteMBps float64 // total write load including background
+	BgReadMBps    float64 // background-only read component
+	BgWriteMBps   float64 // background-only write component
+	Procs         int     // active GridFTP processes
+	CPUEff        float64 // storage efficiency multiplier currently in force
+}
+
+// Resource kinds, per endpoint (4) plus one WAN resource per site pair.
+const (
+	resDiskRead = iota
+	resDiskWrite
+	resNetOut
+	resNetIn
+	resKindsPerEndpoint
+)
+
+type resource struct {
+	cap     float64 // static capacity (MB/s)
+	effCap  float64 // capacity after CPU-contention multiplier
+	bgFrac  float64 // fraction of capacity the background currently takes
+	epIdx   int     // owning endpoint index, -1 for WAN
+	kind    int     // resDiskRead..resNetIn, or -1 for WAN
+	remain  float64 // solver state
+	sumW    float64 // solver state: weight of unfrozen users
+	touched bool    // solver state: participates in current solve
+}
+
+type phase int
+
+const (
+	phaseSetup phase = iota
+	phaseData
+	phaseStall
+)
+
+type xfer struct {
+	id        int
+	spec      TransferSpec
+	srcIdx    int
+	dstIdx    int
+	resIdx    []int // resources this transfer consumes
+	procs     int
+	weight    float64 // TCP stream count: sharing weight under contention
+	demand    float64 // MB/s ceiling from stream window and per-process disk
+	rateEff   float64 // unobservable per-transfer efficiency (World.JitterSigma)
+	phase     phase
+	phaseEnd  float64 // end of setup or stall
+	chainID   int     // 1+index into engine.chains, 0 when not chained
+	startedAt float64 // admission time (logged as Ts)
+	overhead  float64 // setup duration once started
+	bytesMB   float64 // remaining payload in MB
+	rate      float64 // current allocation, MB/s
+	frozen    bool    // solver state
+	faults    int
+	nextFault float64
+}
+
+// Engine runs transfers through a world and collects the resulting log.
+type Engine struct {
+	w   *World
+	rng *rand.Rand
+
+	pending     []TransferSpec // sorted by Start
+	nextPending int
+	active      []*xfer
+	waiting     []*xfer  // admitted FIFO queue per Globus-style endpoint limits
+	chains      []*chain // closed-loop transfer sequences
+	epActive    []int    // running transfers touching each endpoint
+
+	resources []*resource
+	wanIdx    map[string]int
+	epIdx     map[string]int
+	resLoad   []float64 // per-resource transfer load, rebuilt each resolve
+
+	bgNext []float64 // per-endpoint next background resample
+
+	now     float64
+	nextID  int
+	log     *logs.Log
+	monitor Monitor
+
+	// cached per-interval snapshot for the monitor
+	snapshot []EndpointLoad
+}
+
+// minRateFloor prevents deadlock when background load or contention
+// momentarily exhausts a resource: every data-phase transfer trickles at
+// least this rate (MB/s).
+const minRateFloor = 0.01
+
+// NewEngine creates an engine over the world with a deterministic RNG seed.
+func NewEngine(w *World, seed int64) *Engine {
+	e := &Engine{
+		w:        w,
+		rng:      rand.New(rand.NewSource(seed)),
+		wanIdx:   make(map[string]int),
+		epIdx:    make(map[string]int, len(w.Endpoints)),
+		log:      logs.NewLog(),
+		bgNext:   make([]float64, len(w.Endpoints)),
+		epActive: make([]int, len(w.Endpoints)),
+	}
+	for i, ep := range w.Endpoints {
+		e.epIdx[ep.ID] = i
+	}
+	w.LogEndpoints(e.log)
+	// Endpoint resources, 4 per endpoint, in endpoint order.
+	for i, ep := range w.Endpoints {
+		caps := [resKindsPerEndpoint]float64{ep.DiskReadMBps, ep.DiskWriteMBps, ep.NICMBps, ep.NICMBps}
+		for k := 0; k < resKindsPerEndpoint; k++ {
+			e.resources = append(e.resources, &resource{cap: caps[k], effCap: caps[k], epIdx: i, kind: k})
+		}
+		if ep.Bg.MaxFrac > 0 && ep.Bg.MeanInterval > 0 {
+			e.bgNext[i] = e.expSample(ep.Bg.MeanInterval)
+		} else {
+			e.bgNext[i] = math.Inf(1)
+		}
+	}
+	return e
+}
+
+func (e *Engine) expSample(mean float64) float64 {
+	return e.now + e.rng.ExpFloat64()*mean
+}
+
+// Submit queues transfers for simulation. Must be called before Run.
+func (e *Engine) Submit(specs ...TransferSpec) {
+	e.pending = append(e.pending, specs...)
+}
+
+// chain is a closed-loop sequence: each transfer is submitted the moment
+// its predecessor completes, keeping exactly one in flight.
+type chain struct {
+	specs     []TransferSpec
+	next      int     // index of the next spec to start
+	nextStart float64 // when to start it; +Inf while one is in flight
+}
+
+// SubmitChain queues a closed-loop chain of transfers: the first starts at
+// its own Start time, each subsequent one starts when its predecessor
+// completes (its Start field is ignored). Useful for "always-on" load
+// generators such as §5.5.2's ten simultaneous load transfers.
+func (e *Engine) SubmitChain(specs ...TransferSpec) {
+	if len(specs) == 0 {
+		return
+	}
+	e.chains = append(e.chains, &chain{specs: specs, nextStart: specs[0].Start})
+}
+
+func (e *Engine) epResource(epIdx, kind int) int {
+	return epIdx*resKindsPerEndpoint + kind
+}
+
+func (e *Engine) wanResource(srcIdx, dstIdx int) int {
+	a := e.w.Endpoints[srcIdx].Site
+	b := e.w.Endpoints[dstIdx].Site
+	key := a.Name + "|" + b.Name
+	if idx, ok := e.wanIdx[key]; ok {
+		return idx
+	}
+	idx := len(e.resources)
+	e.resources = append(e.resources, &resource{cap: e.w.WANCap(a, b), effCap: e.w.WANCap(a, b), epIdx: -1, kind: -1})
+	e.wanIdx[key] = idx
+	return idx
+}
+
+// Run simulates until every submitted transfer completes, returning the
+// accumulated log. It returns an error when a spec references an unknown
+// endpoint or is malformed.
+func (e *Engine) Run() (*logs.Log, error) {
+	sort.SliceStable(e.pending, func(i, j int) bool { return e.pending[i].Start < e.pending[j].Start })
+	for i := range e.pending {
+		if err := e.validate(&e.pending[i]); err != nil {
+			return nil, err
+		}
+	}
+	for _, ch := range e.chains {
+		for i := range ch.specs {
+			if err := e.validate(&ch.specs[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	for {
+		if e.nextPending >= len(e.pending) && len(e.active) == 0 && len(e.waiting) == 0 && e.chainsDone() {
+			break // all work drained; ignore perpetual background events
+		}
+		tNext := e.nextEventTime()
+		if math.IsInf(tNext, 1) {
+			if len(e.active) > 0 || len(e.waiting) > 0 {
+				return nil, errors.New("simulate: deadlock: live transfers but no future event")
+			}
+			break
+		}
+		if e.monitor != nil && tNext > e.now {
+			e.monitor.OnInterval(e.now, tNext, e.snapshot)
+		}
+		// Advance payload for data-phase transfers.
+		dt := tNext - e.now
+		if dt > 0 {
+			for _, x := range e.active {
+				if x.phase == phaseData {
+					x.bytesMB -= x.rate * dt
+					if x.bytesMB < 0 {
+						x.bytesMB = 0
+					}
+				}
+			}
+		}
+		e.now = tNext
+		e.processEvents()
+		e.resolve()
+	}
+	e.log.SortByStart()
+	return e.log, nil
+}
+
+// SetMonitor attaches a load monitor (may be nil).
+func (e *Engine) SetMonitor(m Monitor) { e.monitor = m }
+
+func (e *Engine) validate(s *TransferSpec) error {
+	if _, err := e.w.Endpoint(s.Src); err != nil {
+		return err
+	}
+	if _, err := e.w.Endpoint(s.Dst); err != nil {
+		return err
+	}
+	if s.Bytes <= 0 {
+		return fmt.Errorf("simulate: transfer %s->%s has non-positive bytes", s.Src, s.Dst)
+	}
+	if s.Files <= 0 || s.Conc <= 0 || s.Par <= 0 {
+		return fmt.Errorf("simulate: transfer %s->%s needs positive files/conc/par", s.Src, s.Dst)
+	}
+	if s.Dirs < 0 {
+		return fmt.Errorf("simulate: transfer %s->%s has negative dirs", s.Src, s.Dst)
+	}
+	return nil
+}
+
+// chainsDone reports whether every chain has started its last transfer.
+func (e *Engine) chainsDone() bool {
+	for _, ch := range e.chains {
+		if ch.next < len(ch.specs) || !math.IsInf(ch.nextStart, 1) {
+			return false
+		}
+	}
+	return true
+}
+
+// nextEventTime scans all event sources for the earliest upcoming event.
+func (e *Engine) nextEventTime() float64 {
+	t := math.Inf(1)
+	if e.nextPending < len(e.pending) {
+		t = math.Min(t, e.pending[e.nextPending].Start)
+	}
+	for _, ch := range e.chains {
+		t = math.Min(t, ch.nextStart)
+	}
+	for _, x := range e.active {
+		switch x.phase {
+		case phaseSetup, phaseStall:
+			t = math.Min(t, x.phaseEnd)
+		case phaseData:
+			if x.rate > 0 {
+				t = math.Min(t, e.now+x.bytesMB/x.rate)
+			}
+			t = math.Min(t, x.nextFault)
+		}
+	}
+	for i := range e.bgNext {
+		t = math.Min(t, e.bgNext[i])
+	}
+	if t < e.now {
+		t = e.now
+	}
+	return t
+}
+
+const timeEps = 1e-9
+
+// completeEpsMB is the residual payload below which a transfer counts as
+// done (100 bytes). It must sit well above the float64 rounding residue of
+// bytesMB −= rate·dt at large simulation times, or the event loop could
+// chase an ever-smaller remainder that time resolution cannot represent.
+const completeEpsMB = 1e-4
+
+// processEvents handles every event due at the current time: arrivals,
+// phase transitions, faults, completions, background changes.
+func (e *Engine) processEvents() {
+	// Arrivals.
+	for e.nextPending < len(e.pending) && e.pending[e.nextPending].Start <= e.now+timeEps {
+		e.admit(e.pending[e.nextPending], 0)
+		e.nextPending++
+	}
+	// Chain arrivals.
+	for ci, ch := range e.chains {
+		if ch.nextStart <= e.now+timeEps && ch.next < len(ch.specs) {
+			e.admit(ch.specs[ch.next], ci+1)
+			ch.next++
+			ch.nextStart = math.Inf(1)
+		} else if ch.nextStart <= e.now+timeEps {
+			ch.nextStart = math.Inf(1)
+		}
+	}
+
+	// Background level changes.
+	for i, ep := range e.w.Endpoints {
+		if e.bgNext[i] <= e.now+timeEps {
+			e.resampleBg(i, ep)
+			e.bgNext[i] = e.expSample(ep.Bg.MeanInterval)
+		}
+	}
+
+	// Phase transitions, faults, completions.
+	freed := false
+	keep := e.active[:0]
+	for _, x := range e.active {
+		switch x.phase {
+		case phaseSetup, phaseStall:
+			if x.phaseEnd <= e.now+timeEps {
+				x.phase = phaseData
+			}
+			keep = append(keep, x)
+		case phaseData:
+			switch {
+			case x.bytesMB <= completeEpsMB:
+				e.complete(x)
+				e.epActive[x.srcIdx]--
+				e.epActive[x.dstIdx]--
+				freed = true
+				// dropped from active
+			case x.nextFault <= e.now+timeEps:
+				x.faults++
+				x.phase = phaseStall
+				x.phaseEnd = e.now + e.w.FaultRetry
+				x.nextFault = math.Inf(1)
+				keep = append(keep, x)
+			default:
+				keep = append(keep, x)
+			}
+		}
+	}
+	e.active = keep
+	if freed {
+		e.startWaiting()
+	}
+}
+
+// startWaiting starts queued transfers, in FIFO order, whose endpoints now
+// have free slots.
+func (e *Engine) startWaiting() {
+	keep := e.waiting[:0]
+	for _, x := range e.waiting {
+		if e.hasSlot(x.srcIdx) && e.hasSlot(x.dstIdx) {
+			e.start(x)
+		} else {
+			keep = append(keep, x)
+		}
+	}
+	e.waiting = keep
+}
+
+// hasSlot reports whether the endpoint can run one more transfer.
+func (e *Engine) hasSlot(epIdx int) bool {
+	limit := e.w.Endpoints[epIdx].MaxActive
+	return limit <= 0 || e.epActive[epIdx] < limit
+}
+
+// start activates an admitted transfer: it occupies endpoint slots and
+// begins its setup phase. The logged start time is the activation time.
+func (e *Engine) start(x *xfer) {
+	e.epActive[x.srcIdx]++
+	e.epActive[x.dstIdx]++
+	x.startedAt = e.now
+	x.phase = phaseSetup
+	x.phaseEnd = e.now + x.overhead
+	e.active = append(e.active, x)
+}
+
+// admit turns a spec into an active transfer in its setup phase; chainID is
+// 1+the chain index for chained transfers, 0 otherwise.
+func (e *Engine) admit(s TransferSpec, chainID int) {
+	src, _ := e.w.Endpoint(s.Src)
+	dst, _ := e.w.Endpoint(s.Dst)
+	srcIdx := e.epIndex(s.Src)
+	dstIdx := e.epIndex(s.Dst)
+
+	procs := s.Conc
+	if s.Files < procs {
+		procs = s.Files
+	}
+	streams := float64(procs * s.Par)
+
+	x := &xfer{
+		id:        e.nextID,
+		spec:      s,
+		srcIdx:    srcIdx,
+		dstIdx:    dstIdx,
+		procs:     procs,
+		weight:    streams,
+		phase:     phaseSetup,
+		bytesMB:   s.Bytes / 1e6,
+		rateEff:   1,
+		chainID:   chainID,
+		nextFault: math.Inf(1),
+	}
+	if e.w.JitterSigma > 0 {
+		x.rateEff = 1 - math.Abs(e.rng.NormFloat64())*e.w.JitterSigma
+		if x.rateEff < 0.85 {
+			x.rateEff = 0.85
+		}
+	}
+	e.nextID++
+
+	// Demand ceiling: TCP stream windows and per-process disk bandwidth,
+	// the latter discounted by the per-file gap (see World.PerFileGap).
+	demand := math.Inf(1)
+	if !s.SkipNetwork && srcIdx != dstIdx {
+		demand = math.Min(demand, streams*e.w.PerStreamMBps(src.Site, dst.Site))
+	}
+	avgFileMB := s.Bytes / 1e6 / float64(s.Files)
+	perProc := func(diskMBps float64) float64 {
+		if e.w.PerFileGap <= 0 {
+			return diskMBps
+		}
+		return avgFileMB / (e.w.PerFileGap + avgFileMB/diskMBps)
+	}
+	if !s.SkipSrcDisk {
+		demand = math.Min(demand, float64(procs)*perProc(src.PerProcDiskMBps))
+	}
+	if !s.SkipDstDisk {
+		demand = math.Min(demand, float64(procs)*perProc(dst.PerProcDiskMBps))
+	}
+	// Resource set.
+	if !s.SkipSrcDisk {
+		x.resIdx = append(x.resIdx, e.epResource(srcIdx, resDiskRead))
+	}
+	if !s.SkipDstDisk {
+		x.resIdx = append(x.resIdx, e.epResource(dstIdx, resDiskWrite))
+	}
+	usesNet := !s.SkipNetwork && srcIdx != dstIdx
+	if usesNet {
+		x.resIdx = append(x.resIdx,
+			e.epResource(srcIdx, resNetOut),
+			e.epResource(dstIdx, resNetIn),
+			e.wanResource(srcIdx, dstIdx))
+	}
+
+	// End-to-end disk↔network pipelining penalty (see World.E2EEfficiency):
+	// a disk-to-disk transfer cannot sustain more than a fraction of its
+	// static bottleneck capacity even when running alone.
+	usesDisk := !s.SkipSrcDisk || !s.SkipDstDisk
+	if usesNet && usesDisk && e.w.E2EEfficiency > 0 && e.w.E2EEfficiency < 1 {
+		staticMin := math.Inf(1)
+		for _, ri := range x.resIdx {
+			staticMin = math.Min(staticMin, e.resources[ri].cap)
+		}
+		demand = math.Min(demand, e.w.E2EEfficiency*staticMin)
+	}
+	x.demand = demand
+
+	// Startup + coordination overhead (§4.2).
+	x.overhead = e.w.SetupTime +
+		float64(s.Files)*e.w.PerFileCost/float64(procs) +
+		float64(s.Dirs)*e.w.PerDirCost
+
+	if e.hasSlot(srcIdx) && e.hasSlot(dstIdx) {
+		e.start(x)
+	} else {
+		e.waiting = append(e.waiting, x)
+	}
+}
+
+func (e *Engine) epIndex(id string) int {
+	if i, ok := e.epIdx[id]; ok {
+		return i
+	}
+	return -1
+}
+
+// resampleBg draws a new background level for every resource of endpoint i.
+// Squaring the uniform sample skews levels low, with occasional heavy
+// interference — matching the bursty non-Globus activity of §4.3.2.
+func (e *Engine) resampleBg(i int, ep *Endpoint) {
+	for k := 0; k < resKindsPerEndpoint; k++ {
+		r := e.resources[e.epResource(i, k)]
+		u := e.rng.Float64()
+		r.bgFrac = ep.Bg.MaxFrac * u * u
+	}
+}
+
+// complete logs the finished transfer and, for chained transfers, schedules
+// the chain's next one.
+func (e *Engine) complete(x *xfer) {
+	if x.chainID > 0 {
+		ch := e.chains[x.chainID-1]
+		if ch.next < len(ch.specs) {
+			ch.nextStart = e.now
+		}
+	}
+	e.log.Append(logs.Record{
+		ID:     x.id,
+		Src:    x.spec.Src,
+		Dst:    x.spec.Dst,
+		Ts:     x.startedAt,
+		Te:     e.now,
+		Bytes:  x.spec.Bytes,
+		Files:  x.spec.Files,
+		Dirs:   x.spec.Dirs,
+		Conc:   x.spec.Conc,
+		Par:    x.spec.Par,
+		Faults: x.faults,
+	})
+}
+
+// resolve recomputes every data-phase transfer's rate via weighted
+// progressive filling (weighted max-min fairness with per-transfer demand
+// ceilings), then refreshes fault schedules and the monitor snapshot.
+func (e *Engine) resolve() {
+	// CPU-contention multipliers: GridFTP processes at each endpoint.
+	procsAt := make(map[int]float64)
+	for _, x := range e.active {
+		procsAt[x.srcIdx] += float64(x.procs)
+		if x.dstIdx != x.srcIdx {
+			procsAt[x.dstIdx] += float64(x.procs)
+		}
+	}
+	for i, ep := range e.w.Endpoints {
+		eff := ep.cpuEff(procsAt[i])
+		for _, k := range []int{resDiskRead, resDiskWrite} {
+			r := e.resources[e.epResource(i, k)]
+			r.effCap = r.cap * eff
+		}
+	}
+
+	// Collect data-phase transfers and the resources they touch.
+	var data []*xfer
+	var used []int
+	for _, x := range e.active {
+		if x.phase != phaseData {
+			continue
+		}
+		data = append(data, x)
+		x.rate = 0
+		x.frozen = false
+		for _, ri := range x.resIdx {
+			r := e.resources[ri]
+			if !r.touched {
+				r.touched = true
+				r.remain = r.effCap * (1 - r.bgFrac)
+				r.sumW = 0
+				used = append(used, ri)
+			}
+			r.sumW += x.weight
+		}
+	}
+
+	unfrozen := len(data)
+	maxIter := len(data) + len(used) + 4
+	for iter := 0; unfrozen > 0 && iter < maxIter; iter++ {
+		delta := math.Inf(1)
+		for _, ri := range used {
+			r := e.resources[ri]
+			if r.sumW > 0 {
+				delta = math.Min(delta, r.remain/r.sumW)
+			}
+		}
+		for _, x := range data {
+			if !x.frozen && x.weight > 0 {
+				delta = math.Min(delta, (x.demand-x.rate)/x.weight)
+			}
+		}
+		if math.IsInf(delta, 1) {
+			break
+		}
+		if delta < 0 {
+			delta = 0
+		}
+		for _, x := range data {
+			if x.frozen {
+				continue
+			}
+			inc := x.weight * delta
+			x.rate += inc
+			for _, ri := range x.resIdx {
+				e.resources[ri].remain = math.Max(0, e.resources[ri].remain-inc)
+			}
+		}
+		progressed := false
+		// Freeze transfers that met their demand.
+		for _, x := range data {
+			if !x.frozen && x.rate >= x.demand-1e-9 {
+				e.freeze(x)
+				unfrozen--
+				progressed = true
+			}
+		}
+		// Freeze users of exhausted resources.
+		for _, ri := range used {
+			r := e.resources[ri]
+			if r.sumW > 0 && r.remain <= 1e-9 {
+				for _, x := range data {
+					if !x.frozen && usesResource(x, ri) {
+						e.freeze(x)
+						unfrozen--
+						progressed = true
+					}
+				}
+			}
+		}
+		if !progressed {
+			// Numerical stall: freeze everything at current rates.
+			for _, x := range data {
+				if !x.frozen {
+					e.freeze(x)
+					unfrozen--
+				}
+			}
+		}
+	}
+	for _, ri := range used {
+		e.resources[ri].touched = false
+	}
+	// Per-resource transfer load, used for utilization and the monitor.
+	if cap(e.resLoad) < len(e.resources) {
+		e.resLoad = make([]float64, len(e.resources))
+	}
+	e.resLoad = e.resLoad[:len(e.resources)]
+	for i := range e.resLoad {
+		e.resLoad[i] = 0
+	}
+	for _, x := range data {
+		x.rate *= x.rateEff
+		if x.rate < minRateFloor {
+			x.rate = minRateFloor
+		}
+		for _, ri := range x.resIdx {
+			e.resLoad[ri] += x.rate
+		}
+	}
+	for _, x := range data {
+		// Fault hazard grows quadratically with endpoint utilization.
+		util := math.Max(e.utilization(x.srcIdx), e.utilization(x.dstIdx))
+		h := e.w.FaultBaseHazard * util * util
+		if h > 0 {
+			x.nextFault = e.now + e.rng.ExpFloat64()/h
+		} else {
+			x.nextFault = math.Inf(1)
+		}
+	}
+
+	if e.monitor != nil {
+		e.refreshSnapshot(procsAt)
+	}
+}
+
+func (e *Engine) freeze(x *xfer) {
+	x.frozen = true
+	for _, ri := range x.resIdx {
+		e.resources[ri].sumW -= x.weight
+	}
+}
+
+func usesResource(x *xfer, ri int) bool {
+	for _, r := range x.resIdx {
+		if r == ri {
+			return true
+		}
+	}
+	return false
+}
+
+// utilization returns the busiest-resource fraction at an endpoint,
+// counting both transfer allocations and background load.
+func (e *Engine) utilization(epIdx int) float64 {
+	var worst float64
+	for k := 0; k < resKindsPerEndpoint; k++ {
+		ri := e.epResource(epIdx, k)
+		r := e.resources[ri]
+		if r.effCap <= 0 {
+			continue
+		}
+		u := (r.bgFrac*r.effCap + e.resLoad[ri]) / r.effCap
+		if u > worst {
+			worst = u
+		}
+	}
+	if worst > 1 {
+		worst = 1
+	}
+	return worst
+}
+
+// refreshSnapshot rebuilds the per-endpoint true-load view for the monitor.
+func (e *Engine) refreshSnapshot(procsAt map[int]float64) {
+	e.snapshot = e.snapshot[:0]
+	for i, ep := range e.w.Endpoints {
+		rd := e.resources[e.epResource(i, resDiskRead)]
+		wr := e.resources[e.epResource(i, resDiskWrite)]
+		load := EndpointLoad{
+			EndpointID:  ep.ID,
+			BgReadMBps:  rd.bgFrac * rd.effCap,
+			BgWriteMBps: wr.bgFrac * wr.effCap,
+			Procs:       int(procsAt[i]),
+			CPUEff:      ep.cpuEff(procsAt[i]),
+		}
+		load.DiskReadMBps = load.BgReadMBps + e.resLoad[e.epResource(i, resDiskRead)]
+		load.DiskWriteMBps = load.BgWriteMBps + e.resLoad[e.epResource(i, resDiskWrite)]
+		e.snapshot = append(e.snapshot, load)
+	}
+}
+
+// DebugState renders a snapshot of engine progress for diagnosing stalls:
+// current time, pending cursor, and the first few active transfers.
+func (e *Engine) DebugState() string {
+	s := fmt.Sprintf("now=%.1f pending=%d/%d active=%d logged=%d\n",
+		e.now, e.nextPending, len(e.pending), len(e.active), len(e.log.Records))
+	for i, x := range e.active {
+		if i >= 10 {
+			s += "...\n"
+			break
+		}
+		s += fmt.Sprintf("  x%d %s->%s phase=%d bytesMB=%.3f rate=%.4f demand=%.2f phaseEnd=%.1f nextFault=%.1f\n",
+			x.id, x.spec.Src, x.spec.Dst, x.phase, x.bytesMB, x.rate, x.demand, x.phaseEnd, x.nextFault)
+	}
+	return s
+}

@@ -1,0 +1,512 @@
+package simulate
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/logs"
+)
+
+// twoNodeWorld builds a minimal deterministic world: two well-provisioned
+// endpoints at distinct sites, no background load, no faults, no jitter.
+func twoNodeWorld() *World {
+	anl, _ := geo.FindSite("ANL")
+	bnl, _ := geo.FindSite("BNL")
+	mk := func(id string, site geo.Site) *Endpoint {
+		return &Endpoint{
+			ID: id, Site: site, Type: logs.GCS,
+			DiskReadMBps:    1000,
+			DiskWriteMBps:   800,
+			NICMBps:         1250,
+			PerProcDiskMBps: 200,
+			CPUKnee:         1000, // effectively no CPU contention
+			CPUSteep:        2,
+		}
+	}
+	w := NewWorld([]*Endpoint{mk("src", anl), mk("dst", bnl)})
+	w.FaultBaseHazard = 0
+	w.JitterSigma = 0
+	w.E2EEfficiency = 1
+	w.SetupTime = 0
+	w.PerFileCost = 0
+	w.PerDirCost = 0
+	w.PerFileGap = 0
+	return w
+}
+
+func runOne(t *testing.T, w *World, specs ...TransferSpec) *logs.Log {
+	t.Helper()
+	eng := NewEngine(w, 1)
+	eng.Submit(specs...)
+	l, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestSoloTransferHitsBottleneck(t *testing.T) {
+	w := twoNodeWorld()
+	// 8 GB, plenty of streams and processes: the 800 MB/s destination
+	// disk is the bottleneck.
+	l := runOne(t, w, TransferSpec{
+		Src: "src", Dst: "dst", Start: 0, Bytes: 8e9, Files: 16, Conc: 8, Par: 4,
+	})
+	if len(l.Records) != 1 {
+		t.Fatalf("got %d records", len(l.Records))
+	}
+	r := l.Records[0].Rate()
+	if math.Abs(r-800) > 1 {
+		t.Errorf("solo rate = %.1f MB/s, want ~800 (disk write bound)", r)
+	}
+}
+
+func TestSoloTransferStreamLimited(t *testing.T) {
+	w := twoNodeWorld()
+	// One process, one stream: the per-stream TCP window binds.
+	l := runOne(t, w, TransferSpec{
+		Src: "src", Dst: "dst", Start: 0, Bytes: 1e9, Files: 1, Conc: 1, Par: 1,
+	})
+	src, _ := w.Endpoint("src")
+	dst, _ := w.Endpoint("dst")
+	want := math.Min(w.PerStreamMBps(src.Site, dst.Site), 200) // 1 stream vs 1 proc disk
+	r := l.Records[0].Rate()
+	if math.Abs(r-want)/want > 0.02 {
+		t.Errorf("stream-limited rate = %.1f, want ~%.1f", r, want)
+	}
+}
+
+func TestParallelismRaisesStreamLimitedRate(t *testing.T) {
+	w := twoNodeWorld()
+	rate := func(par int) float64 {
+		l := runOne(t, w, TransferSpec{
+			Src: "src", Dst: "dst", Start: 0, Bytes: 2e9, Files: 1, Conc: 1, Par: par,
+		})
+		return l.Records[0].Rate()
+	}
+	r1, r4 := rate(1), rate(4)
+	if r4 <= r1 {
+		t.Errorf("P=4 rate %.1f not above P=1 rate %.1f on a stream-limited path", r4, r1)
+	}
+}
+
+func TestFairSharingBetweenEqualTransfers(t *testing.T) {
+	w := twoNodeWorld()
+	// Two identical simultaneous transfers share the 800 MB/s bottleneck.
+	l := runOne(t, w,
+		TransferSpec{Src: "src", Dst: "dst", Start: 0, Bytes: 4e9, Files: 16, Conc: 8, Par: 4},
+		TransferSpec{Src: "src", Dst: "dst", Start: 0, Bytes: 4e9, Files: 16, Conc: 8, Par: 4},
+	)
+	if len(l.Records) != 2 {
+		t.Fatalf("got %d records", len(l.Records))
+	}
+	for i := range l.Records {
+		r := l.Records[i].Rate()
+		if math.Abs(r-400) > 5 {
+			t.Errorf("record %d rate = %.1f, want ~400 (equal share)", i, r)
+		}
+	}
+}
+
+func TestWeightedSharingFavorsMoreStreams(t *testing.T) {
+	w := twoNodeWorld()
+	// Transfer A has 4× the streams of B; under contention A gets more.
+	l := runOne(t, w,
+		TransferSpec{Src: "src", Dst: "dst", Start: 0, Bytes: 4e9, Files: 16, Conc: 8, Par: 4},
+		TransferSpec{Src: "src", Dst: "dst", Start: 0, Bytes: 4e9, Files: 16, Conc: 2, Par: 4},
+	)
+	var big, small float64
+	for i := range l.Records {
+		if l.Records[i].Conc == 8 {
+			big = l.Records[i].Rate()
+		} else {
+			small = l.Records[i].Rate()
+		}
+	}
+	if big <= small {
+		t.Errorf("high-concurrency transfer (%.1f) should beat low (%.1f) under contention", big, small)
+	}
+}
+
+func TestCompletionConservesBytes(t *testing.T) {
+	w := twoNodeWorld()
+	spec := TransferSpec{Src: "src", Dst: "dst", Start: 3, Bytes: 5e9, Files: 4, Conc: 4, Par: 2}
+	l := runOne(t, w, spec)
+	r := &l.Records[0]
+	if r.Bytes != spec.Bytes {
+		t.Errorf("logged bytes %g, want %g", r.Bytes, spec.Bytes)
+	}
+	if r.Ts != 3 {
+		t.Errorf("Ts = %g, want 3 (admission at submit time when idle)", r.Ts)
+	}
+	// Duration must equal bytes/rate for a constant-rate solo transfer.
+	wantDur := 5e9 / 1e6 / r.Rate()
+	if math.Abs(r.Duration()-wantDur) > 1e-6 {
+		t.Errorf("duration %.3f inconsistent with rate", r.Duration())
+	}
+}
+
+func TestSetupOverheadLowersAverageRate(t *testing.T) {
+	w := twoNodeWorld()
+	w.SetupTime = 10
+	small := runOne(t, w, TransferSpec{Src: "src", Dst: "dst", Start: 0, Bytes: 1e8, Files: 1, Conc: 1, Par: 8})
+	big := runOne(t, w, TransferSpec{Src: "src", Dst: "dst", Start: 0, Bytes: 1e11, Files: 1, Conc: 1, Par: 8})
+	if small.Records[0].Rate() >= big.Records[0].Rate() {
+		t.Errorf("small transfer (%.1f) should average below big (%.1f) due to startup",
+			small.Records[0].Rate(), big.Records[0].Rate())
+	}
+}
+
+func TestPerFileGapSlowsSmallFiles(t *testing.T) {
+	w := twoNodeWorld()
+	w.PerFileGap = 0.1
+	manySmall := runOne(t, w, TransferSpec{Src: "src", Dst: "dst", Start: 0, Bytes: 1e10, Files: 10000, Conc: 4, Par: 4})
+	fewBig := runOne(t, w, TransferSpec{Src: "src", Dst: "dst", Start: 0, Bytes: 1e10, Files: 10, Conc: 4, Par: 4})
+	if manySmall.Records[0].Rate() >= fewBig.Records[0].Rate() {
+		t.Errorf("10k-file transfer (%.1f) should be slower than 10-file (%.1f)",
+			manySmall.Records[0].Rate(), fewBig.Records[0].Rate())
+	}
+}
+
+func TestSkipFlagsLoopback(t *testing.T) {
+	w := twoNodeWorld()
+	// Disk-read measurement: loopback, destination disk skipped.
+	l := runOne(t, w, TransferSpec{
+		Src: "src", Dst: "src", Start: 0, Bytes: 5e9, Files: 16, Conc: 8, Par: 4,
+		SkipDstDisk: true, SkipNetwork: true,
+	})
+	r := l.Records[0].Rate()
+	if math.Abs(r-1000) > 5 {
+		t.Errorf("DR measurement = %.1f, want ~1000 (src disk read)", r)
+	}
+}
+
+func TestSkipDisksMemToMem(t *testing.T) {
+	w := twoNodeWorld()
+	l := runOne(t, w, TransferSpec{
+		Src: "src", Dst: "dst", Start: 0, Bytes: 5e9, Files: 16, Conc: 8, Par: 8,
+		SkipSrcDisk: true, SkipDstDisk: true,
+	})
+	r := l.Records[0].Rate()
+	// NIC 1250 binds (WAN intra is 2400).
+	if math.Abs(r-1250) > 10 {
+		t.Errorf("MM measurement = %.1f, want ~1250 (NIC)", r)
+	}
+}
+
+func TestE2EEfficiencyCapsDiskToDisk(t *testing.T) {
+	w := twoNodeWorld()
+	w.E2EEfficiency = 0.9
+	l := runOne(t, w, TransferSpec{Src: "src", Dst: "dst", Start: 0, Bytes: 8e9, Files: 16, Conc: 8, Par: 4})
+	r := l.Records[0].Rate()
+	if math.Abs(r-720) > 5 { // 0.9 × 800
+		t.Errorf("disk-to-disk rate = %.1f, want ~720 with 0.9 efficiency", r)
+	}
+}
+
+func TestCPUContentionDegradesAggregate(t *testing.T) {
+	w := twoNodeWorld()
+	for _, ep := range w.Endpoints {
+		ep.CPUKnee = 8
+		ep.CPUSteep = 2
+	}
+	// 6 concurrent transfers × 8 procs = 48 procs ≫ knee: aggregate far
+	// below the nominal 800.
+	var specs []TransferSpec
+	for i := 0; i < 6; i++ {
+		specs = append(specs, TransferSpec{Src: "src", Dst: "dst", Start: 0, Bytes: 2e9, Files: 16, Conc: 8, Par: 2})
+	}
+	l := runOne(t, w, specs...)
+	var agg float64
+	for i := range l.Records {
+		agg += l.Records[i].Rate()
+	}
+	if agg > 400 {
+		t.Errorf("aggregate %.1f under heavy process contention, want well below 800", agg)
+	}
+}
+
+func TestAdmissionQueueHonorsLimit(t *testing.T) {
+	w := twoNodeWorld()
+	for _, ep := range w.Endpoints {
+		ep.MaxActive = 1
+	}
+	l := runOne(t, w,
+		TransferSpec{Src: "src", Dst: "dst", Start: 0, Bytes: 4e9, Files: 4, Conc: 4, Par: 4},
+		TransferSpec{Src: "src", Dst: "dst", Start: 0, Bytes: 4e9, Files: 4, Conc: 4, Par: 4},
+	)
+	if len(l.Records) != 2 {
+		t.Fatalf("got %d records", len(l.Records))
+	}
+	l.SortByStart()
+	first := &l.Records[0]
+	second := &l.Records[1]
+	// The second transfer starts only when the first completes.
+	if second.Ts < first.Te-1e-6 {
+		t.Errorf("second started at %.2f before first finished at %.2f", second.Ts, first.Te)
+	}
+	// With one-at-a-time execution both get the full bottleneck.
+	for i := range l.Records {
+		if math.Abs(l.Records[i].Rate()-800) > 5 {
+			t.Errorf("queued execution rate = %.1f, want ~800", l.Records[i].Rate())
+		}
+	}
+}
+
+func TestChainRunsSequentially(t *testing.T) {
+	w := twoNodeWorld()
+	eng := NewEngine(w, 1)
+	eng.SubmitChain(
+		TransferSpec{Src: "src", Dst: "dst", Start: 5, Bytes: 2e9, Files: 4, Conc: 4, Par: 4},
+		TransferSpec{Src: "src", Dst: "dst", Bytes: 2e9, Files: 4, Conc: 4, Par: 4},
+		TransferSpec{Src: "src", Dst: "dst", Bytes: 2e9, Files: 4, Conc: 4, Par: 4},
+	)
+	l, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Records) != 3 {
+		t.Fatalf("chain produced %d records, want 3", len(l.Records))
+	}
+	l.SortByStart()
+	if l.Records[0].Ts != 5 {
+		t.Errorf("chain head started at %g, want 5", l.Records[0].Ts)
+	}
+	for i := 1; i < 3; i++ {
+		if math.Abs(l.Records[i].Ts-l.Records[i-1].Te) > 1e-6 {
+			t.Errorf("chain link %d started at %.2f, want exactly at predecessor end %.2f",
+				i, l.Records[i].Ts, l.Records[i-1].Te)
+		}
+	}
+}
+
+func TestFaultsOccurUnderLoadAndStall(t *testing.T) {
+	w := twoNodeWorld()
+	w.FaultBaseHazard = 1.0 / 50 // very fault-prone for the test
+	w.FaultRetry = 20
+	var specs []TransferSpec
+	for i := 0; i < 4; i++ {
+		specs = append(specs, TransferSpec{Src: "src", Dst: "dst", Start: 0, Bytes: 8e9, Files: 16, Conc: 8, Par: 4})
+	}
+	l := runOne(t, w, specs...)
+	totalFaults := 0
+	for i := range l.Records {
+		totalFaults += l.Records[i].Faults
+	}
+	if totalFaults == 0 {
+		t.Error("expected faults under saturation with high hazard")
+	}
+}
+
+func TestNoFaultsWhenDisabled(t *testing.T) {
+	w := twoNodeWorld() // hazard 0
+	l := runOne(t, w, TransferSpec{Src: "src", Dst: "dst", Start: 0, Bytes: 8e9, Files: 16, Conc: 8, Par: 4})
+	if l.Records[0].Faults != 0 {
+		t.Error("faults recorded with hazard disabled")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() *logs.Log {
+		g, err := Generate(SmallConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := NewEngine(g.World, 7)
+		eng.Submit(g.Specs...)
+		l, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	l1, l2 := run(), run()
+	if len(l1.Records) != len(l2.Records) {
+		t.Fatalf("record counts differ: %d vs %d", len(l1.Records), len(l2.Records))
+	}
+	for i := range l1.Records {
+		if l1.Records[i] != l2.Records[i] {
+			t.Fatalf("record %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	w := twoNodeWorld()
+	bad := []TransferSpec{
+		{Src: "ghost", Dst: "dst", Bytes: 1e6, Files: 1, Conc: 1, Par: 1},
+		{Src: "src", Dst: "ghost", Bytes: 1e6, Files: 1, Conc: 1, Par: 1},
+		{Src: "src", Dst: "dst", Bytes: 0, Files: 1, Conc: 1, Par: 1},
+		{Src: "src", Dst: "dst", Bytes: 1e6, Files: 0, Conc: 1, Par: 1},
+		{Src: "src", Dst: "dst", Bytes: 1e6, Files: 1, Conc: 0, Par: 1},
+		{Src: "src", Dst: "dst", Bytes: 1e6, Files: 1, Conc: 1, Par: 0},
+		{Src: "src", Dst: "dst", Bytes: 1e6, Files: 1, Dirs: -1, Conc: 1, Par: 1},
+	}
+	for i, spec := range bad {
+		eng := NewEngine(w, 1)
+		eng.Submit(spec)
+		if _, err := eng.Run(); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func TestMonitorSeesConstantLoads(t *testing.T) {
+	w := twoNodeWorld()
+	eng := NewEngine(w, 1)
+	mon := &capturingMonitor{}
+	eng.SetMonitor(mon)
+	eng.Submit(TransferSpec{Src: "src", Dst: "dst", Start: 0, Bytes: 4e9, Files: 4, Conc: 4, Par: 4})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(mon.intervals) == 0 {
+		t.Fatal("monitor saw no intervals")
+	}
+	// Intervals are ordered and non-overlapping.
+	for i := 1; i < len(mon.intervals); i++ {
+		if mon.intervals[i][0] < mon.intervals[i-1][1]-1e-9 {
+			t.Fatalf("interval %d overlaps previous", i)
+		}
+	}
+	// During the data phase, the destination write load equals the rate.
+	var sawLoad bool
+	for _, l := range mon.loads {
+		if l > 700 {
+			sawLoad = true
+		}
+	}
+	if !sawLoad {
+		t.Error("monitor never observed the transfer's disk-write load")
+	}
+}
+
+type capturingMonitor struct {
+	intervals [][2]float64
+	loads     []float64
+}
+
+func (m *capturingMonitor) OnInterval(t0, t1 float64, loads []EndpointLoad) {
+	m.intervals = append(m.intervals, [2]float64{t0, t1})
+	for i := range loads {
+		if loads[i].EndpointID == "dst" {
+			m.loads = append(m.loads, loads[i].DiskWriteMBps)
+		}
+	}
+}
+
+func TestJitterBoundsRate(t *testing.T) {
+	w := twoNodeWorld()
+	w.JitterSigma = 0.05
+	// Many independent solo transfers: rates must stay within the jitter
+	// floor band [0.85, 1.0] × bottleneck and actually vary.
+	var specs []TransferSpec
+	for i := 0; i < 30; i++ {
+		specs = append(specs, TransferSpec{
+			Src: "src", Dst: "dst", Start: float64(i) * 100, Bytes: 1e9, Files: 4, Conc: 4, Par: 4,
+		})
+	}
+	l := runOne(t, w, specs...)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := range l.Records {
+		r := l.Records[i].Rate()
+		if r > 800*1.001 {
+			t.Errorf("jittered rate %.1f exceeds bottleneck", r)
+		}
+		if r < 800*0.84 {
+			t.Errorf("jittered rate %.1f below the 0.85 floor", r)
+		}
+		lo = math.Min(lo, r)
+		hi = math.Max(hi, r)
+	}
+	if hi-lo < 1 {
+		t.Error("jitter produced no rate variation")
+	}
+}
+
+// conservationMonitor checks, on every inter-event interval, that the
+// transfer load on each endpoint's disk resources never exceeds its
+// (contention-adjusted) capacity by more than the rate floor allows.
+type conservationMonitor struct {
+	w         *World
+	violation string
+}
+
+func (m *conservationMonitor) OnInterval(t0, t1 float64, loads []EndpointLoad) {
+	if m.violation != "" {
+		return
+	}
+	for i := range loads {
+		l := &loads[i]
+		ep, err := m.w.Endpoint(l.EndpointID)
+		if err != nil {
+			m.violation = "unknown endpoint " + l.EndpointID
+			return
+		}
+		// Allowance: the minimum-rate floor can overcommit slightly, and
+		// completion-epsilon rounding adds a little more.
+		allow := 2.0
+		if l.DiskReadMBps > ep.DiskReadMBps+allow {
+			m.violation = l.EndpointID + ": read overcommitted"
+			return
+		}
+		if l.DiskWriteMBps > ep.DiskWriteMBps+allow {
+			m.violation = l.EndpointID + ": write overcommitted"
+			return
+		}
+	}
+}
+
+// TestCapacityConservation runs a contended workload and asserts that the
+// rate solver never allocates more disk bandwidth than an endpoint has.
+func TestCapacityConservation(t *testing.T) {
+	g, err := Generate(SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := &conservationMonitor{w: g.World}
+	eng := NewEngine(g.World, 5)
+	eng.SetMonitor(mon)
+	// A contended subset keeps this test fast.
+	n := len(g.Specs)
+	if n > 800 {
+		n = 800
+	}
+	eng.Submit(g.Specs[:n]...)
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if mon.violation != "" {
+		t.Fatalf("capacity conservation violated: %s", mon.violation)
+	}
+}
+
+// TestRateDeclinesWithCompetitors pins the monotonic contention property:
+// the subject transfer's average rate is non-increasing in the number of
+// equal competitors sharing its bottleneck.
+func TestRateDeclinesWithCompetitors(t *testing.T) {
+	prev := math.Inf(1)
+	for _, k := range []int{0, 1, 3, 7} {
+		w := twoNodeWorld()
+		eng := NewEngine(w, 1)
+		eng.Submit(TransferSpec{Src: "src", Dst: "dst", Start: 0, Bytes: 4e9, Files: 16, Conc: 4, Par: 4})
+		for j := 0; j < k; j++ {
+			eng.Submit(TransferSpec{Src: "src", Dst: "dst", Start: 0, Bytes: 40e9, Files: 16, Conc: 4, Par: 4})
+		}
+		l, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var subject float64
+		for i := range l.Records {
+			if l.Records[i].Bytes == 4e9 {
+				subject = l.Records[i].Rate()
+			}
+		}
+		if subject > prev+1e-6 {
+			t.Errorf("rate with %d competitors (%.1f) exceeds rate with fewer (%.1f)", k, subject, prev)
+		}
+		prev = subject
+	}
+}

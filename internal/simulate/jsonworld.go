@@ -1,0 +1,258 @@
+package simulate
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/geo"
+	"repro/internal/logs"
+)
+
+// WorldSpec is the JSON-serializable description of a custom fabric, so
+// that users can model their own deployment instead of the built-in
+// synthetic one. Site names must resolve in the geo catalogue unless
+// explicit coordinates are given.
+//
+// Example:
+//
+//	{
+//	  "endpoints": [
+//	    {"id": "lab-dtn", "site": "ANL", "type": "GCS",
+//	     "disk_read_mbps": 800, "disk_write_mbps": 600, "nic_mbps": 1250,
+//	     "per_proc_disk_mbps": 150, "cpu_knee": 32, "max_active": 12},
+//	    {"id": "laptop", "site": "UChicago", "type": "GCP",
+//	     "disk_read_mbps": 120, "disk_write_mbps": 90, "nic_mbps": 60,
+//	     "per_proc_disk_mbps": 60, "cpu_knee": 4, "max_active": 2,
+//	     "bg_max_frac": 0.3, "bg_mean_interval_s": 1200}
+//	  ],
+//	  "tcp_window_mb": 2,
+//	  "setup_time_s": 2
+//	}
+type WorldSpec struct {
+	Endpoints []EndpointSpec `json:"endpoints"`
+
+	TCPWindowMB     float64 `json:"tcp_window_mb,omitempty"`
+	WANIntraMBps    float64 `json:"wan_intra_mbps,omitempty"`
+	WANInterMBps    float64 `json:"wan_inter_mbps,omitempty"`
+	SetupTimeS      float64 `json:"setup_time_s,omitempty"`
+	PerFileCostS    float64 `json:"per_file_cost_s,omitempty"`
+	PerDirCostS     float64 `json:"per_dir_cost_s,omitempty"`
+	PerFileGapS     float64 `json:"per_file_gap_s,omitempty"`
+	FaultBaseHazard float64 `json:"fault_base_hazard,omitempty"`
+	FaultRetryS     float64 `json:"fault_retry_s,omitempty"`
+	E2EEfficiency   float64 `json:"e2e_efficiency,omitempty"`
+	JitterSigma     float64 `json:"jitter_sigma,omitempty"`
+}
+
+// EndpointSpec is the JSON form of one endpoint.
+type EndpointSpec struct {
+	ID   string `json:"id"`
+	Site string `json:"site"`
+	Type string `json:"type,omitempty"` // "GCS" (default) or "GCP"
+
+	// Lat/Lon override the site catalogue when both are non-zero (or
+	// when the site name is unknown).
+	Lat float64 `json:"lat,omitempty"`
+	Lon float64 `json:"lon,omitempty"`
+	// Continent is required with explicit coordinates: one of
+	// "North America", "Europe", "Asia", "Oceania", "South America".
+	Continent string `json:"continent,omitempty"`
+
+	DiskReadMBps    float64 `json:"disk_read_mbps"`
+	DiskWriteMBps   float64 `json:"disk_write_mbps"`
+	NICMBps         float64 `json:"nic_mbps"`
+	PerProcDiskMBps float64 `json:"per_proc_disk_mbps"`
+	CPUKnee         float64 `json:"cpu_knee,omitempty"`
+	CPUSteep        float64 `json:"cpu_steep,omitempty"`
+	MaxActive       int     `json:"max_active,omitempty"`
+
+	BgMaxFrac       float64 `json:"bg_max_frac,omitempty"`
+	BgMeanIntervalS float64 `json:"bg_mean_interval_s,omitempty"`
+}
+
+// ReadWorldSpec decodes a WorldSpec from JSON.
+func ReadWorldSpec(r io.Reader) (*WorldSpec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var spec WorldSpec
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("simulate: parsing world spec: %w", err)
+	}
+	return &spec, nil
+}
+
+// Build validates the spec and constructs the world.
+func (s *WorldSpec) Build() (*World, error) {
+	if len(s.Endpoints) == 0 {
+		return nil, fmt.Errorf("simulate: world spec has no endpoints")
+	}
+	seen := map[string]bool{}
+	var eps []*Endpoint
+	for i := range s.Endpoints {
+		ep, err := s.Endpoints[i].build()
+		if err != nil {
+			return nil, fmt.Errorf("simulate: endpoint %d (%q): %w", i, s.Endpoints[i].ID, err)
+		}
+		if seen[ep.ID] {
+			return nil, fmt.Errorf("simulate: duplicate endpoint id %q", ep.ID)
+		}
+		seen[ep.ID] = true
+		eps = append(eps, ep)
+	}
+	w := NewWorld(eps)
+	setIfPositive := func(dst *float64, v float64) {
+		if v > 0 {
+			*dst = v
+		}
+	}
+	setIfPositive(&w.TCPWindowMB, s.TCPWindowMB)
+	setIfPositive(&w.WANIntraMBps, s.WANIntraMBps)
+	setIfPositive(&w.WANInterMBps, s.WANInterMBps)
+	setIfPositive(&w.SetupTime, s.SetupTimeS)
+	setIfPositive(&w.PerFileCost, s.PerFileCostS)
+	setIfPositive(&w.PerDirCost, s.PerDirCostS)
+	setIfPositive(&w.PerFileGap, s.PerFileGapS)
+	setIfPositive(&w.FaultRetry, s.FaultRetryS)
+	setIfPositive(&w.E2EEfficiency, s.E2EEfficiency)
+	setIfPositive(&w.JitterSigma, s.JitterSigma)
+	if s.FaultBaseHazard >= 0 && s.FaultBaseHazard != 0 {
+		w.FaultBaseHazard = s.FaultBaseHazard
+	}
+	return w, nil
+}
+
+func (e *EndpointSpec) build() (*Endpoint, error) {
+	if e.ID == "" {
+		return nil, fmt.Errorf("missing id")
+	}
+	if e.DiskReadMBps <= 0 || e.DiskWriteMBps <= 0 || e.NICMBps <= 0 || e.PerProcDiskMBps <= 0 {
+		return nil, fmt.Errorf("capacities must be positive")
+	}
+
+	var site geo.Site
+	switch {
+	case e.Lat != 0 || e.Lon != 0:
+		c := geo.Coord{Lat: e.Lat, Lon: e.Lon}
+		if !c.Valid() {
+			return nil, fmt.Errorf("invalid coordinates %v", c)
+		}
+		cont, err := parseContinent(e.Continent)
+		if err != nil {
+			return nil, err
+		}
+		name := e.Site
+		if name == "" {
+			name = e.ID
+		}
+		site = geo.Site{Name: name, Coord: c, Continent: cont}
+	default:
+		var ok bool
+		site, ok = geo.FindSite(e.Site)
+		if !ok {
+			return nil, fmt.Errorf("unknown site %q (give lat/lon/continent for custom locations)", e.Site)
+		}
+	}
+
+	epType := logs.GCS
+	switch e.Type {
+	case "", "GCS":
+	case "GCP":
+		epType = logs.GCP
+	default:
+		return nil, fmt.Errorf("unknown endpoint type %q", e.Type)
+	}
+
+	knee := e.CPUKnee
+	if knee <= 0 {
+		knee = 32
+	}
+	steep := e.CPUSteep
+	if steep <= 0 {
+		steep = 2
+	}
+	if e.BgMaxFrac < 0 || e.BgMaxFrac >= 1 {
+		return nil, fmt.Errorf("bg_max_frac %g outside [0, 1)", e.BgMaxFrac)
+	}
+
+	return &Endpoint{
+		ID:              e.ID,
+		Site:            site,
+		Type:            epType,
+		DiskReadMBps:    e.DiskReadMBps,
+		DiskWriteMBps:   e.DiskWriteMBps,
+		NICMBps:         e.NICMBps,
+		PerProcDiskMBps: e.PerProcDiskMBps,
+		CPUKnee:         knee,
+		CPUSteep:        steep,
+		MaxActive:       e.MaxActive,
+		Bg: BgConfig{
+			MaxFrac:      e.BgMaxFrac,
+			MeanInterval: e.BgMeanIntervalS,
+		},
+	}, nil
+}
+
+func parseContinent(name string) (geo.Continent, error) {
+	switch name {
+	case "North America":
+		return geo.NorthAmerica, nil
+	case "Europe":
+		return geo.Europe, nil
+	case "Asia":
+		return geo.Asia, nil
+	case "Oceania":
+		return geo.Oceania, nil
+	case "South America":
+		return geo.SouthAmerica, nil
+	case "":
+		return 0, fmt.Errorf("continent required with explicit coordinates")
+	default:
+		return 0, fmt.Errorf("unknown continent %q", name)
+	}
+}
+
+// WriteWorldSpec encodes a world spec as indented JSON (the inverse of
+// ReadWorldSpec, useful for exporting the built-in worlds as templates).
+func WriteWorldSpec(w io.Writer, s *WorldSpec) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// SpecFromWorld converts a built world back into its JSON form.
+func SpecFromWorld(w *World) *WorldSpec {
+	s := &WorldSpec{
+		TCPWindowMB:     w.TCPWindowMB,
+		WANIntraMBps:    w.WANIntraMBps,
+		WANInterMBps:    w.WANInterMBps,
+		SetupTimeS:      w.SetupTime,
+		PerFileCostS:    w.PerFileCost,
+		PerDirCostS:     w.PerDirCost,
+		PerFileGapS:     w.PerFileGap,
+		FaultBaseHazard: w.FaultBaseHazard,
+		FaultRetryS:     w.FaultRetry,
+		E2EEfficiency:   w.E2EEfficiency,
+		JitterSigma:     w.JitterSigma,
+	}
+	for _, ep := range w.Endpoints {
+		s.Endpoints = append(s.Endpoints, EndpointSpec{
+			ID:              ep.ID,
+			Site:            ep.Site.Name,
+			Type:            ep.Type.String(),
+			Lat:             ep.Site.Coord.Lat,
+			Lon:             ep.Site.Coord.Lon,
+			Continent:       ep.Site.Continent.String(),
+			DiskReadMBps:    ep.DiskReadMBps,
+			DiskWriteMBps:   ep.DiskWriteMBps,
+			NICMBps:         ep.NICMBps,
+			PerProcDiskMBps: ep.PerProcDiskMBps,
+			CPUKnee:         ep.CPUKnee,
+			CPUSteep:        ep.CPUSteep,
+			MaxActive:       ep.MaxActive,
+			BgMaxFrac:       ep.Bg.MaxFrac,
+			BgMeanIntervalS: ep.Bg.MeanInterval,
+		})
+	}
+	return s
+}

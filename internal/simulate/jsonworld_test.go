@@ -1,0 +1,140 @@
+package simulate
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/logs"
+)
+
+const sampleSpec = `{
+  "endpoints": [
+    {"id": "lab-dtn", "site": "ANL", "type": "GCS",
+     "disk_read_mbps": 800, "disk_write_mbps": 600, "nic_mbps": 1250,
+     "per_proc_disk_mbps": 150, "cpu_knee": 32, "max_active": 12},
+    {"id": "laptop", "site": "", "lat": 41.79, "lon": -87.6,
+     "continent": "North America", "type": "GCP",
+     "disk_read_mbps": 120, "disk_write_mbps": 90, "nic_mbps": 60,
+     "per_proc_disk_mbps": 60, "cpu_knee": 4, "max_active": 2,
+     "bg_max_frac": 0.3, "bg_mean_interval_s": 1200}
+  ],
+  "tcp_window_mb": 2,
+  "setup_time_s": 2
+}`
+
+func TestReadWorldSpecAndBuild(t *testing.T) {
+	spec, err := ReadWorldSpec(strings.NewReader(sampleSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Endpoints) != 2 {
+		t.Fatalf("built %d endpoints", len(w.Endpoints))
+	}
+	dtn, err := w.Endpoint("lab-dtn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dtn.Type != logs.GCS || dtn.Site.Name != "ANL" || dtn.MaxActive != 12 {
+		t.Errorf("dtn built wrong: %+v", dtn)
+	}
+	laptop, err := w.Endpoint("laptop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if laptop.Type != logs.GCP || laptop.Bg.MaxFrac != 0.3 {
+		t.Errorf("laptop built wrong: %+v", laptop)
+	}
+	if laptop.Site.Coord.Lat != 41.79 {
+		t.Errorf("explicit coordinates ignored: %+v", laptop.Site)
+	}
+}
+
+func TestJSONWorldRunsTransfers(t *testing.T) {
+	spec, err := ReadWorldSpec(strings.NewReader(sampleSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(w, 1)
+	eng.Submit(TransferSpec{Src: "lab-dtn", Dst: "laptop", Start: 0, Bytes: 1e9, Files: 10, Conc: 2, Par: 2})
+	l, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Records) != 1 {
+		t.Fatalf("ran %d transfers", len(l.Records))
+	}
+	// The laptop NIC (60 MB/s) bounds the rate.
+	if r := l.Records[0].Rate(); r > 61 {
+		t.Errorf("rate %.1f exceeds the laptop NIC", r)
+	}
+}
+
+func TestWorldSpecValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+	}{
+		{"no endpoints", `{"endpoints": []}`},
+		{"missing id", `{"endpoints": [{"site": "ANL", "disk_read_mbps": 1, "disk_write_mbps": 1, "nic_mbps": 1, "per_proc_disk_mbps": 1}]}`},
+		{"bad capacity", `{"endpoints": [{"id": "x", "site": "ANL", "disk_read_mbps": 0, "disk_write_mbps": 1, "nic_mbps": 1, "per_proc_disk_mbps": 1}]}`},
+		{"unknown site", `{"endpoints": [{"id": "x", "site": "Narnia", "disk_read_mbps": 1, "disk_write_mbps": 1, "nic_mbps": 1, "per_proc_disk_mbps": 1}]}`},
+		{"bad type", `{"endpoints": [{"id": "x", "site": "ANL", "type": "FTP", "disk_read_mbps": 1, "disk_write_mbps": 1, "nic_mbps": 1, "per_proc_disk_mbps": 1}]}`},
+		{"coords without continent", `{"endpoints": [{"id": "x", "lat": 1, "lon": 1, "disk_read_mbps": 1, "disk_write_mbps": 1, "nic_mbps": 1, "per_proc_disk_mbps": 1}]}`},
+		{"bad continent", `{"endpoints": [{"id": "x", "lat": 1, "lon": 1, "continent": "Atlantis", "disk_read_mbps": 1, "disk_write_mbps": 1, "nic_mbps": 1, "per_proc_disk_mbps": 1}]}`},
+		{"bad bg frac", `{"endpoints": [{"id": "x", "site": "ANL", "bg_max_frac": 1.5, "disk_read_mbps": 1, "disk_write_mbps": 1, "nic_mbps": 1, "per_proc_disk_mbps": 1}]}`},
+		{"duplicate ids", `{"endpoints": [{"id": "x", "site": "ANL", "disk_read_mbps": 1, "disk_write_mbps": 1, "nic_mbps": 1, "per_proc_disk_mbps": 1}, {"id": "x", "site": "BNL", "disk_read_mbps": 1, "disk_write_mbps": 1, "nic_mbps": 1, "per_proc_disk_mbps": 1}]}`},
+		{"unknown field", `{"endpoints": [], "bogus": 1}`},
+		{"invalid lat", `{"endpoints": [{"id": "x", "lat": 99, "lon": 1, "continent": "Europe", "disk_read_mbps": 1, "disk_write_mbps": 1, "nic_mbps": 1, "per_proc_disk_mbps": 1}]}`},
+	}
+	for _, c := range cases {
+		spec, err := ReadWorldSpec(strings.NewReader(c.json))
+		if err != nil {
+			continue // rejected at parse time: also fine
+		}
+		if _, err := spec.Build(); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	g, err := Generate(SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := SpecFromWorld(g.World)
+	var buf bytes.Buffer
+	if err := WriteWorldSpec(&buf, spec); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadWorldSpec(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := back.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w2.Endpoints) != len(g.World.Endpoints) {
+		t.Fatalf("round trip lost endpoints: %d vs %d", len(w2.Endpoints), len(g.World.Endpoints))
+	}
+	for i, ep := range g.World.Endpoints {
+		got := w2.Endpoints[i]
+		if got.ID != ep.ID || got.DiskReadMBps != ep.DiskReadMBps || got.NICMBps != ep.NICMBps ||
+			got.MaxActive != ep.MaxActive || got.Bg.MaxFrac != ep.Bg.MaxFrac {
+			t.Errorf("endpoint %s differs after round trip", ep.ID)
+		}
+	}
+	if w2.TCPWindowMB != g.World.TCPWindowMB || w2.SetupTime != g.World.SetupTime {
+		t.Error("world parameters lost in round trip")
+	}
+}

@@ -1,0 +1,281 @@
+package simulate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/logs"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	g1, err := Generate(SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Generate(SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g1.Specs) != len(g2.Specs) {
+		t.Fatalf("spec counts differ: %d vs %d", len(g1.Specs), len(g2.Specs))
+	}
+	for i := range g1.Specs {
+		if g1.Specs[i] != g2.Specs[i] {
+			t.Fatalf("spec %d differs between identical configs", i)
+		}
+	}
+	if len(g1.HeavyEdges) != len(g2.HeavyEdges) {
+		t.Fatal("heavy edge counts differ")
+	}
+}
+
+func TestGenerateSpecsValid(t *testing.T) {
+	g, err := Generate(SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SmallConfig()
+	for i, s := range g.Specs {
+		if s.Bytes <= 0 || s.Files <= 0 || s.Conc <= 0 || s.Par <= 0 || s.Dirs < 0 {
+			t.Fatalf("spec %d invalid: %+v", i, s)
+		}
+		if s.Start < 0 || s.Start > cfg.Horizon*1.5 {
+			t.Fatalf("spec %d start %g outside horizon", i, s.Start)
+		}
+		if s.Src == s.Dst {
+			t.Fatalf("spec %d has identical endpoints", i)
+		}
+		if _, err := g.World.Endpoint(s.Src); err != nil {
+			t.Fatalf("spec %d unknown src: %v", i, err)
+		}
+		if _, err := g.World.Endpoint(s.Dst); err != nil {
+			t.Fatalf("spec %d unknown dst: %v", i, err)
+		}
+	}
+}
+
+func TestGenerateHeavyEdgesDistinct(t *testing.T) {
+	g, err := Generate(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[logs.EdgeKey]bool{}
+	for _, e := range g.HeavyEdges {
+		if seen[e] {
+			t.Errorf("heavy edge %s repeated", e)
+		}
+		seen[e] = true
+	}
+	if len(g.HeavyEdges) < DefaultConfig().HeavyEdges/2 {
+		t.Errorf("only %d heavy edges placed, want most of %d", len(g.HeavyEdges), DefaultConfig().HeavyEdges)
+	}
+}
+
+func TestGenerateTypeMix(t *testing.T) {
+	g, err := Generate(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	typeOf := func(id string) logs.EndpointType {
+		ep, err := g.World.Endpoint(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ep.Type
+	}
+	var ss, sp, ps int
+	for _, e := range g.HeavyEdges {
+		s, d := typeOf(e.Src), typeOf(e.Dst)
+		switch {
+		case s == logs.GCS && d == logs.GCS:
+			ss++
+		case s == logs.GCS && d == logs.GCP:
+			sp++
+		case s == logs.GCP && d == logs.GCS:
+			ps++
+		default:
+			t.Errorf("GCP->GCP heavy edge %s (unsupported pre-2016)", e)
+		}
+	}
+	// The mix targets Table 4's 51/30/19; allow wide tolerance.
+	n := float64(ss + sp + ps)
+	if float64(ss)/n < 0.25 {
+		t.Errorf("GCS->GCS share %.0f%% too low", 100*float64(ss)/n)
+	}
+	if sp == 0 || ps == 0 {
+		t.Errorf("missing edge types: ss=%d sp=%d ps=%d", ss, sp, ps)
+	}
+}
+
+func TestWorldEndpointCapacitiesSane(t *testing.T) {
+	g, err := Generate(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ep := range g.World.Endpoints {
+		if ep.DiskReadMBps <= 0 || ep.DiskWriteMBps <= 0 || ep.NICMBps <= 0 || ep.PerProcDiskMBps <= 0 {
+			t.Errorf("endpoint %s has non-positive capacity: %+v", ep.ID, ep)
+		}
+		if ep.CPUKnee <= 0 {
+			t.Errorf("endpoint %s has no CPU knee", ep.ID)
+		}
+		if ep.Type == logs.GCP && ep.NICMBps > 200 {
+			t.Errorf("personal endpoint %s has server-class NIC %.0f", ep.ID, ep.NICMBps)
+		}
+		if ep.Bg.MaxFrac < 0 || ep.Bg.MaxFrac >= 1 {
+			t.Errorf("endpoint %s background fraction %g out of range", ep.ID, ep.Bg.MaxFrac)
+		}
+	}
+}
+
+func TestGenerateLogEndToEnd(t *testing.T) {
+	l, g, err := GenerateLog(SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Records) != len(g.Specs) {
+		t.Fatalf("%d records from %d specs", len(l.Records), len(g.Specs))
+	}
+	// Every record is physically plausible.
+	for i := range l.Records {
+		r := &l.Records[i]
+		if r.Te <= r.Ts {
+			t.Fatalf("record %d has non-positive duration", i)
+		}
+		if r.Rate() <= 0 {
+			t.Fatalf("record %d has non-positive rate", i)
+		}
+		src, err := g.World.Endpoint(r.Src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst, err := g.World.Endpoint(r.Dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ceiling := math.Min(src.NICMBps, dst.NICMBps) * 1.01
+		if r.Rate() > ceiling {
+			t.Fatalf("record %d rate %.1f exceeds NIC ceiling %.1f", i, r.Rate(), ceiling)
+		}
+	}
+	// Endpoints registered in the log directory.
+	if len(l.Endpoints) != len(g.World.Endpoints) {
+		t.Errorf("log knows %d endpoints, world has %d", len(l.Endpoints), len(g.World.Endpoints))
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	bad := SmallConfig()
+	bad.HeavyEdges = 0
+	if _, err := Generate(bad); err == nil {
+		t.Error("zero heavy edges accepted")
+	}
+	bad = SmallConfig()
+	bad.Horizon = 0
+	if _, err := Generate(bad); err == nil {
+		t.Error("zero horizon accepted")
+	}
+}
+
+func TestCPUEffMonotoneWithFloor(t *testing.T) {
+	ep := &Endpoint{CPUKnee: 10, CPUSteep: 2}
+	prev := ep.cpuEff(0)
+	if prev != 1 {
+		t.Errorf("eff(0) = %g, want 1", prev)
+	}
+	for g := 1.0; g <= 200; g *= 2 {
+		e := ep.cpuEff(g)
+		if e > prev+1e-12 {
+			t.Errorf("eff not monotone at g=%g", g)
+		}
+		if e < minCPUEff {
+			t.Errorf("eff(%g) = %g below floor %g", g, e, minCPUEff)
+		}
+		prev = e
+	}
+	// Knee semantics: eff(knee) = 1/2.
+	if got := ep.cpuEff(10); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("eff(knee) = %g, want 0.5", got)
+	}
+}
+
+func TestWANCapAndRTT(t *testing.T) {
+	g, err := Generate(SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := g.World
+	var domestic, intercont *Endpoint
+	for _, ep := range w.Endpoints {
+		if ep.Site.Name == "ANL" {
+			domestic = ep
+		}
+		if ep.Site.Name == "CERN" {
+			intercont = ep
+		}
+	}
+	if domestic == nil || intercont == nil {
+		t.Skip("world lacks reference sites")
+	}
+	var other *Endpoint
+	for _, ep := range w.Endpoints {
+		if ep.Site.Name == "BNL" {
+			other = ep
+		}
+	}
+	if other == nil {
+		t.Skip("no BNL endpoint")
+	}
+	if w.WANCap(domestic.Site, other.Site) <= w.WANCap(domestic.Site, intercont.Site) {
+		t.Error("intercontinental WAN should be tighter than domestic")
+	}
+	if w.PerStreamMBps(domestic.Site, other.Site) <= w.PerStreamMBps(domestic.Site, intercont.Site) {
+		t.Error("longer RTT must mean lower per-stream rate")
+	}
+}
+
+func TestEdgeCapacityMBps(t *testing.T) {
+	g, err := Generate(SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := g.World
+	ids := w.EndpointIDs()
+	cap := edgeCapacityMBps(w, ids[0], ids[1])
+	src, _ := w.Endpoint(ids[0])
+	dst, _ := w.Endpoint(ids[1])
+	if cap > src.NICMBps || cap > dst.NICMBps || cap > src.DiskReadMBps || cap > dst.DiskWriteMBps {
+		t.Errorf("edge capacity %g exceeds a component limit", cap)
+	}
+	if edgeCapacityMBps(w, "ghost", ids[0]) != 100 {
+		t.Error("unknown endpoint should fall back to default")
+	}
+}
+
+func TestLognormalMedian(t *testing.T) {
+	// The median of the lognormal helper must match its parameter.
+	g, _ := Generate(SmallConfig())
+	_ = g
+	// Direct statistical check.
+	const n = 20000
+	var above int
+	rng := newTestRand()
+	for i := 0; i < n; i++ {
+		if lognormal(rng, 50, 1.3) > 50 {
+			above++
+		}
+	}
+	frac := float64(above) / n
+	if frac < 0.47 || frac > 0.53 {
+		t.Errorf("lognormal median off: %.3f above the nominal median", frac)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if clamp(5, 1, 10) != 5 || clamp(-1, 1, 10) != 1 || clamp(99, 1, 10) != 10 {
+		t.Error("clamp wrong")
+	}
+}
+
+func newTestRand() *rand.Rand { return rand.New(rand.NewSource(123)) }

@@ -1,0 +1,229 @@
+// Package simulate implements the wide-area transfer fabric that stands in
+// for the production Globus deployment whose logs the paper mines. It is a
+// fluid-flow discrete-event simulator: sites with geographic coordinates
+// host endpoints (data transfer nodes or personal machines) with finite
+// disk, NIC, and CPU resources; transfers move bytes across WAN paths whose
+// round-trip time follows the great-circle distance; concurrent transfers
+// share every resource on their path by weighted max-min fair sharing; and
+// unobserved background load, startup costs, per-file overheads, CPU
+// contention from GridFTP processes, and faults perturb performance exactly
+// the way §3–§4 of the paper argues they do in reality.
+//
+// The simulator's only externally visible product is a transfer log in the
+// schema of package logs — the same information the paper had — so every
+// downstream step (feature engineering, regression) is honest: it cannot
+// peek at the simulator's hidden state.
+package simulate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/logs"
+)
+
+func generalPow(base, exp float64) float64 { return math.Pow(base, exp) }
+
+// BgConfig describes the unobserved (non-Globus) background load at an
+// endpoint: a piecewise-constant stochastic process that consumes a random
+// fraction of each resource, resampled at exponentially distributed
+// intervals. The paper calls this "other competing load" (§4.3.2) and has
+// no information about it; neither do the models trained on our logs.
+type BgConfig struct {
+	MaxFrac      float64 // peak fraction of capacity the background may take
+	MeanInterval float64 // mean seconds between level changes
+}
+
+// Endpoint is one storage+network endpoint (a Globus Connect Server DTN or
+// a Globus Connect Personal machine).
+type Endpoint struct {
+	ID   string
+	Site geo.Site
+	Type logs.EndpointType
+
+	DiskReadMBps  float64 // aggregate storage read bandwidth
+	DiskWriteMBps float64 // aggregate storage write bandwidth
+	NICMBps       float64 // network interface bandwidth, each direction
+
+	PerProcDiskMBps float64 // storage bandwidth one GridFTP process can drive
+	CPUKnee         float64 // GridFTP process count where contention bites
+	CPUSteep        float64 // steepness of the contention rolloff
+
+	// MaxActive caps concurrently running transfers at this endpoint, as
+	// the Globus service does per endpoint; arrivals beyond the cap queue.
+	// Zero means unlimited.
+	MaxActive int
+
+	Bg BgConfig // unobserved background load
+}
+
+// minCPUEff floors the contention rolloff: heavily oversubscribed endpoints
+// degrade badly but never stop making progress.
+const minCPUEff = 0.12
+
+// cpuEff returns the storage-efficiency multiplier for g concurrent GridFTP
+// processes at this endpoint: 1 at g≈0, rolling off beyond CPUKnee. This is
+// the mechanism behind Figure 4's rise-then-fall of aggregate rate versus
+// total concurrency.
+func (e *Endpoint) cpuEff(g float64) float64 {
+	if g <= 0 || e.CPUKnee <= 0 {
+		return 1
+	}
+	r := g / e.CPUKnee
+	p := e.CPUSteep
+	if p <= 0 {
+		p = 2
+	}
+	eff := 1 / (1 + pow(r, p))
+	if eff < minCPUEff {
+		eff = minCPUEff
+	}
+	return eff
+}
+
+// pow is a small positive-base power helper avoiding math.Pow in the hot
+// path for integer-ish exponents; falls back for general exponents.
+func pow(base, exp float64) float64 {
+	switch exp {
+	case 1:
+		return base
+	case 2:
+		return base * base
+	case 3:
+		return base * base * base
+	}
+	// General case.
+	return generalPow(base, exp)
+}
+
+// World is the static description of the simulated fabric.
+type World struct {
+	Endpoints []*Endpoint // ordered; order is part of determinism
+	byID      map[string]*Endpoint
+
+	// TCPWindowMB is the per-stream TCP window: one stream moves at most
+	// TCPWindowMB/RTT(s) MB/s, which is why parallelism P matters on
+	// long-RTT paths (§4.1, §6).
+	TCPWindowMB float64
+
+	// WANIntraMBps / WANInterMBps cap the aggregate rate over a site pair
+	// within one continent or across continents respectively.
+	WANIntraMBps float64
+	WANInterMBps float64
+
+	// Transfer lifecycle overheads (§4.2's startup and coordination
+	// costs): a fixed setup delay plus per-file and per-directory costs.
+	SetupTime   float64 // seconds before any byte flows
+	PerFileCost float64 // startup coordination seconds per file, per process
+	PerDirCost  float64 // seconds per directory (filesystem lock contention)
+
+	// PerFileGap is the dead time each GridFTP process spends between
+	// files during the data phase (open/close, protocol round trip,
+	// metadata). A process moving files of average size s at disk rate d
+	// sustains only s/(PerFileGap + s/d) — which is why datasets of many
+	// small files transfer slowly (Figure 5) no matter how fast the
+	// hardware is.
+	PerFileGap float64
+
+	// Faults: hazard grows with endpoint utilization; each fault stalls
+	// the transfer for RetryPenalty seconds.
+	FaultBaseHazard float64 // faults per second at full utilization
+	FaultRetry      float64 // stall seconds per fault
+
+	// E2EEfficiency is the fraction of the bottleneck rate an end-to-end
+	// disk-to-disk transfer actually sustains: pipelining stalls between
+	// storage and network stages cost a few percent, which is why Table 1's
+	// measured Rmax sits slightly below min(DRmax, MMmax, DWmax). Applied
+	// only to transfers that cross the network AND touch a disk.
+	E2EEfficiency float64
+
+	// JitterSigma controls per-transfer unobservable inefficiency (TCP
+	// dynamics, stripe placement, cache state): each transfer sustains a
+	// fraction 1 − |N(0, σ)| of its allocated rate, drawn once at
+	// admission. This puts an irreducible floor under any model trained
+	// on log features alone, as real logs do.
+	JitterSigma float64
+}
+
+// NewWorld builds a world from endpoints with the given global parameters.
+func NewWorld(endpoints []*Endpoint) *World {
+	w := &World{
+		Endpoints:       endpoints,
+		byID:            make(map[string]*Endpoint, len(endpoints)),
+		TCPWindowMB:     2.0,
+		WANIntraMBps:    2400,
+		WANInterMBps:    1100,
+		SetupTime:       2.0,
+		PerFileCost:     0.002,
+		PerDirCost:      0.05,
+		PerFileGap:      0.08,
+		FaultBaseHazard: 1.0 / 1800,
+		FaultRetry:      30,
+		E2EEfficiency:   0.92,
+		JitterSigma:     0.012,
+	}
+	for _, e := range endpoints {
+		w.byID[e.ID] = e
+	}
+	return w
+}
+
+// Endpoint returns the endpoint with the given ID.
+func (w *World) Endpoint(id string) (*Endpoint, error) {
+	e, ok := w.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("simulate: unknown endpoint %q", id)
+	}
+	return e, nil
+}
+
+// WANCap returns the WAN path capacity between two sites in MB/s.
+func (w *World) WANCap(a, b geo.Site) float64 {
+	if geo.Intercontinental(a, b) {
+		return w.WANInterMBps
+	}
+	return w.WANIntraMBps
+}
+
+// RTTSeconds returns the modeled round-trip time between two sites in
+// seconds.
+func (w *World) RTTSeconds(a, b geo.Site) float64 {
+	d := geo.GreatCircleKm(a.Coord, b.Coord)
+	return geo.RTTEstimate(d) / 1000
+}
+
+// PerStreamMBps returns the per-TCP-stream throughput ceiling between two
+// sites: window/RTT.
+func (w *World) PerStreamMBps(a, b geo.Site) float64 {
+	rtt := w.RTTSeconds(a, b)
+	if rtt <= 0 {
+		rtt = 0.0005
+	}
+	return w.TCPWindowMB / rtt
+}
+
+// EndpointIDs returns all endpoint IDs in deterministic (registration)
+// order.
+func (w *World) EndpointIDs() []string {
+	out := make([]string, len(w.Endpoints))
+	for i, e := range w.Endpoints {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// LogEndpoints registers every endpoint of the world in the log's endpoint
+// directory.
+func (w *World) LogEndpoints(l *logs.Log) {
+	for _, e := range w.Endpoints {
+		l.AddEndpoint(logs.Endpoint{ID: e.ID, Site: e.Site.Name, Type: e.Type})
+	}
+}
+
+// SortEndpoints orders the endpoint slice by ID; useful after programmatic
+// world construction to pin determinism.
+func (w *World) SortEndpoints() {
+	sort.Slice(w.Endpoints, func(i, j int) bool { return w.Endpoints[i].ID < w.Endpoints[j].ID })
+}

@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Bucket is one group of values produced by a binning operation.
+type Bucket struct {
+	Lo, Hi  float64 // bucket bounds (Lo inclusive, Hi exclusive except last)
+	Indices []int   // indices of the member points in the original input
+}
+
+// QuantileBuckets partitions the indices of xs into k buckets of near-equal
+// occupancy ordered by value (the grouping Figure 5 uses for total transfer
+// size). Fewer than k buckets are returned when duplicates make an
+// equipartition impossible.
+func QuantileBuckets(xs []float64, k int) []Bucket {
+	n := len(xs)
+	if n == 0 || k <= 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+
+	assign, used := equipartition(sortedBy(xs, idx), k)
+	buckets := make([]Bucket, used)
+	for pos, origIdx := range idx {
+		b := assign[pos]
+		buckets[b].Indices = append(buckets[b].Indices, origIdx)
+	}
+	for i := range buckets {
+		if len(buckets[i].Indices) == 0 {
+			continue
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, j := range buckets[i].Indices {
+			if xs[j] < lo {
+				lo = xs[j]
+			}
+			if xs[j] > hi {
+				hi = xs[j]
+			}
+		}
+		buckets[i].Lo, buckets[i].Hi = lo, hi
+	}
+	// Drop empty buckets (possible when ties collapse bins).
+	out := buckets[:0]
+	for _, b := range buckets {
+		if len(b.Indices) > 0 {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func sortedBy(xs []float64, idx []int) []float64 {
+	out := make([]float64, len(idx))
+	for i, j := range idx {
+		out[i] = xs[j]
+	}
+	return out
+}
+
+// UniformBuckets partitions the index set of xs into k equal-width buckets
+// spanning [min, max].
+func UniformBuckets(xs []float64, k int) []Bucket {
+	n := len(xs)
+	if n == 0 || k <= 0 {
+		return nil
+	}
+	lo, _ := Min(xs)
+	hi, _ := Max(xs)
+	if lo == hi {
+		return []Bucket{{Lo: lo, Hi: hi, Indices: seq(n)}}
+	}
+	width := (hi - lo) / float64(k)
+	buckets := make([]Bucket, k)
+	for i := range buckets {
+		buckets[i].Lo = lo + float64(i)*width
+		buckets[i].Hi = lo + float64(i+1)*width
+	}
+	for i, x := range xs {
+		b := int((x - lo) / width)
+		if b >= k {
+			b = k - 1
+		}
+		buckets[b].Indices = append(buckets[b].Indices, i)
+	}
+	return buckets
+}
+
+func seq(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestQuantileBucketsPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = rng.Float64() * 1000
+	}
+	buckets := QuantileBuckets(xs, 10)
+	seen := map[int]bool{}
+	total := 0
+	for _, b := range buckets {
+		for _, i := range b.Indices {
+			if seen[i] {
+				t.Fatalf("index %d appears in two buckets", i)
+			}
+			seen[i] = true
+			if xs[i] < b.Lo || xs[i] > b.Hi {
+				t.Fatalf("value %g outside bucket bounds [%g,%g]", xs[i], b.Lo, b.Hi)
+			}
+		}
+		total += len(b.Indices)
+	}
+	if total != len(xs) {
+		t.Fatalf("buckets cover %d of %d points", total, len(xs))
+	}
+}
+
+func TestQuantileBucketsNearEqualSizes(t *testing.T) {
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	buckets := QuantileBuckets(xs, 20)
+	if len(buckets) != 20 {
+		t.Fatalf("got %d buckets, want 20", len(buckets))
+	}
+	for i, b := range buckets {
+		if len(b.Indices) < 8 || len(b.Indices) > 12 {
+			t.Errorf("bucket %d has %d members, want ~10", i, len(b.Indices))
+		}
+	}
+}
+
+func TestQuantileBucketsOrdered(t *testing.T) {
+	xs := []float64{5, 2, 9, 1, 7, 3, 8, 4, 6, 0}
+	buckets := QuantileBuckets(xs, 5)
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i].Lo < buckets[i-1].Hi {
+			t.Errorf("bucket %d overlaps previous: [%g,%g] after [%g,%g]",
+				i, buckets[i].Lo, buckets[i].Hi, buckets[i-1].Lo, buckets[i-1].Hi)
+		}
+	}
+}
+
+func TestQuantileBucketsDegenerate(t *testing.T) {
+	if QuantileBuckets(nil, 5) != nil {
+		t.Error("nil input should give nil")
+	}
+	if QuantileBuckets([]float64{1}, 0) != nil {
+		t.Error("zero buckets should give nil")
+	}
+	// More buckets than points: collapses to len(points).
+	b := QuantileBuckets([]float64{1, 2}, 10)
+	total := 0
+	for _, x := range b {
+		total += len(x.Indices)
+	}
+	if total != 2 {
+		t.Errorf("degenerate bucketing lost points: %d", total)
+	}
+}
+
+func TestQuantileBucketsAllEqual(t *testing.T) {
+	xs := []float64{7, 7, 7, 7}
+	buckets := QuantileBuckets(xs, 3)
+	total := 0
+	for _, b := range buckets {
+		total += len(b.Indices)
+	}
+	if total != 4 {
+		t.Fatalf("equal-value bucketing covers %d of 4", total)
+	}
+}
+
+func TestUniformBuckets(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	buckets := UniformBuckets(xs, 5)
+	if len(buckets) != 5 {
+		t.Fatalf("got %d buckets", len(buckets))
+	}
+	// Max value lands in the last bucket.
+	last := buckets[4]
+	found := false
+	for _, i := range last.Indices {
+		if xs[i] == 10 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("max value missing from last bucket")
+	}
+	total := 0
+	for _, b := range buckets {
+		total += len(b.Indices)
+	}
+	if total != len(xs) {
+		t.Errorf("covered %d of %d", total, len(xs))
+	}
+}
+
+func TestUniformBucketsConstant(t *testing.T) {
+	buckets := UniformBuckets([]float64{3, 3, 3}, 4)
+	if len(buckets) != 1 || len(buckets[0].Indices) != 3 {
+		t.Errorf("constant input should give one full bucket, got %+v", buckets)
+	}
+}

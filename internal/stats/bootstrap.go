@@ -1,0 +1,64 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Bootstrap confidence intervals for the error metrics. A single MdAPE
+// hides how certain it is — with a few hundred test transfers per edge, a
+// percentile bootstrap gives honest error bars for statements like
+// "nonlinear beats linear on this edge".
+
+// CI is a two-sided confidence interval around a point estimate.
+type CI struct {
+	Point float64
+	Lo    float64
+	Hi    float64
+}
+
+// Contains reports whether v lies inside the interval.
+func (c CI) Contains(v float64) bool { return v >= c.Lo && v <= c.Hi }
+
+// BootstrapCI estimates a confidence interval for statistic(sample) by the
+// percentile bootstrap: resamples of the input with replacement, statistic
+// recomputed on each, the (α/2, 1−α/2) quantiles of the resampled
+// statistics reported. level is the confidence level (e.g. 0.95);
+// resamples ≤ 0 defaults to 1000. Deterministic in seed. Returns ErrEmpty
+// for empty input.
+func BootstrapCI(sample []float64, statistic func([]float64) float64, level float64, resamples int, seed int64) (CI, error) {
+	if len(sample) == 0 {
+		return CI{}, ErrEmpty
+	}
+	if resamples <= 0 {
+		resamples = 1000
+	}
+	if level <= 0 || level >= 1 {
+		level = 0.95
+	}
+	rng := rand.New(rand.NewSource(seed))
+	stats := make([]float64, resamples)
+	buf := make([]float64, len(sample))
+	for r := 0; r < resamples; r++ {
+		for i := range buf {
+			buf[i] = sample[rng.Intn(len(sample))]
+		}
+		stats[r] = statistic(buf)
+	}
+	sort.Float64s(stats)
+	alpha := (1 - level) / 2
+	return CI{
+		Point: statistic(sample),
+		Lo:    percentileSorted(stats, alpha*100),
+		Hi:    percentileSorted(stats, (1-alpha)*100),
+	}, nil
+}
+
+// MedianCI is the common case: a bootstrap interval around the median,
+// e.g. of per-transfer absolute percentage errors.
+func MedianCI(sample []float64, level float64, resamples int, seed int64) (CI, error) {
+	return BootstrapCI(sample, func(xs []float64) float64 {
+		m, _ := Median(xs)
+		return m
+	}, level, resamples, seed)
+}

@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestMedianCICoversTruth(t *testing.T) {
+	// Samples from a known distribution: the CI should cover the true
+	// median in the vast majority of trials.
+	rng := rand.New(rand.NewSource(1))
+	covered := 0
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		sample := make([]float64, 200)
+		for i := range sample {
+			sample[i] = 10 + rng.NormFloat64()*3
+		}
+		ci, err := MedianCI(sample, 0.95, 400, int64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ci.Contains(10) {
+			covered++
+		}
+		if ci.Lo > ci.Point || ci.Hi < ci.Point {
+			t.Fatalf("interval [%g, %g] excludes its own point %g", ci.Lo, ci.Hi, ci.Point)
+		}
+	}
+	if covered < trials*8/10 {
+		t.Errorf("95%% CI covered the truth in only %d/%d trials", covered, trials)
+	}
+}
+
+func TestBootstrapCIDeterministic(t *testing.T) {
+	sample := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	a, err := MedianCI(sample, 0.95, 200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := MedianCI(sample, 0.95, 200, 7)
+	if a != b {
+		t.Error("same seed gave different intervals")
+	}
+}
+
+func TestBootstrapCIWidensWithSpread(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tight := make([]float64, 100)
+	wide := make([]float64, 100)
+	for i := range tight {
+		tight[i] = 5 + rng.NormFloat64()*0.1
+		wide[i] = 5 + rng.NormFloat64()*5
+	}
+	ciT, _ := MedianCI(tight, 0.95, 400, 1)
+	ciW, _ := MedianCI(wide, 0.95, 400, 1)
+	if ciW.Hi-ciW.Lo <= ciT.Hi-ciT.Lo {
+		t.Errorf("wide-spread CI [%g,%g] not wider than tight [%g,%g]", ciW.Lo, ciW.Hi, ciT.Lo, ciT.Hi)
+	}
+}
+
+func TestBootstrapCIEmpty(t *testing.T) {
+	if _, err := MedianCI(nil, 0.95, 100, 1); !errors.Is(err, ErrEmpty) {
+		t.Errorf("got %v, want ErrEmpty", err)
+	}
+}
+
+func TestBootstrapCIDefaults(t *testing.T) {
+	sample := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	ci, err := BootstrapCI(sample, Mean, -1, 0, 2) // bad level/resamples fall back
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Lo > ci.Hi {
+		t.Error("degenerate interval")
+	}
+}

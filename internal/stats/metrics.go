@@ -1,0 +1,107 @@
+package stats
+
+import "math"
+
+// APE returns the absolute percentage errors |ŷ−y|/|y|·100 for each pair,
+// skipping pairs whose true value is zero (their percentage error is
+// undefined). The returned slice may therefore be shorter than the inputs.
+func APE(actual, predicted []float64) ([]float64, error) {
+	if len(actual) != len(predicted) {
+		return nil, ErrLength
+	}
+	out := make([]float64, 0, len(actual))
+	for i := range actual {
+		if actual[i] == 0 {
+			continue
+		}
+		out = append(out, math.Abs(predicted[i]-actual[i])/math.Abs(actual[i])*100)
+	}
+	return out, nil
+}
+
+// MdAPE returns the median absolute percentage error, the paper's headline
+// accuracy metric (§1, §5.3, §5.4).
+func MdAPE(actual, predicted []float64) (float64, error) {
+	apes, err := APE(actual, predicted)
+	if err != nil {
+		return 0, err
+	}
+	return Median(apes)
+}
+
+// MAPE returns the mean absolute percentage error.
+func MAPE(actual, predicted []float64) (float64, error) {
+	apes, err := APE(actual, predicted)
+	if err != nil {
+		return 0, err
+	}
+	if len(apes) == 0 {
+		return 0, ErrEmpty
+	}
+	return Mean(apes), nil
+}
+
+// PercentileAPE returns the p-th percentile of the absolute percentage
+// errors; §5.5.2 reports 95th-percentile errors.
+func PercentileAPE(actual, predicted []float64, p float64) (float64, error) {
+	apes, err := APE(actual, predicted)
+	if err != nil {
+		return 0, err
+	}
+	return Percentile(apes, p)
+}
+
+// RMSE returns the root-mean-square error between actual and predicted.
+func RMSE(actual, predicted []float64) (float64, error) {
+	if len(actual) != len(predicted) {
+		return 0, ErrLength
+	}
+	if len(actual) == 0 {
+		return 0, ErrEmpty
+	}
+	var s float64
+	for i := range actual {
+		d := predicted[i] - actual[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(actual))), nil
+}
+
+// MAE returns the mean absolute error between actual and predicted.
+func MAE(actual, predicted []float64) (float64, error) {
+	if len(actual) != len(predicted) {
+		return 0, ErrLength
+	}
+	if len(actual) == 0 {
+		return 0, ErrEmpty
+	}
+	var s float64
+	for i := range actual {
+		s += math.Abs(predicted[i] - actual[i])
+	}
+	return s / float64(len(actual)), nil
+}
+
+// R2 returns the coefficient of determination. A model predicting the mean
+// scores 0; a perfect model scores 1. When the actual values have zero
+// variance, R2 returns 0.
+func R2(actual, predicted []float64) (float64, error) {
+	if len(actual) != len(predicted) {
+		return 0, ErrLength
+	}
+	if len(actual) == 0 {
+		return 0, ErrEmpty
+	}
+	m := Mean(actual)
+	var ssRes, ssTot float64
+	for i := range actual {
+		d := actual[i] - predicted[i]
+		ssRes += d * d
+		t := actual[i] - m
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		return 0, nil
+	}
+	return 1 - ssRes/ssTot, nil
+}

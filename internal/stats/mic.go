@@ -1,0 +1,368 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// MIC computes the maximal information coefficient of Reshef et al. (2011),
+// the nonlinear dependence measure the paper uses in Table 5 to expose
+// relationships between features and transfer rate that Pearson correlation
+// misses. The implementation follows the MINE ApproxMaxMI scheme: for each
+// grid shape (nx, ny) with nx·ny ≤ B(n) = n^exponent, one axis is
+// equipartitioned and a dynamic program finds the partition of the other
+// axis that maximizes mutual information; the characteristic-matrix entry is
+// the larger of the two orientations, normalized by log(min(nx, ny)); MIC is
+// the maximum entry.
+//
+// MICConfig controls the approximation.
+type MICConfig struct {
+	// Exponent in B(n) = n^Exponent. Reshef et al. recommend 0.6.
+	Exponent float64
+	// ClumpFactor c: the optimized axis is pre-merged into at most c·nx
+	// superclumps before the DP. Larger is slower and more exact.
+	ClumpFactor int
+	// MaxSamples caps the number of points considered; larger inputs are
+	// deterministically subsampled (every k-th point of the x-sorted
+	// order). Zero means no cap.
+	MaxSamples int
+}
+
+// DefaultMICConfig returns the configuration used throughout the
+// reproduction: B(n)=n^0.6, clump factor 5, at most 500 samples.
+func DefaultMICConfig() MICConfig {
+	return MICConfig{Exponent: 0.6, ClumpFactor: 5, MaxSamples: 500}
+}
+
+// MIC computes the maximal information coefficient of (x, y) with the
+// default configuration. The result lies in [0, 1]; it is 0 when either
+// variable is constant.
+func MIC(x, y []float64) (float64, error) {
+	return MICWithConfig(x, y, DefaultMICConfig())
+}
+
+// MICWithConfig computes the maximal information coefficient with an
+// explicit configuration.
+func MICWithConfig(x, y []float64, cfg MICConfig) (float64, error) {
+	if len(x) != len(y) {
+		return 0, ErrLength
+	}
+	n := len(x)
+	if n < 4 {
+		return 0, ErrEmpty
+	}
+	if constant(x) || constant(y) {
+		return 0, nil
+	}
+	if cfg.Exponent <= 0 {
+		cfg.Exponent = 0.6
+	}
+	if cfg.ClumpFactor <= 0 {
+		cfg.ClumpFactor = 5
+	}
+
+	best := 0.0
+	// Orientation 1: equipartition y, optimize x. Orientation 2: swap the
+	// roles. Each orientation re-sorts by its own optimized axis — the DP
+	// requires its first argument in ascending order.
+	for orient := 0; orient < 2; orient++ {
+		var ax, ay []float64
+		if orient == 0 {
+			ax, ay = pairs(x, y)
+		} else {
+			ax, ay = pairs(y, x)
+		}
+		if cfg.MaxSamples > 0 && len(ax) > cfg.MaxSamples {
+			ax, ay = subsample(ax, ay, cfg.MaxSamples)
+		}
+		b := int(math.Max(4, math.Pow(float64(len(ax)), cfg.Exponent)))
+		// ny ranges over the equipartitioned axis; nx = B/ny limits the DP.
+		for ny := 2; ny <= b/2; ny++ {
+			maxNx := b / ny
+			if maxNx < 2 {
+				break
+			}
+			v := approxMaxMI(ax, ay, maxNx, ny, cfg.ClumpFactor)
+			for nx := 2; nx <= maxNx; nx++ {
+				norm := math.Log(float64(min(nx, ny)))
+				if norm <= 0 {
+					continue
+				}
+				e := v[nx] / norm
+				if e > best {
+					best = e
+				}
+			}
+		}
+	}
+	if best > 1 {
+		best = 1
+	}
+	return best, nil
+}
+
+func constant(xs []float64) bool {
+	for _, v := range xs[1:] {
+		if v != xs[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// pairs returns x and y jointly sorted by x (ties broken by y) so that
+// downstream code can assume x-sorted order.
+func pairs(x, y []float64) ([]float64, []float64) {
+	n := len(x)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if x[idx[a]] != x[idx[b]] {
+			return x[idx[a]] < x[idx[b]]
+		}
+		return y[idx[a]] < y[idx[b]]
+	})
+	sx := make([]float64, n)
+	sy := make([]float64, n)
+	for i, j := range idx {
+		sx[i] = x[j]
+		sy[i] = y[j]
+	}
+	return sx, sy
+}
+
+// subsample keeps every k-th point of the x-sorted order, deterministically.
+func subsample(x, y []float64, maxN int) ([]float64, []float64) {
+	n := len(x)
+	ox := make([]float64, 0, maxN)
+	oy := make([]float64, 0, maxN)
+	for i := 0; i < maxN; i++ {
+		j := i * n / maxN
+		ox = append(ox, x[j])
+		oy = append(oy, y[j])
+	}
+	return ox, oy
+}
+
+// equipartition assigns each point (given in sorted order of the axis
+// value) to one of k bins of near-equal occupancy, keeping equal values in
+// the same bin. It returns the assignment per point and the number of bins
+// actually used.
+func equipartition(vals []float64, k int) ([]int, int) {
+	n := len(vals)
+	assign := make([]int, n)
+	target := float64(n) / float64(k)
+	bin := 0
+	placed := 0
+	i := 0
+	for i < n {
+		// Extent of the tie group starting at i.
+		j := i
+		for j+1 < n && vals[j+1] == vals[i] {
+			j++
+		}
+		groupLen := j - i + 1
+		// Advance to the next bin if this bin is full enough and adding the
+		// group overshoots more than leaving it out undershoots.
+		if placed > 0 && bin < k-1 {
+			over := math.Abs(float64(placed+groupLen) - target)
+			under := math.Abs(float64(placed) - target)
+			if over >= under {
+				bin++
+				placed = 0
+			}
+		}
+		for t := i; t <= j; t++ {
+			assign[t] = bin
+		}
+		placed += groupLen
+		i = j + 1
+	}
+	return assign, bin + 1
+}
+
+// approxMaxMI implements the OptimizeXAxis dynamic program. The inputs are
+// x-sorted paired values; y is equipartitioned into ny bins and the DP finds,
+// for every nx in [2, maxNx], the x-partition into at most nx columns that
+// maximizes I(P;Q). The returned slice v satisfies v[nx] = max MI (nats).
+func approxMaxMI(x, y []float64, maxNx, ny, clumpFactor int) []float64 {
+	n := len(x)
+
+	// Equipartition the y axis. Requires y-sorted values to bin, then map
+	// back to x order via rank.
+	ySorted := make([]float64, n)
+	copy(ySorted, y)
+	sort.Float64s(ySorted)
+	binOfSorted, q := equipartition(ySorted, ny)
+	// Map each y value to its bin. Equal values share a bin, so a search on
+	// the sorted array is safe.
+	yBin := make([]int, n)
+	for i, v := range y {
+		j := sort.SearchFloat64s(ySorted, v)
+		yBin[i] = binOfSorted[j]
+	}
+
+	// Build clumps. A clump is a maximal run of consecutive points (in x
+	// order) that may not be split: equal x values always stay together, and
+	// consecutive points in the same y bin are merged since no optimal
+	// partition separates them.
+	clumpEnd := make([]int, 0, n) // exclusive end index of each clump
+	i := 0
+	for i < n {
+		j := i + 1
+		for j < n && (x[j] == x[j-1] || yBin[j] == yBin[i]) {
+			j++
+		}
+		clumpEnd = append(clumpEnd, j)
+		i = j
+	}
+
+	// Merge into at most clumpFactor·maxNx superclumps by equipartitioning
+	// clump sizes.
+	maxClumps := clumpFactor * maxNx
+	if len(clumpEnd) > maxClumps {
+		clumpEnd = mergeClumps(clumpEnd, maxClumps)
+	}
+	m := len(clumpEnd)
+
+	// cum[i][b] = number of points in clumps [0, i) with y-bin b.
+	cum := make([][]int, m+1)
+	cum[0] = make([]int, q)
+	prev := 0
+	for c := 0; c < m; c++ {
+		row := make([]int, q)
+		copy(row, cum[c])
+		for p := prev; p < clumpEnd[c]; p++ {
+			row[yBin[p]]++
+		}
+		cum[c+1] = row
+		prev = clumpEnd[c]
+	}
+	csize := func(i int) int { return clumpEnd[i-1] } // points in first i clumps
+	// h(s,t) = Σ_q p log p for the column spanning clumps (s, t], with p
+	// normalized by the column size (negative conditional entropy term).
+	h := func(s, t int) float64 {
+		tot := csize(t) - sOr0(clumpEnd, s)
+		if tot == 0 {
+			return 0
+		}
+		var sum float64
+		for b := 0; b < q; b++ {
+			c := cum[t][b] - cum[s][b]
+			if c > 0 {
+				p := float64(c) / float64(tot)
+				sum += p * math.Log(p)
+			}
+		}
+		return sum
+	}
+
+	// DP: G[t][l] = max over partitions of first t clumps into exactly l
+	// columns of Σ_j (size_j/c_t)·h(column j)  (= H(P) − H(P,Q) up to sign
+	// conventions; see package tests for the identity check).
+	L := maxNx
+	G := make([][]float64, m+1)
+	for t := 0; t <= m; t++ {
+		G[t] = make([]float64, L+1)
+		for l := range G[t] {
+			G[t][l] = math.Inf(-1)
+		}
+	}
+	for t := 1; t <= m; t++ {
+		G[t][1] = h(0, t)
+	}
+	for l := 2; l <= L; l++ {
+		for t := l; t <= m; t++ {
+			ct := float64(csize(t))
+			best := math.Inf(-1)
+			for s := l - 1; s < t; s++ {
+				cs := float64(csize(s))
+				v := cs/ct*G[s][l-1] + (ct-cs)/ct*h(s, t)
+				if v > best {
+					best = v
+				}
+			}
+			G[t][l] = best
+		}
+	}
+
+	// H(Q) over all points.
+	hq := 0.0
+	for b := 0; b < q; b++ {
+		c := cum[m][b]
+		if c > 0 {
+			p := float64(c) / float64(n)
+			hq -= p * math.Log(p)
+		}
+	}
+
+	// v[nx] = best MI over at most nx columns = H(Q) + max_{l ≤ nx} G[m][l].
+	v := make([]float64, L+1)
+	run := math.Inf(-1)
+	for l := 1; l <= L; l++ {
+		if l <= m && G[m][l] > run {
+			run = G[m][l]
+		}
+		mi := hq + run
+		if mi < 0 {
+			mi = 0
+		}
+		v[l] = mi
+	}
+	return v
+}
+
+func sOr0(end []int, s int) int {
+	if s == 0 {
+		return 0
+	}
+	return end[s-1]
+}
+
+// mergeClumps reduces the clump boundary list to at most k entries by
+// choosing boundaries closest to an equipartition of the points.
+func mergeClumps(end []int, k int) []int {
+	n := end[len(end)-1]
+	out := make([]int, 0, k)
+	target := 0
+	for i := 1; i <= k; i++ {
+		want := i * n / k
+		// Choose the existing boundary closest to want but beyond target.
+		bestIdx := -1
+		bestDist := n + 1
+		for _, e := range end {
+			if e <= target {
+				continue
+			}
+			d := e - want
+			if d < 0 {
+				d = -d
+			}
+			if d < bestDist {
+				bestDist = d
+				bestIdx = e
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		out = append(out, bestIdx)
+		target = bestIdx
+		if bestIdx == n {
+			break
+		}
+	}
+	if len(out) == 0 || out[len(out)-1] != n {
+		out = append(out, n)
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,206 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func genSeries(n int, seed int64, f func(x float64, rng *rand.Rand) float64) (xs, ys []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	xs = make([]float64, n)
+	ys = make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64()*10 - 5
+		ys[i] = f(xs[i], rng)
+	}
+	return
+}
+
+func TestMICLinear(t *testing.T) {
+	xs, ys := genSeries(400, 1, func(x float64, _ *rand.Rand) float64 { return 3*x + 1 })
+	mic, err := MIC(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mic < 0.9 {
+		t.Errorf("MIC(linear) = %.3f, want >= 0.9", mic)
+	}
+}
+
+func TestMICParabola(t *testing.T) {
+	// Nonlinear but deterministic: MIC should stay high while |Pearson|
+	// is near zero — exactly the Table 5 phenomenon.
+	xs, ys := genSeries(400, 2, func(x float64, _ *rand.Rand) float64 { return x * x })
+	mic, err := MIC(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, _ := Pearson(xs, ys)
+	if mic < 0.8 {
+		t.Errorf("MIC(parabola) = %.3f, want >= 0.8", mic)
+	}
+	if math.Abs(cc) > 0.2 {
+		t.Errorf("|CC|(parabola) = %.3f, want near 0", math.Abs(cc))
+	}
+}
+
+func TestMICIndependent(t *testing.T) {
+	xs, ys := genSeries(500, 3, func(_ float64, rng *rand.Rand) float64 { return rng.NormFloat64() })
+	mic, err := MIC(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mic > 0.35 {
+		t.Errorf("MIC(independent) = %.3f, want small", mic)
+	}
+}
+
+func TestMICNoisyLinearBetweenExtremes(t *testing.T) {
+	xs, ys := genSeries(500, 4, func(x float64, rng *rand.Rand) float64 {
+		return x + rng.NormFloat64()*2
+	})
+	mic, err := MIC(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, _ := MIC(xs, xs)
+	if mic >= clean {
+		t.Errorf("noisy MIC %.3f should be below clean MIC %.3f", mic, clean)
+	}
+	if mic < 0.15 {
+		t.Errorf("noisy-linear MIC %.3f too small; dependence exists", mic)
+	}
+}
+
+func TestMICConstantInput(t *testing.T) {
+	xs := []float64{1, 1, 1, 1, 1, 1}
+	ys := []float64{1, 2, 3, 4, 5, 6}
+	mic, err := MIC(xs, ys)
+	if err != nil || mic != 0 {
+		t.Errorf("constant x: mic=%g err=%v, want 0, nil", mic, err)
+	}
+	mic, err = MIC(ys, xs)
+	if err != nil || mic != 0 {
+		t.Errorf("constant y: mic=%g err=%v, want 0, nil", mic, err)
+	}
+}
+
+func TestMICErrors(t *testing.T) {
+	if _, err := MIC([]float64{1, 2}, []float64{1}); !errors.Is(err, ErrLength) {
+		t.Error("length mismatch should be ErrLength")
+	}
+	if _, err := MIC([]float64{1, 2}, []float64{1, 2}); !errors.Is(err, ErrEmpty) {
+		t.Error("too-short input should be ErrEmpty")
+	}
+}
+
+func TestMICBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		n := 50 + rng.Intn(200)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+			ys[i] = rng.NormFloat64() + xs[i]*float64(trial%3)
+		}
+		mic, err := MIC(xs, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mic < 0 || mic > 1 {
+			t.Fatalf("MIC out of [0,1]: %g", mic)
+		}
+	}
+}
+
+func TestMICSymmetryApprox(t *testing.T) {
+	// MIC is defined symmetrically; the approximation runs both
+	// orientations, so swapping inputs must give the same value.
+	xs, ys := genSeries(300, 6, func(x float64, rng *rand.Rand) float64 {
+		return math.Sin(x) + rng.NormFloat64()*0.1
+	})
+	m1, err := MIC(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := MIC(ys, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m1-m2) > 1e-12 {
+		t.Errorf("MIC not symmetric: %g vs %g", m1, m2)
+	}
+}
+
+func TestMICSubsampleCap(t *testing.T) {
+	// Large inputs must be subsampled, not rejected, and still detect
+	// strong dependence.
+	xs, ys := genSeries(5000, 7, func(x float64, _ *rand.Rand) float64 { return 2 * x })
+	cfg := DefaultMICConfig()
+	cfg.MaxSamples = 200
+	mic, err := MICWithConfig(xs, ys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mic < 0.85 {
+		t.Errorf("subsampled MIC(linear) = %.3f, want high", mic)
+	}
+}
+
+func TestMICDiscreteFeature(t *testing.T) {
+	// Features like Nd take few distinct values; MIC must handle heavy
+	// ties without panicking and detect the dependence.
+	rng := rand.New(rand.NewSource(8))
+	n := 300
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(rng.Intn(4))
+		ys[i] = xs[i]*10 + rng.NormFloat64()
+	}
+	mic, err := MIC(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mic < 0.5 {
+		t.Errorf("MIC(discrete strong dep) = %.3f, want >= 0.5", mic)
+	}
+}
+
+func TestEquipartitionKeepsTiesTogether(t *testing.T) {
+	vals := []float64{1, 1, 1, 2, 2, 3, 3, 3}
+	assign, used := equipartition(vals, 3)
+	if used < 2 || used > 3 {
+		t.Fatalf("used %d bins", used)
+	}
+	for i := 1; i < len(vals); i++ {
+		if vals[i] == vals[i-1] && assign[i] != assign[i-1] {
+			t.Fatalf("tie split at %d: %v", i, assign)
+		}
+	}
+	// Assignments must be non-decreasing over sorted input.
+	for i := 1; i < len(assign); i++ {
+		if assign[i] < assign[i-1] {
+			t.Fatalf("assignment not monotone: %v", assign)
+		}
+	}
+}
+
+func TestMergeClumpsEndsAtN(t *testing.T) {
+	end := []int{2, 5, 6, 9, 14, 20}
+	out := mergeClumps(end, 3)
+	if len(out) == 0 || out[len(out)-1] != 20 {
+		t.Fatalf("merged clumps %v must end at 20", out)
+	}
+	if len(out) > 3+1 {
+		t.Fatalf("too many clumps after merge: %v", out)
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i] <= out[i-1] {
+			t.Fatalf("non-increasing boundaries: %v", out)
+		}
+	}
+}

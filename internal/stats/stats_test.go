@@ -1,0 +1,317 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %g, want 5", got)
+	}
+	if got := Variance(xs); got != 4 {
+		t.Errorf("Variance = %g, want 4", got)
+	}
+	if got := StdDev(xs); got != 2 {
+		t.Errorf("StdDev = %g, want 2", got)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("degenerate inputs should yield 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	lo, err := Min(xs)
+	if err != nil || lo != -1 {
+		t.Errorf("Min = %g, %v", lo, err)
+	}
+	hi, err := Max(xs)
+	if err != nil || hi != 7 {
+		t.Errorf("Max = %g, %v", hi, err)
+	}
+	if _, err := Min(nil); !errors.Is(err, ErrEmpty) {
+		t.Error("Min(nil) should be ErrEmpty")
+	}
+	if _, err := Max(nil); !errors.Is(err, ErrEmpty) {
+		t.Error("Max(nil) should be ErrEmpty")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5},
+	}
+	for _, c := range cases {
+		got, err := Percentile(xs, c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almost(got, c.want, 1e-12) {
+			t.Errorf("P%g = %g, want %g", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	got, _ := Percentile([]float64{0, 10}, 25)
+	if !almost(got, 2.5, 1e-12) {
+		t.Errorf("P25 of {0,10} = %g, want 2.5", got)
+	}
+}
+
+func TestPercentileClampsAndSingle(t *testing.T) {
+	got, _ := Percentile([]float64{42}, 99)
+	if got != 42 {
+		t.Errorf("single-element percentile = %g", got)
+	}
+	lo, _ := Percentile([]float64{1, 2}, -5)
+	if lo != 1 {
+		t.Errorf("clamped low percentile = %g", lo)
+	}
+	hi, _ := Percentile([]float64{1, 2}, 200)
+	if hi != 2 {
+		t.Errorf("clamped high percentile = %g", hi)
+	}
+	if _, err := Percentile(nil, 50); !errors.Is(err, ErrEmpty) {
+		t.Error("empty percentile should be ErrEmpty")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Percentile(xs, 50); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestPercentilesBatch(t *testing.T) {
+	xs := []float64{5, 3, 1, 4, 2}
+	got, err := Percentiles(xs, 0, 50, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Errorf("Percentiles = %v", got)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	m, _ := Median([]float64{9, 1, 5})
+	if m != 5 {
+		t.Errorf("Median = %g, want 5", m)
+	}
+}
+
+func TestPearsonPerfectCorrelation(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{2, 4, 6, 8}
+	cc, err := Pearson(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(cc, 1, 1e-12) {
+		t.Errorf("CC = %g, want 1", cc)
+	}
+	neg := []float64{8, 6, 4, 2}
+	cc, _ = Pearson(x, neg)
+	if !almost(cc, -1, 1e-12) {
+		t.Errorf("CC = %g, want -1", cc)
+	}
+}
+
+func TestPearsonConstantInput(t *testing.T) {
+	cc, err := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3})
+	if err != nil || cc != 0 {
+		t.Errorf("constant input: cc=%g err=%v, want 0, nil", cc, err)
+	}
+}
+
+func TestPearsonErrors(t *testing.T) {
+	if _, err := Pearson([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrLength) {
+		t.Error("length mismatch should be ErrLength")
+	}
+	if _, err := Pearson(nil, nil); !errors.Is(err, ErrEmpty) {
+		t.Error("empty should be ErrEmpty")
+	}
+}
+
+func TestPearsonBounds(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(1))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		cc, err := Pearson(x, y)
+		return err == nil && cc >= -1-1e-12 && cc <= 1+1e-12
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	// Any strictly increasing transform has Spearman 1.
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{1, 8, 27, 64, 125}
+	rho, err := Spearman(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(rho, 1, 1e-12) {
+		t.Errorf("Spearman = %g, want 1", rho)
+	}
+}
+
+func TestRanksWithTies(t *testing.T) {
+	got := Ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Ranks = %v, want %v", got, want)
+			break
+		}
+	}
+}
+
+func TestAPE(t *testing.T) {
+	apes, err := APE([]float64{100, 200, 0}, []float64{110, 180, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The zero-actual pair is skipped.
+	if len(apes) != 2 {
+		t.Fatalf("len = %d, want 2", len(apes))
+	}
+	if !almost(apes[0], 10, 1e-12) || !almost(apes[1], 10, 1e-12) {
+		t.Errorf("APEs = %v", apes)
+	}
+}
+
+func TestMdAPE(t *testing.T) {
+	md, err := MdAPE([]float64{100, 100, 100}, []float64{101, 105, 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(md, 5, 1e-12) {
+		t.Errorf("MdAPE = %g, want 5", md)
+	}
+}
+
+func TestMAPE(t *testing.T) {
+	m, err := MAPE([]float64{100, 100}, []float64{90, 130})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(m, 20, 1e-12) {
+		t.Errorf("MAPE = %g, want 20", m)
+	}
+}
+
+func TestPercentileAPE(t *testing.T) {
+	actual := make([]float64, 100)
+	pred := make([]float64, 100)
+	for i := range actual {
+		actual[i] = 100
+		pred[i] = 100 + float64(i) // APE = i%
+	}
+	p95, err := PercentileAPE(actual, pred, 95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p95 < 93 || p95 > 96 {
+		t.Errorf("p95 APE = %g, want ~94", p95)
+	}
+}
+
+func TestRMSEAndMAE(t *testing.T) {
+	r, err := RMSE([]float64{0, 0}, []float64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(r, math.Sqrt(12.5), 1e-12) {
+		t.Errorf("RMSE = %g", r)
+	}
+	m, _ := MAE([]float64{0, 0}, []float64{3, -4})
+	if !almost(m, 3.5, 1e-12) {
+		t.Errorf("MAE = %g, want 3.5", m)
+	}
+}
+
+func TestR2(t *testing.T) {
+	actual := []float64{1, 2, 3, 4}
+	perfect, _ := R2(actual, actual)
+	if !almost(perfect, 1, 1e-12) {
+		t.Errorf("perfect R2 = %g", perfect)
+	}
+	meanPred := []float64{2.5, 2.5, 2.5, 2.5}
+	zero, _ := R2(actual, meanPred)
+	if !almost(zero, 0, 1e-12) {
+		t.Errorf("mean-prediction R2 = %g, want 0", zero)
+	}
+	constR2, _ := R2([]float64{5, 5}, []float64{4, 6})
+	if constR2 != 0 {
+		t.Errorf("constant-actual R2 = %g, want 0", constR2)
+	}
+}
+
+func TestMetricErrorPaths(t *testing.T) {
+	if _, err := MdAPE([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrLength) {
+		t.Error("MdAPE length mismatch")
+	}
+	if _, err := RMSE(nil, nil); !errors.Is(err, ErrEmpty) {
+		t.Error("RMSE empty")
+	}
+	if _, err := MAE([]float64{1}, []float64{}); !errors.Is(err, ErrLength) {
+		t.Error("MAE length mismatch")
+	}
+	if _, err := MAPE([]float64{0}, []float64{1}); !errors.Is(err, ErrEmpty) {
+		t.Error("MAPE with all-zero actuals should be ErrEmpty")
+	}
+}
+
+// TestMdAPEScaleInvariance: scaling both series leaves percentage errors
+// unchanged.
+func TestMdAPEScaleInvariance(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(2))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 15
+		a := make([]float64, n)
+		p := make([]float64, n)
+		for i := range a {
+			a[i] = 1 + rng.Float64()*100
+			p[i] = 1 + rng.Float64()*100
+		}
+		m1, err1 := MdAPE(a, p)
+		a2 := make([]float64, n)
+		p2 := make([]float64, n)
+		for i := range a {
+			a2[i] = a[i] * 7.5
+			p2[i] = p[i] * 7.5
+		}
+		m2, err2 := MdAPE(a2, p2)
+		return err1 == nil && err2 == nil && almost(m1, m2, 1e-9)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,155 @@
+package testbed
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/simulate"
+)
+
+func TestMeasureEdgeMinRule(t *testing.T) {
+	row, err := MeasureEdge("ANL", "BNL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !row.Consistent() {
+		t.Errorf("Equation 1 violated: R=%.3f min=%.3f", row.Rmax, row.Min())
+	}
+	// Magnitudes comparable to Table 1: everything in the 6–10 Gb/s band.
+	for name, v := range map[string]float64{
+		"Rmax": row.Rmax, "DWmax": row.DWmax, "DRmax": row.DRmax, "MMmax": row.MMmax,
+	} {
+		if v < 5 || v > 10.5 {
+			t.Errorf("%s = %.2f Gb/s outside the testbed band", name, v)
+		}
+	}
+}
+
+func TestMeasureAllEdges(t *testing.T) {
+	rows, err := MeasureAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("got %d rows, want 12 ordered pairs", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Consistent() {
+			t.Errorf("%s->%s violates the min rule: R=%.3f min=%.3f", r.From, r.To, r.Rmax, r.Min())
+		}
+		// End-to-end is always bounded by (and close to) the disk write
+		// peak on this hardware profile.
+		if r.Rmax > r.DWmax {
+			t.Errorf("%s->%s: Rmax %.3f exceeds DWmax %.3f", r.From, r.To, r.Rmax, r.DWmax)
+		}
+	}
+}
+
+func TestIntercontinentalMMLower(t *testing.T) {
+	rows, err := MeasureAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var domestic, transatlantic float64
+	for _, r := range rows {
+		switch {
+		case r.From == "ANL" && r.To == "BNL":
+			domestic = r.MMmax
+		case r.From == "ANL" && r.To == "CERN":
+			transatlantic = r.MMmax
+		}
+	}
+	if transatlantic >= domestic {
+		t.Errorf("transatlantic MM %.3f should trail domestic %.3f", transatlantic, domestic)
+	}
+}
+
+func TestRowMinAndMeasurements(t *testing.T) {
+	r := Row{Rmax: 5, DWmax: 7, DRmax: 6, MMmax: 8}
+	if r.Min() != 6 {
+		t.Errorf("Min = %g, want 6", r.Min())
+	}
+	m := r.Measurements()
+	bound, who, err := m.Bound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound != 6 || who.String() != "disk read" {
+		t.Errorf("bound %g by %s", bound, who)
+	}
+}
+
+func TestNewWorldControlled(t *testing.T) {
+	w := NewWorld()
+	if len(w.Endpoints) != len(Sites) {
+		t.Fatalf("%d endpoints, want %d", len(w.Endpoints), len(Sites))
+	}
+	if w.FaultBaseHazard != 0 {
+		t.Error("testbed must not inject faults")
+	}
+	for _, ep := range w.Endpoints {
+		if ep.Bg.MaxFrac != 0 {
+			t.Errorf("endpoint %s has background load in a controlled testbed", ep.ID)
+		}
+	}
+}
+
+func TestMeasureDeterministic(t *testing.T) {
+	r1, err := MeasureEdge("LBL", "CERN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := MeasureEdge("LBL", "CERN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Errorf("repeated measurement differs: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestLoadSweepSpecsValid(t *testing.T) {
+	specs := LoadSweep("ANL", "BNL", 50, 3)
+	if len(specs) < 50 {
+		t.Fatalf("sweep produced %d specs, want >= 50 subjects", len(specs))
+	}
+	w := NewWorld()
+	eng := simulate.NewEngine(w, 3)
+	eng.Submit(specs...)
+	l, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Records) != len(specs) {
+		t.Errorf("ran %d of %d sweep transfers", len(l.Records), len(specs))
+	}
+}
+
+func TestLoadSweepProducesLoadVariation(t *testing.T) {
+	w := NewWorld()
+	eng := simulate.NewEngine(w, 5)
+	eng.Submit(LoadSweep("ANL", "BNL", 80, 5)...)
+	l, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Subject transfers must span a range of rates (competition varies).
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := range l.Records {
+		r := &l.Records[i]
+		if r.Src == EndpointID("ANL") && r.Dst == EndpointID("BNL") {
+			rate := r.Rate()
+			lo = math.Min(lo, rate)
+			hi = math.Max(hi, rate)
+		}
+	}
+	if hi/lo < 1.5 {
+		t.Errorf("sweep rates span only %.2fx (%.0f..%.0f); need visible load effects", hi/lo, lo, hi)
+	}
+}
+
+func TestEndpointID(t *testing.T) {
+	if EndpointID("ANL") != "ANL-tb" {
+		t.Error("EndpointID wrong")
+	}
+}

@@ -1,0 +1,201 @@
+// Package repro is a reproduction of "Explaining Wide Area Data Transfer
+// Performance" (Liu, Balaprakash, Kettimuthu, Foster — HPDC 2017): a
+// complete, self-contained Go implementation of the paper's data-driven
+// transfer-performance modeling pipeline, together with every substrate it
+// needs — a fluid-flow discrete-event simulator of a Globus-like wide-area
+// transfer fabric (standing in for the proprietary production logs), the
+// §4 feature engineering, linear and gradient-boosted regression models
+// built from scratch, the §3 analytical bound, and drivers that regenerate
+// every table and figure of the paper's evaluation.
+//
+// The package exposes a small facade over the internal machinery:
+//
+//	cfg := repro.DefaultConfig()
+//	pl, _ := repro.NewPipeline(cfg)          // simulate + engineer features
+//	edges := pl.StudyEdges()                 // the 30 heavily used edges
+//	pred, _ := repro.TrainEdgePredictor(pl, edges[0].Edge)
+//	rate, _ := pred.Predict(repro.PlannedTransfer{ ... })
+//
+// See the examples/ directory for runnable programs and DESIGN.md for the
+// system inventory.
+package repro
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/analytical"
+	"repro/internal/core"
+	"repro/internal/features"
+	"repro/internal/logs"
+	"repro/internal/ml/gbt"
+	"repro/internal/simulate"
+)
+
+// Re-exported types: the facade's vocabulary.
+type (
+	// Config controls synthetic world and workload generation.
+	Config = simulate.Config
+	// Pipeline bundles a simulated log with its engineered features.
+	Pipeline = core.Pipeline
+	// EdgeData is one selected edge with its qualifying transfers.
+	EdgeData = core.EdgeData
+	// EdgeKey identifies a directed source→destination endpoint pair.
+	EdgeKey = logs.EdgeKey
+	// Log is an in-memory transfer log.
+	Log = logs.Log
+	// Record is one completed transfer.
+	Record = logs.Record
+	// Measurements holds the §3 analytical model's three subsystem peaks.
+	Measurements = analytical.Measurements
+)
+
+// DefaultConfig is the full-scale configuration behind the paper-scale
+// experiments (~50k transfers, 30+ heavily used edges).
+func DefaultConfig() Config { return simulate.DefaultConfig() }
+
+// SmallConfig is a reduced configuration for fast experimentation.
+func SmallConfig() Config { return simulate.SmallConfig() }
+
+// NewPipeline simulates a transfer fabric with the given configuration and
+// engineers the §4 features for every logged transfer.
+func NewPipeline(cfg Config) (*Pipeline, error) { return core.Run(cfg) }
+
+// PipelineFromLog builds a pipeline from an existing transfer log, e.g. one
+// parsed from CSV with logs.ReadCSV.
+func PipelineFromLog(l *Log) *Pipeline { return core.FromLog(l) }
+
+// PlannedTransfer describes a transfer that has not run yet, plus the
+// expected competing-load conditions, in the units of Table 2. Competing
+// loads can be estimated from recent history (see Pipeline and the
+// examples/whatif program).
+type PlannedTransfer struct {
+	Bytes float64 // total bytes to move (Nb)
+	Files int     // number of files (Nf)
+	Dirs  int     // number of directories (Nd)
+	Conc  int     // concurrency C
+	Par   int     // parallelism P
+
+	// Competing load at the source and destination endpoints.
+	Ksout, Ksin, Kdin, Kdout float64 // contending transfer rates, MB/s
+	Ssout, Ssin, Sdin, Sdout float64 // contending TCP stream counts
+	Gsrc, Gdst               float64 // contending GridFTP instance counts
+}
+
+// vector converts the plan into the model's feature layout.
+func (t PlannedTransfer) vector() features.Vector {
+	return features.Vector{
+		Ksout: t.Ksout, Ksin: t.Ksin, Kdin: t.Kdin, Kdout: t.Kdout,
+		Ssout: t.Ssout, Ssin: t.Ssin, Sdin: t.Sdin, Sdout: t.Sdout,
+		Gsrc: t.Gsrc, Gdst: t.Gdst,
+		C: float64(t.Conc), P: float64(t.Par),
+		Nf: float64(t.Files), Nd: float64(t.Dirs), Nb: t.Bytes,
+	}
+}
+
+// EdgePredictor predicts transfer rates on one edge using the paper's
+// nonlinear (gradient-boosted tree) model trained on that edge's history.
+type EdgePredictor struct {
+	Edge  EdgeKey
+	Rmax  float64 // highest rate seen on the edge, MB/s
+	model *gbt.Model
+}
+
+// TrainEdgePredictor trains a nonlinear model on the edge's qualifying
+// transfers (rate ≥ 0.5·Rmax, per §4.3.2). It returns an error when the
+// edge is not in the pipeline's study set.
+func TrainEdgePredictor(pl *Pipeline, edge EdgeKey) (*EdgePredictor, error) {
+	edges := pl.StudyEdges()
+	ed, err := core.EdgeByKey(edges, edge)
+	if err != nil {
+		// Fall back to any edge with enough data at the default threshold.
+		all := pl.SelectEdges(core.MinEdgeTransfers, core.DefaultThreshold, 0)
+		if ed, err = core.EdgeByKey(all, edge); err != nil {
+			return nil, err
+		}
+	}
+	vecs := pl.VectorsAt(ed.Qualifying)
+	ds, err := features.Dataset(vecs, false)
+	if err != nil {
+		return nil, err
+	}
+	m, err := gbt.Train(ds, gbt.DefaultParams())
+	if err != nil {
+		return nil, err
+	}
+	return &EdgePredictor{Edge: edge, Rmax: ed.Rmax, model: m}, nil
+}
+
+// Predict returns the expected average transfer rate in MB/s for a planned
+// transfer under the given load conditions.
+func (p *EdgePredictor) Predict(t PlannedTransfer) (float64, error) {
+	if t.Bytes <= 0 || t.Files <= 0 || t.Conc <= 0 || t.Par <= 0 {
+		return 0, fmt.Errorf("repro: planned transfer needs positive bytes/files/conc/par")
+	}
+	v := t.vector()
+	rate, err := p.model.Predict(v.Values(false))
+	if err != nil {
+		return 0, err
+	}
+	if rate < 0 {
+		rate = 0
+	}
+	return rate, nil
+}
+
+// PredictDuration returns the expected wall-clock duration in seconds.
+func (p *EdgePredictor) PredictDuration(t PlannedTransfer) (float64, error) {
+	rate, err := p.Predict(t)
+	if err != nil {
+		return 0, err
+	}
+	if rate <= 0 {
+		return 0, fmt.Errorf("repro: predicted rate is zero")
+	}
+	return t.Bytes / 1e6 / rate, nil
+}
+
+// predictorEnvelope frames a serialized predictor with its edge identity.
+type predictorEnvelope struct {
+	Edge  EdgeKey         `json:"edge"`
+	Rmax  float64         `json:"rmax_mbps"`
+	Model json.RawMessage `json:"model"`
+}
+
+// Save serializes the predictor (edge identity, Rmax, and the trained
+// ensemble) as JSON, so models trained on historical logs can be shipped
+// to the service that uses them.
+func (p *EdgePredictor) Save(w io.Writer) error {
+	var buf bytes.Buffer
+	if err := p.model.Save(&buf); err != nil {
+		return err
+	}
+	return json.NewEncoder(w).Encode(predictorEnvelope{
+		Edge: p.Edge, Rmax: p.Rmax, Model: json.RawMessage(buf.Bytes()),
+	})
+}
+
+// LoadEdgePredictor reads a predictor previously written by Save.
+func LoadEdgePredictor(r io.Reader) (*EdgePredictor, error) {
+	var env predictorEnvelope
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return nil, fmt.Errorf("repro: decoding predictor: %w", err)
+	}
+	m, err := gbt.Load(bytes.NewReader(env.Model))
+	if err != nil {
+		return nil, err
+	}
+	return &EdgePredictor{Edge: env.Edge, Rmax: env.Rmax, model: m}, nil
+}
+
+// AnalyticalBound evaluates Equation 1: the maximum achievable end-to-end
+// rate given the three subsystem peaks, and the subsystem that binds.
+func AnalyticalBound(m Measurements) (bound float64, bottleneck string, err error) {
+	b, which, err := m.Bound()
+	if err != nil {
+		return 0, "", err
+	}
+	return b, which.String(), nil
+}

@@ -1,0 +1,188 @@
+package repro
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/internal/logs"
+)
+
+var (
+	plOnce  sync.Once
+	pl      *Pipeline
+	plEdges []EdgeData
+	plErr   error
+)
+
+func pipeline(t *testing.T) (*Pipeline, []EdgeData) {
+	t.Helper()
+	plOnce.Do(func() {
+		pl, plErr = NewPipeline(SmallConfig())
+		if plErr == nil {
+			plEdges = pl.StudyEdges()
+		}
+	})
+	if plErr != nil {
+		t.Fatal(plErr)
+	}
+	if len(plEdges) == 0 {
+		t.Fatal("no study edges")
+	}
+	return pl, plEdges
+}
+
+func TestNewPipeline(t *testing.T) {
+	p, _ := pipeline(t)
+	if len(p.Log.Records) == 0 {
+		t.Fatal("pipeline produced no transfers")
+	}
+}
+
+func TestTrainAndPredict(t *testing.T) {
+	p, edges := pipeline(t)
+	pred, err := TrainEdgePredictor(p, edges[0].Edge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := PlannedTransfer{Bytes: 10e9, Files: 100, Dirs: 5, Conc: 4, Par: 4}
+	quiet, err := pred.Predict(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quiet <= 0 || quiet > pred.Rmax*1.5 {
+		t.Errorf("quiet prediction %.1f outside (0, 1.5·Rmax=%.1f]", quiet, pred.Rmax*1.5)
+	}
+	// Heavy destination load must not predict a faster transfer.
+	plan.Kdin = pred.Rmax
+	plan.Sdin = 64
+	plan.Gdst = 16
+	busy, err := pred.Predict(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if busy > quiet {
+		t.Errorf("busy prediction %.1f exceeds quiet %.1f", busy, quiet)
+	}
+}
+
+func TestPredictDuration(t *testing.T) {
+	p, edges := pipeline(t)
+	pred, err := TrainEdgePredictor(p, edges[0].Edge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := PlannedTransfer{Bytes: 10e9, Files: 100, Dirs: 5, Conc: 4, Par: 4}
+	rate, _ := pred.Predict(plan)
+	dur, err := pred.PredictDuration(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 10e9 / 1e6 / rate
+	if dur != want {
+		t.Errorf("duration %.1f inconsistent with rate (want %.1f)", dur, want)
+	}
+}
+
+func TestPredictValidation(t *testing.T) {
+	p, edges := pipeline(t)
+	pred, err := TrainEdgePredictor(p, edges[0].Edge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []PlannedTransfer{
+		{Bytes: 0, Files: 1, Conc: 1, Par: 1},
+		{Bytes: 1e9, Files: 0, Conc: 1, Par: 1},
+		{Bytes: 1e9, Files: 1, Conc: 0, Par: 1},
+		{Bytes: 1e9, Files: 1, Conc: 1, Par: 0},
+	}
+	for i, plan := range bad {
+		if _, err := pred.Predict(plan); err == nil {
+			t.Errorf("bad plan %d accepted", i)
+		}
+	}
+}
+
+func TestTrainUnknownEdge(t *testing.T) {
+	p, _ := pipeline(t)
+	if _, err := TrainEdgePredictor(p, EdgeKey{Src: "no", Dst: "where"}); err == nil {
+		t.Error("unknown edge accepted")
+	}
+}
+
+func TestAnalyticalBound(t *testing.T) {
+	bound, who, err := AnalyticalBound(Measurements{DRmax: 9, MMmax: 8, DWmax: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound != 7 || who != "disk write" {
+		t.Errorf("bound %g by %q", bound, who)
+	}
+	if _, _, err := AnalyticalBound(Measurements{}); err == nil {
+		t.Error("empty measurements accepted")
+	}
+}
+
+func TestPipelineFromCSVRoundTrip(t *testing.T) {
+	p, _ := pipeline(t)
+	var buf bytes.Buffer
+	if err := p.Log.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := logs.ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-attach the endpoint directory (CSV stores records only).
+	for id, ep := range p.Log.Endpoints {
+		back.Endpoints[id] = ep
+	}
+	p2 := PipelineFromLog(back)
+	if len(p2.Vecs) != len(p.Vecs) {
+		t.Fatalf("round-tripped pipeline has %d vectors, want %d", len(p2.Vecs), len(p.Vecs))
+	}
+	e1 := p.StudyEdges()
+	e2 := p2.StudyEdges()
+	if len(e1) != len(e2) {
+		t.Fatalf("study edges differ after round trip: %d vs %d", len(e1), len(e2))
+	}
+	for i := range e1 {
+		if e1[i].Edge != e2[i].Edge {
+			t.Errorf("edge %d differs: %s vs %s", i, e1[i].Edge, e2[i].Edge)
+		}
+	}
+}
+
+func TestPredictorSaveLoad(t *testing.T) {
+	p, edges := pipeline(t)
+	pred, err := TrainEdgePredictor(p, edges[0].Edge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := pred.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadEdgePredictor(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Edge != pred.Edge || back.Rmax != pred.Rmax {
+		t.Errorf("identity lost: %+v vs %+v", back.Edge, pred.Edge)
+	}
+	plan := PlannedTransfer{Bytes: 10e9, Files: 100, Dirs: 5, Conc: 4, Par: 4, Kdin: 12}
+	want, _ := pred.Predict(plan)
+	got, err := back.Predict(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("prediction differs after round trip: %g vs %g", got, want)
+	}
+}
+
+func TestLoadEdgePredictorGarbage(t *testing.T) {
+	if _, err := LoadEdgePredictor(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Error("garbage accepted")
+	}
+}
