@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: check build vet test race fuzz
+
+# The full gate: what CI (and a careful human) runs before merging.
+check: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz pass over the CSV ingestion round-trip properties.
+fuzz:
+	$(GO) test ./internal/logs -run '^$$' -fuzz FuzzReadCSV -fuzztime 30s

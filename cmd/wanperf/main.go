@@ -28,76 +28,180 @@
 //	global     the single model for all edges (§5.4)
 //	lmt        the storage-monitoring experiment (§5.5.2)
 //	ablation   feature-group ablation study (which features carry accuracy)
+//	chaos      fault-intensity sweep: model accuracy vs injected disruption
 //	all        everything above, in paper order
 //
 // Flags (shared):
 //
-//	-seed N     RNG seed (default 42)
-//	-small      use the reduced workload (fast, for exploration)
-//	-out FILE   for simulate: CSV output path (default stdout)
+//	-seed N           RNG seed (default 42)
+//	-small            use the reduced workload (fast, for exploration)
+//	-out FILE         for simulate: CSV output path (default stdout)
+//	-intensities LIST for chaos: comma-separated fault intensities
+//
+// Exit status is 0 on success, 1 on a runtime error, and 2 on a usage
+// error.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
+	"os/signal"
+	"strconv"
 	"strings"
+	"syscall"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/simulate"
 )
 
+// errUsage marks errors that should print usage and exit with status 2.
+var errUsage = errors.New("usage error")
+
+// main is the only place the process exits, so deferred cleanup anywhere
+// below it always runs; SIGINT/SIGTERM cancel ctx and the simulation
+// returns promptly instead of being killed mid-write.
 func main() {
-	if len(os.Args) < 2 || os.Args[1] == "-h" || os.Args[1] == "help" {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	code := realMain(ctx, os.Args[1:])
+	stop()
+	os.Exit(code)
+}
+
+func realMain(ctx context.Context, args []string) int {
+	cmd, cfg, opts, err := parseArgs(args)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			usage()
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "wanperf:", err)
 		usage()
-		os.Exit(2)
+		return 2
 	}
-	cmd := os.Args[1]
-	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	if err := run(ctx, cmd, cfg, opts); err != nil {
+		if errors.Is(err, errUsage) {
+			fmt.Fprintln(os.Stderr, "wanperf:", err)
+			usage()
+			return 2
+		}
+		fmt.Fprintln(os.Stderr, "wanperf:", err)
+		return 1
+	}
+	return 0
+}
+
+// options carries the per-command flag values into run.
+type options struct {
+	out         string
+	intensities []float64
+}
+
+func parseArgs(args []string) (cmd string, cfg simulate.Config, opts options, err error) {
+	cfg = simulate.DefaultConfig()
+	if len(args) < 1 {
+		return "", cfg, opts, fmt.Errorf("%w: no command", errUsage)
+	}
+	cmd = args[0]
+	if cmd == "-h" || cmd == "-help" || cmd == "--help" || cmd == "help" {
+		return "", cfg, opts, flag.ErrHelp
+	}
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	seed := fs.Int64("seed", 42, "RNG seed")
 	small := fs.Bool("small", false, "use the reduced workload")
 	out := fs.String("out", "", "output path for simulate (default stdout)")
-	if err := fs.Parse(os.Args[2:]); err != nil {
-		os.Exit(2)
+	intensities := fs.String("intensities", "0,0.5,1,2,4",
+		"comma-separated fault intensities for the chaos sweep")
+	if err := fs.Parse(args[1:]); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return "", cfg, opts, flag.ErrHelp
+		}
+		return "", cfg, opts, fmt.Errorf("%w: %v", errUsage, err)
 	}
-
-	cfg := simulate.DefaultConfig()
 	if *small {
 		cfg = simulate.SmallConfig()
 	}
 	cfg.Seed = *seed
-
-	if err := run(cmd, cfg, *out); err != nil {
-		fmt.Fprintln(os.Stderr, "wanperf:", err)
-		os.Exit(1)
+	opts.out = *out
+	if opts.intensities, err = parseIntensities(*intensities); err != nil {
+		return "", cfg, opts, fmt.Errorf("%w: %v", errUsage, err)
 	}
+	return cmd, cfg, opts, nil
+}
+
+// parseIntensities parses the -intensities flag: a comma-separated list of
+// non-negative fault-intensity multipliers.
+func parseIntensities(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad intensity %q", part)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("negative intensity %g", v)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty intensity list")
+	}
+	return out, nil
 }
 
 func usage() {
 	fmt.Fprintln(os.Stderr, strings.TrimSpace(`
-usage: wanperf <command> [-seed N] [-small] [-out FILE]
+usage: wanperf <command> [-seed N] [-small] [-out FILE] [-intensities LIST]
 commands: simulate edges models table1 table3 table4 table5
           fig3 fig4 fig5 fig6 fig8 fig9 fig12 fig13
-          eq1 global lmt ablation tuned worldspec all`))
+          eq1 global lmt ablation tuned worldspec chaos all`))
 }
 
 // needsPipeline reports whether the command requires a simulated log.
+// The chaos sweep simulates internally, once per intensity.
 func needsPipeline(cmd string) bool {
 	switch cmd {
-	case "table1", "fig3", "lmt":
+	case "table1", "fig3", "lmt", "chaos":
 		return false
 	}
 	return true
 }
 
-func run(cmd string, cfg simulate.Config, out string) error {
+// withOutput runs fn against the -out file (or stdout when unset) and
+// surfaces both fn's and Close's error — a short write that only fails at
+// close is still reported, and the single exit point in main guarantees
+// the close actually happens.
+func withOutput(out string, fn func(io.Writer) error) error {
+	if out == "" {
+		return fn(os.Stdout)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	werr := fn(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+func run(ctx context.Context, cmd string, cfg simulate.Config, opts options) error {
 	var pl *core.Pipeline
 	var edges []core.EdgeData
 	if needsPipeline(cmd) {
 		fmt.Fprintln(os.Stderr, "simulating...")
 		var err error
-		pl, err = core.Run(cfg)
+		pl, err = core.RunContext(ctx, cfg)
 		if err != nil {
 			return err
 		}
@@ -107,28 +211,23 @@ func run(cmd string, cfg simulate.Config, out string) error {
 
 	switch cmd {
 	case "simulate":
-		w := os.Stdout
-		if out != "" {
-			f, err := os.Create(out)
-			if err != nil {
-				return err
-			}
-			defer f.Close()
-			w = f
-		}
-		return pl.Log.WriteCSV(w)
+		return withOutput(opts.out, pl.Log.WriteCSV)
 
 	case "worldspec":
-		w := os.Stdout
-		if out != "" {
-			f, err := os.Create(out)
-			if err != nil {
-				return err
-			}
-			defer f.Close()
-			w = f
+		return withOutput(opts.out, func(w io.Writer) error {
+			return simulate.WriteWorldSpec(w, simulate.SpecFromWorld(pl.Gen.World))
+		})
+
+	case "chaos":
+		ccfg := chaos.DefaultConfig(cfg.Seed, cfg.Horizon)
+		fmt.Fprintf(os.Stderr, "chaos sweep over intensities %v...\n", opts.intensities)
+		points, err := core.ChaosSweep(ctx, cfg, ccfg, opts.intensities,
+			core.MinEdgeTransfers, core.NumEdges)
+		if err != nil {
+			return err
 		}
-		return simulate.WriteWorldSpec(w, simulate.SpecFromWorld(pl.Gen.World))
+		fmt.Println("== model accuracy vs injected fault intensity ==")
+		fmt.Print(core.RenderChaos(points))
 
 	case "edges":
 		for _, ed := range edges {
@@ -282,8 +381,7 @@ func run(cmd string, cfg simulate.Config, out string) error {
 		return runAll(pl, edges, cfg)
 
 	default:
-		usage()
-		return fmt.Errorf("unknown command %q", cmd)
+		return fmt.Errorf("%w: unknown command %q", errUsage, cmd)
 	}
 	return nil
 }

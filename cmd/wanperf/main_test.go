@@ -1,14 +1,18 @@
 package main
 
 import (
+	"context"
+	"errors"
+	"reflect"
 	"testing"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/simulate"
 )
 
 func TestNeedsPipeline(t *testing.T) {
-	for _, cmd := range []string{"table1", "fig3", "lmt"} {
+	for _, cmd := range []string{"table1", "fig3", "lmt", "chaos"} {
 		if needsPipeline(cmd) {
 			t.Errorf("%s should not need a pipeline", cmd)
 		}
@@ -24,8 +28,93 @@ func TestRunUnknownCommand(t *testing.T) {
 	cfg := simulate.SmallConfig()
 	// Unknown commands need a pipeline (the default path), so this also
 	// exercises the simulate-then-dispatch flow end to end.
-	if err := run("definitely-not-a-command", cfg, ""); err == nil {
-		t.Error("unknown command accepted")
+	err := run(context.Background(), "definitely-not-a-command", cfg, options{})
+	if err == nil {
+		t.Fatal("unknown command accepted")
+	}
+	if !errors.Is(err, errUsage) {
+		t.Errorf("unknown command error %v should map to exit code 2", err)
+	}
+}
+
+func TestRealMainExitCodes(t *testing.T) {
+	ctx := context.Background()
+	cases := []struct {
+		args []string
+		want int
+	}{
+		{nil, 2},                                    // no command
+		{[]string{"help"}, 0},                       // explicit help
+		{[]string{"edges", "-badflag"}, 2},          // flag error
+		{[]string{"chaos", "-intensities", "x"}, 2}, // unparseable intensity
+		{[]string{"chaos", "-intensities", "-1"}, 2},
+	}
+	for _, c := range cases {
+		if got := realMain(ctx, c.args); got != c.want {
+			t.Errorf("realMain(%q) = %d, want %d", c.args, got, c.want)
+		}
+	}
+}
+
+func TestRealMainCancelledIsRuntimeError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if got := realMain(ctx, []string{"edges", "-small"}); got != 1 {
+		t.Errorf("cancelled run exited %d, want 1", got)
+	}
+}
+
+func TestParseIntensities(t *testing.T) {
+	got, err := parseIntensities(" 0, 0.5,2 ,4,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []float64{0, 0.5, 2, 4}; !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+	for _, bad := range []string{"", ",,", "a", "1;2", "-0.5"} {
+		if _, err := parseIntensities(bad); err == nil {
+			t.Errorf("intensity list %q accepted", bad)
+		}
+	}
+}
+
+// TestChaosCommand runs the chaos sweep end to end through the command
+// dispatcher on a tiny fabric, twice, pinning determinism.
+func TestChaosCommand(t *testing.T) {
+	cfg := simulate.SmallConfig()
+	cfg.Horizon = 5 * 24 * 3600
+	cfg.HeavyEdges = 3
+	cfg.HeavyTransfersMean = 300
+	cfg.TailEdges = 5
+	cfg.HubEndpoints = 5
+	cfg.PersonalEndpoints = 4
+
+	sweep := func() []core.ChaosPoint {
+		t.Helper()
+		ccfg := chaos.DefaultConfig(cfg.Seed, cfg.Horizon)
+		points, err := core.ChaosSweep(context.Background(), cfg, ccfg,
+			[]float64{0, 3}, 60, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return points
+	}
+	a, b := sweep(), sweep()
+	if len(a) != 2 || len(b) != 2 {
+		t.Fatalf("sweeps returned %d and %d points, want 2 each", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Transfers != b[i].Transfers || a[i].MeanFaults != b[i].MeanFaults ||
+			a[i].Aborts != b[i].Aborts {
+			t.Errorf("point %d differs across identical sweeps: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if a[0].Transfers == 0 {
+		t.Error("chaos sweep produced no transfers")
+	}
+	if out := core.RenderChaos(a); out == "" {
+		t.Error("empty rendering")
 	}
 }
 

@@ -1,0 +1,226 @@
+// Package chaos generates deterministic fault-injection regimes for the
+// simulator: endpoint outage windows, WAN degradation/flap events, and
+// correlated fault storms, drawn from seeded Poisson processes and scaled
+// by a single intensity knob. The paper's models treat the fault count
+// Nflt as a first-class feature and blame residual error on unobserved
+// disruption; this package makes that disruption an explicit, sweepable
+// experimental variable (see core.ChaosSweep and the `wanperf chaos`
+// command).
+//
+// A Config describes a regime's event rates and shapes; Plan expands it
+// against a concrete world into a simulate.ChaosPlan — pure data, fully
+// determined by Config.Seed, so every scenario replays exactly.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/simulate"
+)
+
+const week = 7 * 24 * 3600
+
+// Config parameterizes a fault regime. All rates are expected event counts
+// at Intensity 1; the generator scales them linearly with Intensity, so a
+// sweep over intensities is a sweep over how disrupted the fabric is while
+// keeping the regime's character fixed.
+type Config struct {
+	Seed      int64
+	Horizon   float64 // seconds of simulated time the regime covers
+	Intensity float64 // master knob; 0 disables every mechanism
+
+	// Endpoint outages (DTN down).
+	OutagesPerEndpointPerWeek float64
+	OutageMeanDur             float64 // mean seconds, exponential
+	OutageMaxDur              float64 // hard cap on one window
+	OutageAbortProb           float64 // chance an outage aborts in-flight transfers
+
+	// WAN degradation and flaps between random site pairs.
+	WANFaultsPerWeek float64 // fabric-wide event rate
+	WANFaultMeanDur  float64
+	WANFaultMaxDur   float64
+	WANFlapProb      float64 // chance an event is a flap (capacity ~0) vs degradation
+	WANMinCapFactor  float64 // degradations draw CapFactor in [this, 0.9]
+
+	// Correlated fault storms across the whole fabric.
+	StormsPerWeek    float64
+	StormMeanDur     float64
+	StormMaxDur      float64
+	StormHazardBoost float64 // hazard multiplier drawn in [2, 2+this]
+}
+
+// DefaultConfig is a production-flavored regime: roughly one outage per
+// endpoint per two weeks, a few WAN events and one storm per week — rare
+// enough that the fabric mostly works, frequent enough that every long log
+// records disruption, as real WAN transfer studies find.
+func DefaultConfig(seed int64, horizon float64) Config {
+	return Config{
+		Seed:      seed,
+		Horizon:   horizon,
+		Intensity: 1,
+
+		OutagesPerEndpointPerWeek: 0.5,
+		OutageMeanDur:             1800,
+		OutageMaxDur:              4 * 3600,
+		OutageAbortProb:           0.6,
+
+		WANFaultsPerWeek: 4,
+		WANFaultMeanDur:  900,
+		WANFaultMaxDur:   2 * 3600,
+		WANFlapProb:      0.35,
+		WANMinCapFactor:  0.2,
+
+		StormsPerWeek:    1,
+		StormMeanDur:     3600,
+		StormMaxDur:      6 * 3600,
+		StormHazardBoost: 18,
+	}
+}
+
+// WithIntensity returns a copy of the config at the given intensity.
+func (c Config) WithIntensity(x float64) Config {
+	c.Intensity = x
+	return c
+}
+
+// Plan expands the regime into a concrete disruption schedule for the
+// world. It is deterministic in (Config, world endpoint order) and returns
+// an empty plan at zero intensity.
+func Plan(c Config, w *simulate.World) *simulate.ChaosPlan {
+	p := &simulate.ChaosPlan{}
+	if c.Intensity <= 0 || c.Horizon <= 0 {
+		return p
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+
+	// Endpoint outages: one Poisson process per endpoint, in world order.
+	outageMean := meanGap(c.OutagesPerEndpointPerWeek, c.Intensity)
+	for _, ep := range w.Endpoints {
+		for _, start := range poissonTimes(rng, c.Horizon, outageMean) {
+			p.Outages = append(p.Outages, simulate.OutageEvent{
+				EndpointID: ep.ID,
+				Start:      start,
+				End:        start + window(rng, c.OutageMeanDur, c.OutageMaxDur),
+				Abort:      rng.Float64() < c.OutageAbortProb,
+			})
+		}
+	}
+
+	// WAN events between random distinct site pairs.
+	sites := siteNames(w)
+	if len(sites) >= 2 {
+		for _, start := range poissonTimes(rng, c.Horizon, meanGap(c.WANFaultsPerWeek, c.Intensity)) {
+			a := sites[rng.Intn(len(sites))]
+			b := sites[rng.Intn(len(sites))]
+			for b == a {
+				b = sites[rng.Intn(len(sites))]
+			}
+			factor := c.WANMinCapFactor + rng.Float64()*(0.9-c.WANMinCapFactor)
+			dur := window(rng, c.WANFaultMeanDur, c.WANFaultMaxDur)
+			if rng.Float64() < c.WANFlapProb {
+				// A flap: the path all but disappears, briefly.
+				factor = 0.02
+				dur = 30 + rng.Float64()*270
+			}
+			p.WANFaults = append(p.WANFaults, simulate.WANFault{
+				SiteA: a, SiteB: b,
+				Start: start, End: start + dur,
+				CapFactor: factor,
+			})
+		}
+	}
+
+	// Fabric-wide fault storms.
+	for _, start := range poissonTimes(rng, c.Horizon, meanGap(c.StormsPerWeek, c.Intensity)) {
+		p.Storms = append(p.Storms, simulate.FaultStorm{
+			Start:        start,
+			End:          start + window(rng, c.StormMeanDur, c.StormMaxDur),
+			HazardFactor: 2 + rng.Float64()*c.StormHazardBoost,
+		})
+	}
+	return p
+}
+
+// meanGap converts an events-per-week rate at the given intensity into a
+// mean inter-event gap in seconds (0 = mechanism off).
+func meanGap(perWeek, intensity float64) float64 {
+	rate := perWeek * intensity / week
+	if rate <= 0 {
+		return 0 // poissonTimes treats non-positive mean as disabled
+	}
+	return 1 / rate
+}
+
+// poissonTimes samples event start times on [0, horizon) with the given
+// mean gap; a non-positive mean yields no events.
+func poissonTimes(rng *rand.Rand, horizon, mean float64) []float64 {
+	if mean <= 0 {
+		return nil
+	}
+	var out []float64
+	for t := rng.ExpFloat64() * mean; t < horizon; t += rng.ExpFloat64() * mean {
+		out = append(out, t)
+	}
+	return out
+}
+
+// window draws an exponential duration with the given mean, capped.
+func window(rng *rand.Rand, mean, max float64) float64 {
+	d := rng.ExpFloat64() * mean
+	if max > 0 && d > max {
+		d = max
+	}
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// siteNames returns the distinct site names of the world's endpoints in
+// first-seen (deterministic) order.
+func siteNames(w *simulate.World) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, ep := range w.Endpoints {
+		if !seen[ep.Site.Name] {
+			seen[ep.Site.Name] = true
+			out = append(out, ep.Site.Name)
+		}
+	}
+	return out
+}
+
+// EventCount returns the total number of scheduled disruptions in a plan,
+// handy for reporting and tests.
+func EventCount(p *simulate.ChaosPlan) int {
+	if p == nil {
+		return 0
+	}
+	return len(p.Outages) + len(p.WANFaults) + len(p.Storms)
+}
+
+// Describe summarizes a plan as sorted one-line strings (for logs and
+// debugging); it does not mutate the plan.
+func Describe(p *simulate.ChaosPlan) []string {
+	if p == nil {
+		return nil
+	}
+	var out []string
+	for _, o := range p.Outages {
+		mode := "stall"
+		if o.Abort {
+			mode = "abort"
+		}
+		out = append(out, fmt.Sprintf("outage %s [%.0f, %.0f) %s", o.EndpointID, o.Start, o.End, mode))
+	}
+	for _, f := range p.WANFaults {
+		out = append(out, fmt.Sprintf("wan %s~%s [%.0f, %.0f) cap×%.2f", f.SiteA, f.SiteB, f.Start, f.End, f.CapFactor))
+	}
+	for _, s := range p.Storms {
+		out = append(out, fmt.Sprintf("storm [%.0f, %.0f) hazard×%.1f", s.Start, s.End, s.HazardFactor))
+	}
+	sort.Strings(out)
+	return out
+}

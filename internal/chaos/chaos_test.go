@@ -1,0 +1,111 @@
+package chaos
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/logs"
+	"repro/internal/simulate"
+)
+
+// testWorld builds a small multi-site world for regime generation.
+func testWorld(t *testing.T) *simulate.World {
+	t.Helper()
+	names := []string{"ANL", "BNL", "NERSC", "ORNL"}
+	var eps []*simulate.Endpoint
+	for _, n := range names {
+		site, ok := geo.FindSite(n)
+		if !ok {
+			t.Fatalf("site %s not in catalogue", n)
+		}
+		eps = append(eps, &simulate.Endpoint{
+			ID: n + "-dtn", Site: site, Type: logs.GCS,
+			DiskReadMBps:    800,
+			DiskWriteMBps:   600,
+			NICMBps:         1250,
+			PerProcDiskMBps: 200,
+			CPUKnee:         1000,
+			CPUSteep:        2,
+		})
+	}
+	return simulate.NewWorld(eps)
+}
+
+func TestPlanDeterministic(t *testing.T) {
+	w := testWorld(t)
+	c := DefaultConfig(7, 14*24*3600)
+	a := Plan(c, w)
+	b := Plan(c, w)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same config and world produced different plans")
+	}
+	if EventCount(a) == 0 {
+		t.Fatal("default regime over two weeks produced no events")
+	}
+	other := Plan(DefaultConfig(8, 14*24*3600), w)
+	if reflect.DeepEqual(a, other) {
+		t.Error("different seeds produced identical plans")
+	}
+}
+
+func TestPlanZeroIntensityEmpty(t *testing.T) {
+	w := testWorld(t)
+	p := Plan(DefaultConfig(1, week).WithIntensity(0), w)
+	if !p.Empty() {
+		t.Fatalf("zero intensity produced %d events", EventCount(p))
+	}
+	if !Plan(DefaultConfig(1, 0), w).Empty() {
+		t.Error("zero horizon should produce an empty plan")
+	}
+}
+
+func TestPlanIntensityScaling(t *testing.T) {
+	w := testWorld(t)
+	base := DefaultConfig(3, 60*24*3600)
+	lo := EventCount(Plan(base.WithIntensity(0.5), w))
+	hi := EventCount(Plan(base.WithIntensity(4), w))
+	if hi <= lo {
+		t.Errorf("intensity 4 produced %d events, intensity 0.5 produced %d", hi, lo)
+	}
+}
+
+func TestPlanValidates(t *testing.T) {
+	w := testWorld(t)
+	for _, x := range []float64{0.25, 1, 3} {
+		p := Plan(DefaultConfig(11, 30*24*3600).WithIntensity(x), w)
+		if err := p.Validate(w); err != nil {
+			t.Errorf("intensity %g: generated plan invalid: %v", x, err)
+		}
+	}
+}
+
+func TestPlanShapes(t *testing.T) {
+	w := testWorld(t)
+	p := Plan(DefaultConfig(5, 90*24*3600), w)
+	for _, o := range p.Outages {
+		if o.End <= o.Start {
+			t.Errorf("outage window [%g, %g] inverted", o.Start, o.End)
+		}
+	}
+	for _, f := range p.WANFaults {
+		if f.SiteA == f.SiteB {
+			t.Errorf("WAN fault with identical sites %q", f.SiteA)
+		}
+		if f.CapFactor <= 0 || f.CapFactor >= 1 {
+			t.Errorf("WAN CapFactor %g outside (0, 1)", f.CapFactor)
+		}
+	}
+	for _, s := range p.Storms {
+		if s.HazardFactor < 2 {
+			t.Errorf("storm hazard factor %g below its floor", s.HazardFactor)
+		}
+		if math.IsInf(s.End, 0) || s.End <= s.Start {
+			t.Errorf("storm window [%g, %g] malformed", s.Start, s.End)
+		}
+	}
+	if got := len(Describe(p)); got != EventCount(p) {
+		t.Errorf("Describe produced %d lines for %d events", got, EventCount(p))
+	}
+}

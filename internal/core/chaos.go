@@ -1,0 +1,122 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/chaos"
+	"repro/internal/features"
+	"repro/internal/simulate"
+	"repro/internal/stats"
+)
+
+// ChaosPoint is one row of the fault-intensity sweep: the regime intensity,
+// what disruption actually materialized, and how well the paper's two model
+// families explain transfer rates under it. MdAPEs are NaN when no edge
+// had enough qualifying transfers to train on.
+type ChaosPoint struct {
+	Intensity   float64
+	Transfers   int     // completed (logged) transfers
+	Edges       int     // study edges that still qualified
+	MeanFaults  float64 // mean Nflt per logged transfer
+	MeanRetries float64 // mean whole-transfer retries per logged transfer
+	FaultShare  float64 // fraction of transfers with Nflt > 0
+	Aborts      int     // in-flight transfers killed by outages
+	Abandoned   int     // transfers that exhausted their retry budget
+	LinMdAPE    float64 // median per-edge linear MdAPE (%)
+	XGBMdAPE    float64 // median per-edge nonlinear MdAPE (%)
+}
+
+// ChaosSweep extends the paper's §5 error analysis into the faulty regime:
+// for each intensity it simulates the same workload under a progressively
+// harsher fault regime (every run self-validated by CheckInvariants),
+// re-engineers the features, retrains both model families per edge, and
+// reports model accuracy against realized fault rates. Edges are selected
+// with the given qualifying-transfer floor and cap (pass MinEdgeTransfers /
+// NumEdges for the paper's working set). Deterministic in cfg.Seed and
+// ccfg.Seed.
+func ChaosSweep(ctx context.Context, cfg simulate.Config, ccfg chaos.Config, intensities []float64, minQualifying, maxEdges int) ([]ChaosPoint, error) {
+	if len(intensities) == 0 {
+		return nil, fmt.Errorf("core: chaos sweep needs at least one intensity")
+	}
+	out := make([]ChaosPoint, 0, len(intensities))
+	for _, x := range intensities {
+		if x < 0 {
+			return nil, fmt.Errorf("core: negative chaos intensity %g", x)
+		}
+		g, err := simulate.Generate(cfg)
+		if err != nil {
+			return nil, err
+		}
+		plan := chaos.Plan(ccfg.WithIntensity(x), g.World)
+		l, st, _, err := simulate.GenerateLogChaos(ctx, cfg, plan)
+		if err != nil {
+			return nil, fmt.Errorf("core: chaos intensity %g: %w", x, err)
+		}
+		pt := ChaosPoint{
+			Intensity: x,
+			Transfers: len(l.Records),
+			Aborts:    st.OutageAborts,
+			Abandoned: st.Abandoned,
+			LinMdAPE:  math.NaN(),
+			XGBMdAPE:  math.NaN(),
+		}
+		var faulted int
+		for i := range l.Records {
+			pt.MeanFaults += float64(l.Records[i].Faults)
+			pt.MeanRetries += float64(l.Records[i].Retries)
+			if l.Records[i].Faults > 0 {
+				faulted++
+			}
+		}
+		if pt.Transfers > 0 {
+			pt.MeanFaults /= float64(pt.Transfers)
+			pt.MeanRetries /= float64(pt.Transfers)
+			pt.FaultShare = float64(faulted) / float64(pt.Transfers)
+		}
+
+		pl := &Pipeline{Cfg: cfg, Gen: g, Log: l, Vecs: features.Engineer(l)}
+		edges := pl.SelectEdges(minQualifying, DefaultThreshold, maxEdges)
+		pt.Edges = len(edges)
+		if len(edges) > 0 {
+			results, err := pl.EvaluateEdges(edges)
+			if err != nil {
+				return nil, fmt.Errorf("core: chaos intensity %g: %w", x, err)
+			}
+			var lins, xgbs []float64
+			for _, r := range results {
+				lins = append(lins, r.LinMdAPE)
+				xgbs = append(xgbs, r.XGBMdAPE)
+			}
+			if pt.LinMdAPE, err = stats.Median(lins); err != nil {
+				return nil, err
+			}
+			if pt.XGBMdAPE, err = stats.Median(xgbs); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// RenderChaos renders the sweep as the MdAPE-vs-fault-rate table.
+func RenderChaos(points []ChaosPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%9s %9s %6s %9s %9s %8s %7s %7s %10s %10s\n",
+		"intensity", "transfers", "edges", "faults/tr", "retr/tr", "faulted%", "aborts", "abandon", "lin MdAPE", "xgb MdAPE")
+	mdape := func(v float64) string {
+		if math.IsNaN(v) {
+			return "-"
+		}
+		return fmt.Sprintf("%.1f%%", v)
+	}
+	for _, p := range points {
+		fmt.Fprintf(&b, "%9.2f %9d %6d %9.3f %9.3f %7.1f%% %7d %7d %10s %10s\n",
+			p.Intensity, p.Transfers, p.Edges, p.MeanFaults, p.MeanRetries,
+			100*p.FaultShare, p.Aborts, p.Abandoned, mdape(p.LinMdAPE), mdape(p.XGBMdAPE))
+	}
+	return b.String()
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/simulate"
+)
+
+func tinySweepConfig() simulate.Config {
+	cfg := simulate.SmallConfig()
+	cfg.Horizon = 5 * 24 * 3600
+	cfg.HeavyEdges = 3
+	cfg.HeavyTransfersMean = 300
+	cfg.TailEdges = 5
+	cfg.HubEndpoints = 5
+	cfg.PersonalEndpoints = 4
+	return cfg
+}
+
+// TestChaosSweep drives the full sweep on a tiny fabric: intensity 0 twice
+// (pinning determinism point-for-point) and a harsh regime once (pinning
+// that injected disruption actually reaches the metrics).
+func TestChaosSweep(t *testing.T) {
+	cfg := tinySweepConfig()
+	ccfg := chaos.DefaultConfig(99, cfg.Horizon)
+	points, err := ChaosSweep(context.Background(), cfg, ccfg, []float64{0, 0, 4}, 60, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("got %d points for 3 intensities", len(points))
+	}
+	calm, calm2, harsh := points[0], points[1], points[2]
+
+	if calm.Transfers == 0 {
+		t.Fatal("calm run produced no transfers")
+	}
+	if calm.Edges == 0 {
+		t.Fatal("calm run qualified no edges; shrink minQualifying or grow the config")
+	}
+	if math.IsNaN(calm.LinMdAPE) || math.IsNaN(calm.XGBMdAPE) {
+		t.Fatal("calm run trained no models")
+	}
+	if calm.Aborts != 0 || calm.Abandoned != 0 || calm.MeanRetries != 0 {
+		t.Errorf("zero intensity still injected disruption: %+v", calm)
+	}
+	if calm != calm2 {
+		t.Errorf("identical intensities diverged:\n%+v\n%+v", calm, calm2)
+	}
+
+	disrupted := harsh.Aborts > 0 || harsh.Abandoned > 0 ||
+		harsh.MeanRetries > 0 || harsh.MeanFaults > calm.MeanFaults
+	if !disrupted {
+		t.Errorf("intensity 4 left no trace in the metrics: %+v", harsh)
+	}
+
+	table := RenderChaos(points)
+	if !strings.Contains(table, "intensity") || strings.Count(table, "\n") != 4 {
+		t.Errorf("rendered table malformed:\n%s", table)
+	}
+	t.Logf("\n%s", table)
+}
+
+func TestChaosSweepRejectsBadInput(t *testing.T) {
+	cfg := tinySweepConfig()
+	ccfg := chaos.DefaultConfig(1, cfg.Horizon)
+	if _, err := ChaosSweep(context.Background(), cfg, ccfg, nil, 60, 2); err == nil {
+		t.Error("empty intensity list accepted")
+	}
+	if _, err := ChaosSweep(context.Background(), cfg, ccfg, []float64{-1}, 60, 2); err == nil {
+		t.Error("negative intensity accepted")
+	}
+}
+
+func TestChaosSweepHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := tinySweepConfig()
+	ccfg := chaos.DefaultConfig(1, cfg.Horizon)
+	if _, err := ChaosSweep(ctx, cfg, ccfg, []float64{1}, 60, 2); err == nil {
+		t.Error("cancelled sweep returned no error")
+	}
+}

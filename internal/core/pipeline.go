@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -37,7 +38,13 @@ const NumEdges = 30
 // Run generates the world and workload, simulates it, and engineers the
 // features. It is deterministic in cfg.Seed.
 func Run(cfg simulate.Config) (*Pipeline, error) {
-	l, g, err := simulate.GenerateLog(cfg)
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run under a context: a long simulation stops promptly with
+// the context's error when ctx is cancelled or times out.
+func RunContext(ctx context.Context, cfg simulate.Config) (*Pipeline, error) {
+	l, g, err := simulate.GenerateLogContext(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}

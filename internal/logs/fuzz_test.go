@@ -1,0 +1,73 @@
+package logs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV feeds arbitrary bytes through both CSV readers and checks the
+// recovery contract: neither reader may panic; whatever the lenient reader
+// keeps must survive a strict write→read round trip byte-identically; and
+// on input the strict reader accepts, the lenient reader accounts for every
+// strict record either by keeping it or by skipping it for a semantic
+// reason (non-finite values, negative duration) the strict reader does not
+// screen for.
+func FuzzReadCSV(f *testing.F) {
+	var clean bytes.Buffer
+	l := NewLog()
+	l.Append(Record{ID: 0, Src: "a", Dst: "b", Ts: 1.5, Te: 99, Bytes: 1e9, Files: 12, Dirs: 2, Conc: 4, Par: 8, Faults: 1, Retries: 2})
+	l.Append(Record{ID: 1, Src: "x", Dst: "y", Ts: 3, Te: 4, Bytes: 2e6, Files: 1, Dirs: 0, Conc: 1, Par: 1})
+	if err := l.WriteCSV(&clean); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(clean.Bytes())
+	f.Add([]byte("id,src,dst,ts,te,bytes,files,dirs,conc,par,faults\n1,a,b,1,2,3,4,5,6,7,8\n"))
+	f.Add([]byte(strings.Replace(clean.String(), "1.5", "NaN", 1)))
+	f.Add([]byte(strings.Replace(clean.String(), "99", "\"", 1)))
+	f.Add([]byte("id,src,dst\n"))
+	f.Add([]byte(""))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		strictLog, strictErr := ReadCSV(bytes.NewReader(data))
+
+		lenLog, st, err := ReadCSVLenient(bytes.NewReader(data))
+		if err != nil {
+			// Header unreadable: the strict reader must also have failed.
+			if strictErr == nil {
+				t.Fatalf("lenient rejected header but strict accepted: %v", err)
+			}
+			return
+		}
+		if st.Kept != len(lenLog.Records) || st.Kept+st.Skipped != st.Rows {
+			t.Fatalf("inconsistent stats: %s vs %d records", st, len(lenLog.Records))
+		}
+		if strictErr == nil {
+			accounted := st.Kept + st.Reasons[SkipFinite] + st.Reasons[SkipDuration]
+			if accounted < len(strictLog.Records) {
+				t.Fatalf("lenient accounts for %d records, strict parsed %d", accounted, len(strictLog.Records))
+			}
+		}
+
+		// Whatever survived must round-trip through the writer and the
+		// strict reader with stable bytes.
+		var out1 bytes.Buffer
+		if err := lenLog.WriteCSV(&out1); err != nil {
+			t.Fatalf("writing recovered log: %v", err)
+		}
+		back, err := ReadCSV(bytes.NewReader(out1.Bytes()))
+		if err != nil {
+			t.Fatalf("strict re-read of recovered log: %v", err)
+		}
+		if len(back.Records) != len(lenLog.Records) {
+			t.Fatalf("round trip lost records: %d vs %d", len(back.Records), len(lenLog.Records))
+		}
+		var out2 bytes.Buffer
+		if err := back.WriteCSV(&out2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out1.Bytes(), out2.Bytes()) {
+			t.Fatal("write→read→write is not stable")
+		}
+	})
+}

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 )
@@ -56,6 +57,10 @@ type Record struct {
 	Conc   int     // concurrency C
 	Par    int     // parallelism P
 	Faults int     // number of faults (Nflt); known only after the fact
+	// Retries counts whole-transfer restart attempts (endpoint outages that
+	// aborted the transfer mid-flight); like Nflt it is known only after the
+	// fact. Ts..Te spans every attempt including backoff waits.
+	Retries int
 }
 
 // Duration returns Te − Ts in seconds.
@@ -200,8 +205,13 @@ func (l *Log) SiteOf(id string) string {
 	return ""
 }
 
-// csvHeader is the column layout used by WriteCSV/ReadCSV.
-var csvHeader = []string{"id", "src", "dst", "ts", "te", "bytes", "files", "dirs", "conc", "par", "faults"}
+// csvHeader is the column layout used by WriteCSV/ReadCSV. The trailing
+// "retries" column was added with the fault-injection subsystem; readers
+// also accept the legacy layout without it (Retries defaults to 0).
+var csvHeader = []string{"id", "src", "dst", "ts", "te", "bytes", "files", "dirs", "conc", "par", "faults", "retries"}
+
+// legacyCols is the column count of pre-retries CSV files.
+const legacyCols = 11
 
 // WriteCSV writes the records (not the endpoint directory) as CSV.
 func (l *Log) WriteCSV(w io.Writer) error {
@@ -223,6 +233,7 @@ func (l *Log) WriteCSV(w io.Writer) error {
 		row[8] = strconv.Itoa(r.Conc)
 		row[9] = strconv.Itoa(r.Par)
 		row[10] = strconv.Itoa(r.Faults)
+		row[11] = strconv.Itoa(r.Retries)
 		if err := cw.Write(row); err != nil {
 			return err
 		}
@@ -231,21 +242,34 @@ func (l *Log) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
+// checkHeader validates a header row against the current or legacy column
+// layout, returning the number of data columns each row must have.
+func checkHeader(head []string) (cols int, err error) {
+	if len(head) != len(csvHeader) && len(head) != legacyCols {
+		return 0, fmt.Errorf("logs: header has %d columns, want %d (or legacy %d)", len(head), len(csvHeader), legacyCols)
+	}
+	for i, h := range head {
+		if h != csvHeader[i] {
+			return 0, fmt.Errorf("logs: header column %d is %q, want %q", i, h, csvHeader[i])
+		}
+	}
+	return len(head), nil
+}
+
 // ReadCSV parses records produced by WriteCSV into a fresh log (endpoint
-// directory left empty; callers re-attach it separately).
+// directory left empty; callers re-attach it separately). It is strict:
+// the first malformed row aborts the whole read. Use ReadCSVLenient for
+// best-effort ingestion of damaged files.
 func ReadCSV(r io.Reader) (*Log, error) {
 	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // column counts checked explicitly per row
 	head, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("logs: reading header: %w", err)
 	}
-	if len(head) != len(csvHeader) {
-		return nil, fmt.Errorf("logs: header has %d columns, want %d", len(head), len(csvHeader))
-	}
-	for i, h := range head {
-		if h != csvHeader[i] {
-			return nil, fmt.Errorf("logs: header column %d is %q, want %q", i, h, csvHeader[i])
-		}
+	cols, err := checkHeader(head)
+	if err != nil {
+		return nil, err
 	}
 	l := NewLog()
 	for {
@@ -256,7 +280,10 @@ func ReadCSV(r io.Reader) (*Log, error) {
 		if err != nil {
 			return nil, err
 		}
-		rec, err := parseRow(row)
+		if len(row) != cols {
+			return nil, fmt.Errorf("logs: row has %d columns, want %d", len(row), cols)
+		}
+		rec, _, err := parseRow(row)
 		if err != nil {
 			return nil, err
 		}
@@ -265,11 +292,111 @@ func ReadCSV(r io.Reader) (*Log, error) {
 	return l, nil
 }
 
-func parseRow(row []string) (Record, error) {
-	var r Record
-	var err error
-	fail := func(col string, e error) (Record, error) {
-		return Record{}, fmt.Errorf("logs: parsing %s: %w", col, e)
+// Skip reasons reported by ReadCSVLenient.
+const (
+	SkipSyntax   = "csv-syntax"        // unparseable CSV record (e.g. bare quote)
+	SkipColumns  = "column-count"      // wrong number of fields
+	SkipDuration = "negative-duration" // Te < Ts
+	SkipFinite   = "non-finite"        // NaN or Inf in ts/te/bytes
+)
+
+// IngestStats summarizes a lenient CSV read: how many data rows were seen,
+// kept, and skipped, with per-reason skip counts. Field-parse failures are
+// keyed "field:<column name>" (e.g. "field:ts"); structural and semantic
+// reasons use the Skip* constants.
+type IngestStats struct {
+	Rows    int // data rows encountered (header excluded)
+	Kept    int
+	Skipped int
+	Reasons map[string]int
+}
+
+func (s *IngestStats) skip(reason string) {
+	s.Skipped++
+	if s.Reasons == nil {
+		s.Reasons = make(map[string]int)
+	}
+	s.Reasons[reason]++
+}
+
+// String renders the stats as a single diagnostic line.
+func (s *IngestStats) String() string {
+	out := fmt.Sprintf("logs: %d rows, %d kept, %d skipped", s.Rows, s.Kept, s.Skipped)
+	if s.Skipped > 0 {
+		reasons := make([]string, 0, len(s.Reasons))
+		for r := range s.Reasons {
+			reasons = append(reasons, r)
+		}
+		sort.Strings(reasons)
+		for _, r := range reasons {
+			out += fmt.Sprintf(" %s=%d", r, s.Reasons[r])
+		}
+	}
+	return out
+}
+
+// ReadCSVLenient parses records produced by WriteCSV, skipping malformed
+// rows instead of failing the whole file. A row is skipped when it cannot
+// be tokenized as CSV, has the wrong column count, has an unparseable
+// field, contains a non-finite time/byte value, or ends before it starts;
+// every skip is tallied by reason in the returned stats. Only an unreadable
+// or mismatched header (the file is not a transfer log at all) is a hard
+// error.
+func ReadCSVLenient(r io.Reader) (*Log, *IngestStats, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	head, err := cr.Read()
+	if err != nil {
+		return nil, nil, fmt.Errorf("logs: reading header: %w", err)
+	}
+	cols, err := checkHeader(head)
+	if err != nil {
+		return nil, nil, err
+	}
+	l := NewLog()
+	st := &IngestStats{}
+	for {
+		row, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		st.Rows++
+		if err != nil {
+			// encoding/csv resumes at the next record after a per-record
+			// syntax error, so one mangled row costs only itself.
+			st.skip(SkipSyntax)
+			continue
+		}
+		if len(row) != cols {
+			st.skip(SkipColumns)
+			continue
+		}
+		rec, badCol, err := parseRow(row)
+		if err != nil {
+			st.skip("field:" + badCol)
+			continue
+		}
+		if math.IsNaN(rec.Ts) || math.IsInf(rec.Ts, 0) ||
+			math.IsNaN(rec.Te) || math.IsInf(rec.Te, 0) ||
+			math.IsNaN(rec.Bytes) || math.IsInf(rec.Bytes, 0) {
+			st.skip(SkipFinite)
+			continue
+		}
+		if rec.Te < rec.Ts {
+			st.skip(SkipDuration)
+			continue
+		}
+		st.Kept++
+		l.Append(rec)
+	}
+	return l, st, nil
+}
+
+// parseRow parses one data row (of current or legacy width). On failure it
+// names the offending column so lenient readers can tally skip reasons.
+func parseRow(row []string) (r Record, badCol string, err error) {
+	fail := func(col string, e error) (Record, string, error) {
+		return Record{}, col, fmt.Errorf("logs: parsing %s: %w", col, e)
 	}
 	if r.ID, err = strconv.Atoi(row[0]); err != nil {
 		return fail("id", err)
@@ -299,5 +426,10 @@ func parseRow(row []string) (Record, error) {
 	if r.Faults, err = strconv.Atoi(row[10]); err != nil {
 		return fail("faults", err)
 	}
-	return r, nil
+	if len(row) > 11 {
+		if r.Retries, err = strconv.Atoi(row[11]); err != nil {
+			return fail("retries", err)
+		}
+	}
+	return r, "", nil
 }

@@ -201,6 +201,109 @@ func TestReadCSVRejectsBadHeader(t *testing.T) {
 	}
 }
 
+func TestReadCSVLegacyHeader(t *testing.T) {
+	legacy := "id,src,dst,ts,te,bytes,files,dirs,conc,par,faults\n" +
+		"7,a,b,1,2,3e6,4,5,6,7,8\n"
+	l, err := ReadCSV(strings.NewReader(legacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Records) != 1 {
+		t.Fatalf("got %d records", len(l.Records))
+	}
+	r := l.Records[0]
+	if r.ID != 7 || r.Faults != 8 || r.Retries != 0 {
+		t.Errorf("legacy record = %+v", r)
+	}
+	// A legacy header pins rows to 11 columns: a 12-column row is an error.
+	if _, err := ReadCSV(strings.NewReader(legacy + "8,a,b,1,2,3,4,5,6,7,8,9\n")); err == nil {
+		t.Error("12-column row under legacy header accepted")
+	}
+}
+
+func TestCSVRoundTripRetries(t *testing.T) {
+	l := NewLog()
+	l.Append(Record{ID: 1, Src: "a", Dst: "b", Ts: 1, Te: 2, Bytes: 1e6, Files: 1, Conc: 1, Par: 1, Faults: 3, Retries: 2})
+	var buf bytes.Buffer
+	if err := l.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Records[0].Retries != 2 || back.Records[0].Faults != 3 {
+		t.Errorf("retries/faults lost: %+v", back.Records[0])
+	}
+}
+
+func TestReadCSVLenientSkipsMalformedRows(t *testing.T) {
+	in := strings.Join([]string{
+		"id,src,dst,ts,te,bytes,files,dirs,conc,par,faults,retries",
+		"0,a,b,1,2,3e6,4,5,6,7,8,0",    // good
+		"x,a,b,1,2,3e6,4,5,6,7,8,0",    // bad id
+		"1,a,b,1,2,3e6,4,5",            // wrong column count
+		"2,a,b,NaN,2,3e6,4,5,6,7,8,0",  // non-finite ts
+		"3,a,b,9,2,3e6,4,5,6,7,8,0",    // te < ts
+		"4,a,b\"x,1,2,3e6,4,5,6,7,8,0", // bare-quote CSV syntax error
+		"5,a,b,1,2,3e6,4,5,6,7,8,0",    // good: reader recovers after the mangled row
+	}, "\n") + "\n"
+	l, st, err := ReadCSVLenient(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Kept != 2 || len(l.Records) != 2 {
+		t.Fatalf("kept %d records (%d in log), want 2; stats: %s", st.Kept, len(l.Records), st)
+	}
+	if st.Rows != 7 || st.Skipped != 5 {
+		t.Errorf("rows=%d skipped=%d, want 7/5", st.Rows, st.Skipped)
+	}
+	want := map[string]int{
+		"field:id": 1, SkipColumns: 1, SkipFinite: 1, SkipDuration: 1, SkipSyntax: 1,
+	}
+	for reason, n := range want {
+		if st.Reasons[reason] != n {
+			t.Errorf("reason %q = %d, want %d (all: %v)", reason, st.Reasons[reason], n, st.Reasons)
+		}
+	}
+	if l.Records[0].ID != 0 || l.Records[1].ID != 5 {
+		t.Errorf("wrong rows survived: %+v", l.Records)
+	}
+	if s := st.String(); !strings.Contains(s, "5 skipped") || !strings.Contains(s, SkipSyntax+"=1") {
+		t.Errorf("stats string = %q", s)
+	}
+}
+
+func TestReadCSVLenientCleanFile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleLog().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	l, st, err := ReadCSVLenient(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Skipped != 0 || st.Kept != 3 || len(l.Records) != 3 {
+		t.Errorf("clean file: %s", st)
+	}
+}
+
+func TestReadCSVLenientBadHeaderStillFatal(t *testing.T) {
+	if _, _, err := ReadCSVLenient(strings.NewReader("nope,nope\n")); err == nil {
+		t.Error("bad header accepted")
+	}
+	if _, _, err := ReadCSVLenient(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestReadCSVStrictRejectsWrongColumnCount(t *testing.T) {
+	in := "id,src,dst,ts,te,bytes,files,dirs,conc,par,faults,retries\n1,a,b,1,2\n"
+	if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+		t.Error("short row accepted by strict reader")
+	}
+}
+
 func TestReadCSVRejectsBadValues(t *testing.T) {
 	good := "id,src,dst,ts,te,bytes,files,dirs,conc,par,faults\n"
 	bad := good + "x,a,b,1,2,3,4,5,6,7,8\n"

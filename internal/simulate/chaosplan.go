@@ -1,0 +1,164 @@
+package simulate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ChaosPlan is a deterministic schedule of infrastructure disruptions
+// injected into an engine run: endpoint outage windows, WAN path
+// degradation/flap events, and correlated fault storms. Plans are data —
+// package chaos generates them from regime parameters, and tests can build
+// them by hand. Attach one with Engine.SetChaos before Run.
+type ChaosPlan struct {
+	Outages   []OutageEvent
+	WANFaults []WANFault
+	Storms    []FaultStorm
+}
+
+// OutageEvent takes one endpoint down over [Start, End): no new transfer
+// may start there, and in-flight transfers either stall until the outage
+// lifts (Abort=false: a hung DTN) or abort and re-enter the event queue
+// with exponential backoff (Abort=true: a crashed DTN killing its GridFTP
+// processes; see World.RetryBackoffBase and friends).
+type OutageEvent struct {
+	EndpointID string
+	Start, End float64
+	Abort      bool
+}
+
+// WANFault degrades every WAN path between SiteA and SiteB (either
+// direction) to CapFactor of its capacity over [Start, End). Both sites
+// empty means every WAN path. A short window with CapFactor near zero
+// models a link flap; a long one with a moderate factor models sustained
+// congestion or a backup-path failover. Overlapping faults on the same
+// path multiply.
+type WANFault struct {
+	SiteA, SiteB string
+	Start, End   float64
+	CapFactor    float64
+}
+
+// matches reports whether the fault applies to the path between sites a
+// and b.
+func (f *WANFault) matches(a, b string) bool {
+	if f.SiteA == "" && f.SiteB == "" {
+		return true
+	}
+	return (f.SiteA == a && f.SiteB == b) || (f.SiteA == b && f.SiteB == a)
+}
+
+// FaultStorm multiplies the utilization-driven fault hazard everywhere by
+// HazardFactor over [Start, End): a correlated burst of transient failures
+// (checksum retries, control-channel drops) across the whole fabric.
+// Overlapping storms multiply.
+type FaultStorm struct {
+	Start, End   float64
+	HazardFactor float64
+}
+
+// Empty reports whether the plan schedules no disruptions.
+func (p *ChaosPlan) Empty() bool {
+	return p == nil || len(p.Outages)+len(p.WANFaults)+len(p.Storms) == 0
+}
+
+// Validate checks the plan against a world: windows must be well-formed
+// and finite, outage endpoints must exist, factors must be sane.
+func (p *ChaosPlan) Validate(w *World) error {
+	window := func(kind string, i int, start, end float64) error {
+		if math.IsNaN(start) || math.IsNaN(end) || math.IsInf(start, 0) || math.IsInf(end, 0) {
+			return fmt.Errorf("simulate: %s %d has non-finite window [%g, %g)", kind, i, start, end)
+		}
+		if start < 0 || end <= start {
+			return fmt.Errorf("simulate: %s %d has invalid window [%g, %g)", kind, i, start, end)
+		}
+		return nil
+	}
+	for i := range p.Outages {
+		o := &p.Outages[i]
+		if err := window("outage", i, o.Start, o.End); err != nil {
+			return err
+		}
+		if _, err := w.Endpoint(o.EndpointID); err != nil {
+			return fmt.Errorf("simulate: outage %d: %w", i, err)
+		}
+	}
+	for i := range p.WANFaults {
+		f := &p.WANFaults[i]
+		if err := window("wan fault", i, f.Start, f.End); err != nil {
+			return err
+		}
+		if f.CapFactor < 0 || f.CapFactor > 1 {
+			return fmt.Errorf("simulate: wan fault %d has cap factor %g outside [0, 1]", i, f.CapFactor)
+		}
+		if (f.SiteA == "") != (f.SiteB == "") {
+			return fmt.Errorf("simulate: wan fault %d names only one site", i)
+		}
+	}
+	for i := range p.Storms {
+		s := &p.Storms[i]
+		if err := window("storm", i, s.Start, s.End); err != nil {
+			return err
+		}
+		if s.HazardFactor < 0 || math.IsNaN(s.HazardFactor) || math.IsInf(s.HazardFactor, 0) {
+			return fmt.Errorf("simulate: storm %d has invalid hazard factor %g", i, s.HazardFactor)
+		}
+	}
+	return nil
+}
+
+// Chaos event kinds, in tie-break order at equal timestamps: ends before
+// starts, so a window closing exactly when another opens hands over
+// cleanly.
+const (
+	ceOutageEnd = iota
+	ceWANEnd
+	ceStormEnd
+	ceOutageStart
+	ceWANStart
+	ceStormStart
+)
+
+// chaosEvent is one plan boundary on the engine timeline. Exactly one of
+// outage/wan/storm is set, per kind.
+type chaosEvent struct {
+	t      float64
+	kind   int
+	outage *OutageEvent
+	wan    *WANFault
+	storm  *FaultStorm
+}
+
+// compile flattens a plan into a time-sorted boundary-event list.
+func (p *ChaosPlan) compile() []chaosEvent {
+	if p.Empty() {
+		return nil
+	}
+	evs := make([]chaosEvent, 0, 2*(len(p.Outages)+len(p.WANFaults)+len(p.Storms)))
+	for i := range p.Outages {
+		o := &p.Outages[i]
+		evs = append(evs,
+			chaosEvent{t: o.Start, kind: ceOutageStart, outage: o},
+			chaosEvent{t: o.End, kind: ceOutageEnd, outage: o})
+	}
+	for i := range p.WANFaults {
+		f := &p.WANFaults[i]
+		evs = append(evs,
+			chaosEvent{t: f.Start, kind: ceWANStart, wan: f},
+			chaosEvent{t: f.End, kind: ceWANEnd, wan: f})
+	}
+	for i := range p.Storms {
+		s := &p.Storms[i]
+		evs = append(evs,
+			chaosEvent{t: s.Start, kind: ceStormStart, storm: s},
+			chaosEvent{t: s.End, kind: ceStormEnd, storm: s})
+	}
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].t != evs[j].t {
+			return evs[i].t < evs[j].t
+		}
+		return evs[i].kind < evs[j].kind
+	})
+	return evs
+}

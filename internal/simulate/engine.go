@@ -1,7 +1,7 @@
 package simulate
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -90,13 +90,16 @@ type xfer struct {
 	phase     phase
 	phaseEnd  float64 // end of setup or stall
 	chainID   int     // 1+index into engine.chains, 0 when not chained
-	startedAt float64 // admission time (logged as Ts)
+	startedAt float64 // first activation time (logged as Ts; kept across retries)
+	started   bool    // startedAt has been recorded
 	overhead  float64 // setup duration once started
 	bytesMB   float64 // remaining payload in MB
 	rate      float64 // current allocation, MB/s
 	frozen    bool    // solver state
 	faults    int
 	nextFault float64
+	retries   int     // whole-transfer restarts after outage aborts
+	retryAt   float64 // when the next attempt re-enters the queue
 }
 
 // Engine runs transfers through a world and collects the resulting log.
@@ -111,21 +114,52 @@ type Engine struct {
 	chains      []*chain // closed-loop transfer sequences
 	epActive    []int    // running transfers touching each endpoint
 
-	resources []*resource
-	wanIdx    map[string]int
-	epIdx     map[string]int
-	resLoad   []float64 // per-resource transfer load, rebuilt each resolve
+	resources  []*resource
+	wanIdx     map[string]int
+	wanSites   map[int][2]string // WAN resource index → site pair
+	epIdx      map[string]int
+	resLoad    []float64 // per-resource transfer load, rebuilt each resolve
+	resMembers []int     // per-resource data-phase transfer count, ditto
 
 	bgNext []float64 // per-endpoint next background resample
+
+	// Chaos state: the compiled disruption schedule and what is currently
+	// in force (see ChaosPlan).
+	chaosEvents  []chaosEvent
+	nextChaos    int
+	epDown       []int // outage depth per endpoint (overlapping windows nest)
+	activeWAN    []*WANFault
+	activeStorms []*FaultStorm
+	hazardMul    float64 // product of active storm factors
+
+	retryQ []*xfer // aborted transfers waiting out their backoff
 
 	now     float64
 	nextID  int
 	log     *logs.Log
 	monitor Monitor
 
+	stats      Stats
+	violations []string // invariant violations observed during the run
+
 	// cached per-interval snapshot for the monitor
 	snapshot []EndpointLoad
 }
+
+// Stats counts what the engine did beyond the log's view: every disruption,
+// retry, and abandonment, whether or not a record resulted.
+type Stats struct {
+	Submitted    int // transfers submitted (incl. chain members)
+	Completed    int // transfers that finished and were logged
+	Faults       int // transient faults fired (sum of per-record Nflt)
+	Retries      int // retry attempts scheduled after outage aborts
+	Abandoned    int // transfers dropped after World.MaxRetries attempts
+	OutageAborts int // in-flight transfers killed by an Abort outage
+	OutageStalls int // in-flight transfers frozen by a non-Abort outage
+}
+
+// Stats returns the engine's run counters (valid after Run returns).
+func (e *Engine) Stats() Stats { return e.stats }
 
 // minRateFloor prevents deadlock when background load or contention
 // momentarily exhausts a resource: every data-phase transfer trickles at
@@ -135,13 +169,16 @@ const minRateFloor = 0.01
 // NewEngine creates an engine over the world with a deterministic RNG seed.
 func NewEngine(w *World, seed int64) *Engine {
 	e := &Engine{
-		w:        w,
-		rng:      rand.New(rand.NewSource(seed)),
-		wanIdx:   make(map[string]int),
-		epIdx:    make(map[string]int, len(w.Endpoints)),
-		log:      logs.NewLog(),
-		bgNext:   make([]float64, len(w.Endpoints)),
-		epActive: make([]int, len(w.Endpoints)),
+		w:         w,
+		rng:       rand.New(rand.NewSource(seed)),
+		wanIdx:    make(map[string]int),
+		wanSites:  make(map[int][2]string),
+		epIdx:     make(map[string]int, len(w.Endpoints)),
+		log:       logs.NewLog(),
+		bgNext:    make([]float64, len(w.Endpoints)),
+		epActive:  make([]int, len(w.Endpoints)),
+		epDown:    make([]int, len(w.Endpoints)),
+		hazardMul: 1,
 	}
 	for i, ep := range w.Endpoints {
 		e.epIdx[ep.ID] = i
@@ -202,37 +239,107 @@ func (e *Engine) wanResource(srcIdx, dstIdx int) int {
 		return idx
 	}
 	idx := len(e.resources)
-	e.resources = append(e.resources, &resource{cap: e.w.WANCap(a, b), effCap: e.w.WANCap(a, b), epIdx: -1, kind: -1})
+	// A WAN fault already in force must apply to lazily created paths too.
+	c := e.w.WANCap(a, b)
+	e.resources = append(e.resources, &resource{cap: c, effCap: c * e.wanFactor(a.Name, b.Name), epIdx: -1, kind: -1})
 	e.wanIdx[key] = idx
+	e.wanSites[idx] = [2]string{a.Name, b.Name}
 	return idx
+}
+
+// wanFactor returns the product of active WAN-fault capacity factors that
+// apply to the path between two sites.
+func (e *Engine) wanFactor(a, b string) float64 {
+	f := 1.0
+	for _, wf := range e.activeWAN {
+		if wf.matches(a, b) {
+			f *= wf.CapFactor
+		}
+	}
+	return f
+}
+
+// refreshWANCaps reapplies the active WAN faults to every WAN resource.
+func (e *Engine) refreshWANCaps() {
+	for idx, sites := range e.wanSites {
+		r := e.resources[idx]
+		r.effCap = r.cap * e.wanFactor(sites[0], sites[1])
+	}
+}
+
+// refreshHazard recomputes the storm multiplier on the fault hazard.
+func (e *Engine) refreshHazard() {
+	e.hazardMul = 1
+	for _, s := range e.activeStorms {
+		e.hazardMul *= s.HazardFactor
+	}
+}
+
+// SetChaos attaches a disruption schedule to the engine. Must be called
+// before Run; a nil or empty plan is a no-op.
+func (e *Engine) SetChaos(p *ChaosPlan) error {
+	if p.Empty() {
+		return nil
+	}
+	if err := p.Validate(e.w); err != nil {
+		return err
+	}
+	e.chaosEvents = p.compile()
+	e.nextChaos = 0
+	return nil
+}
+
+// DeadlockError reports an engine that has live transfers but no future
+// event to make progress with. Its message carries a dump of engine state
+// (clock, queues, the first few live transfers) so a stuck scenario can be
+// diagnosed from the error alone.
+type DeadlockError struct {
+	State string // DebugState snapshot at detection time
+}
+
+func (d *DeadlockError) Error() string {
+	return "simulate: deadlock: live transfers but no future event\n" + d.State
 }
 
 // Run simulates until every submitted transfer completes, returning the
 // accumulated log. It returns an error when a spec references an unknown
 // endpoint or is malformed.
 func (e *Engine) Run() (*logs.Log, error) {
+	return e.RunContext(context.Background())
+}
+
+// RunContext is Run under a context: a long simulation stops promptly —
+// between events, with the engine left in a consistent state — when ctx is
+// cancelled or its deadline passes, returning the context's error.
+func (e *Engine) RunContext(ctx context.Context) (*logs.Log, error) {
 	sort.SliceStable(e.pending, func(i, j int) bool { return e.pending[i].Start < e.pending[j].Start })
 	for i := range e.pending {
 		if err := e.validate(&e.pending[i]); err != nil {
 			return nil, err
 		}
 	}
+	e.stats.Submitted = len(e.pending)
 	for _, ch := range e.chains {
 		for i := range ch.specs {
 			if err := e.validate(&ch.specs[i]); err != nil {
 				return nil, err
 			}
 		}
+		e.stats.Submitted += len(ch.specs)
 	}
 
 	for {
-		if e.nextPending >= len(e.pending) && len(e.active) == 0 && len(e.waiting) == 0 && e.chainsDone() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if e.nextPending >= len(e.pending) && len(e.active) == 0 && len(e.waiting) == 0 &&
+			len(e.retryQ) == 0 && e.chainsDone() {
 			break // all work drained; ignore perpetual background events
 		}
 		tNext := e.nextEventTime()
 		if math.IsInf(tNext, 1) {
-			if len(e.active) > 0 || len(e.waiting) > 0 {
-				return nil, errors.New("simulate: deadlock: live transfers but no future event")
+			if len(e.active) > 0 || len(e.waiting) > 0 || len(e.retryQ) > 0 {
+				return nil, &DeadlockError{State: e.DebugState()}
 			}
 			break
 		}
@@ -314,10 +421,31 @@ func (e *Engine) nextEventTime() float64 {
 	for i := range e.bgNext {
 		t = math.Min(t, e.bgNext[i])
 	}
+	if e.nextChaos < len(e.chaosEvents) {
+		t = math.Min(t, e.chaosEvents[e.nextChaos].t)
+	}
+	for _, x := range e.retryQ {
+		t = math.Min(t, x.retryAt)
+	}
 	if t < e.now {
+		if t < e.now-1e-6 {
+			e.violate(fmt.Sprintf("clock regression: next event at %.9g before now=%.9g", t, e.now))
+		}
 		t = e.now
 	}
 	return t
+}
+
+// maxViolations bounds the invariant-violation record so a systematically
+// broken scenario cannot grow the list without bound.
+const maxViolations = 32
+
+// violate records an invariant violation observed during the run; the
+// post-run CheckInvariants pass reports them.
+func (e *Engine) violate(msg string) {
+	if len(e.violations) < maxViolations {
+		e.violations = append(e.violations, msg)
+	}
 }
 
 const timeEps = 1e-9
@@ -328,9 +456,31 @@ const timeEps = 1e-9
 // chase an ever-smaller remainder that time resolution cannot represent.
 const completeEpsMB = 1e-4
 
-// processEvents handles every event due at the current time: arrivals,
-// phase transitions, faults, completions, background changes.
+// processEvents handles every event due at the current time: chaos
+// boundaries, arrivals, retries, phase transitions, faults, completions,
+// background changes.
 func (e *Engine) processEvents() {
+	// Chaos boundaries first: an outage lifting at this instant frees slots
+	// for arrivals and retries processed below.
+	e.processChaos()
+
+	// Retries whose backoff has elapsed re-enter the queue.
+	if len(e.retryQ) > 0 {
+		keep := e.retryQ[:0]
+		for _, x := range e.retryQ {
+			if x.retryAt <= e.now+timeEps {
+				if e.hasSlot(x.srcIdx) && e.hasSlot(x.dstIdx) {
+					e.start(x)
+				} else {
+					e.waiting = append(e.waiting, x)
+				}
+			} else {
+				keep = append(keep, x)
+			}
+		}
+		e.retryQ = keep
+	}
+
 	// Arrivals.
 	for e.nextPending < len(e.pending) && e.pending[e.nextPending].Start <= e.now+timeEps {
 		e.admit(e.pending[e.nextPending], 0)
@@ -375,6 +525,7 @@ func (e *Engine) processEvents() {
 				// dropped from active
 			case x.nextFault <= e.now+timeEps:
 				x.faults++
+				e.stats.Faults++
 				x.phase = phaseStall
 				x.phaseEnd = e.now + e.w.FaultRetry
 				x.nextFault = math.Inf(1)
@@ -388,6 +539,126 @@ func (e *Engine) processEvents() {
 	if freed {
 		e.startWaiting()
 	}
+}
+
+// processChaos applies every plan boundary due at the current time.
+func (e *Engine) processChaos() {
+	changedWAN, changedStorm, freed := false, false, false
+	for e.nextChaos < len(e.chaosEvents) && e.chaosEvents[e.nextChaos].t <= e.now+timeEps {
+		ev := &e.chaosEvents[e.nextChaos]
+		e.nextChaos++
+		switch ev.kind {
+		case ceOutageStart:
+			e.beginOutage(ev.outage)
+		case ceOutageEnd:
+			e.epDown[e.epIndex(ev.outage.EndpointID)]--
+			freed = true
+		case ceWANStart:
+			e.activeWAN = append(e.activeWAN, ev.wan)
+			changedWAN = true
+		case ceWANEnd:
+			e.activeWAN = removeWAN(e.activeWAN, ev.wan)
+			changedWAN = true
+		case ceStormStart:
+			e.activeStorms = append(e.activeStorms, ev.storm)
+			changedStorm = true
+		case ceStormEnd:
+			e.activeStorms = removeStorm(e.activeStorms, ev.storm)
+			changedStorm = true
+		}
+	}
+	if changedWAN {
+		e.refreshWANCaps()
+	}
+	if changedStorm {
+		e.refreshHazard()
+	}
+	if freed {
+		e.startWaiting()
+	}
+}
+
+func removeWAN(s []*WANFault, f *WANFault) []*WANFault {
+	for i, v := range s {
+		if v == f {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+func removeStorm(s []*FaultStorm, f *FaultStorm) []*FaultStorm {
+	for i, v := range s {
+		if v == f {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+// beginOutage takes an endpoint down. In-flight transfers touching it
+// either abort into the retry queue (Abort) or freeze until the window
+// lifts; either way no new transfer starts there while it is down.
+func (e *Engine) beginOutage(o *OutageEvent) {
+	idx := e.epIndex(o.EndpointID)
+	e.epDown[idx]++
+	keep := e.active[:0]
+	for _, x := range e.active {
+		if x.srcIdx != idx && x.dstIdx != idx {
+			keep = append(keep, x)
+			continue
+		}
+		if o.Abort {
+			e.stats.OutageAborts++
+			e.epActive[x.srcIdx]--
+			e.epActive[x.dstIdx]--
+			e.scheduleRetry(x)
+			continue // dropped from active
+		}
+		e.stats.OutageStalls++
+		x.phase = phaseStall
+		if x.phaseEnd < o.End {
+			x.phaseEnd = o.End
+		}
+		x.nextFault = math.Inf(1)
+		keep = append(keep, x)
+	}
+	e.active = keep
+}
+
+// scheduleRetry re-queues an aborted transfer with exponential backoff and
+// jitter, preserving moved payload (Globus-style checkpoint restart) but
+// paying the setup overhead again on the next attempt. Transfers that
+// exhaust World.MaxRetries are abandoned.
+func (e *Engine) scheduleRetry(x *xfer) {
+	x.retries++
+	x.rate = 0
+	x.nextFault = math.Inf(1)
+	if e.w.MaxRetries > 0 && x.retries > e.w.MaxRetries {
+		e.stats.Abandoned++
+		// Keep chained load generators alive: an abandoned link schedules
+		// its successor just as a completion would.
+		if x.chainID > 0 {
+			ch := e.chains[x.chainID-1]
+			if ch.next < len(ch.specs) {
+				ch.nextStart = e.now
+			}
+		}
+		return
+	}
+	e.stats.Retries++
+	backoff := e.w.RetryBackoffBase * math.Pow(2, float64(x.retries-1))
+	if backoff > e.w.RetryBackoffMax && e.w.RetryBackoffMax > 0 {
+		backoff = e.w.RetryBackoffMax
+	}
+	if j := e.w.RetryJitter; j > 0 {
+		backoff *= 1 + j*(2*e.rng.Float64()-1)
+	}
+	if backoff < 0 {
+		backoff = 0
+	}
+	x.retryAt = e.now + backoff
+	e.retryQ = append(e.retryQ, x)
 }
 
 // startWaiting starts queued transfers, in FIFO order, whose endpoints now
@@ -404,18 +675,26 @@ func (e *Engine) startWaiting() {
 	e.waiting = keep
 }
 
-// hasSlot reports whether the endpoint can run one more transfer.
+// hasSlot reports whether the endpoint can run one more transfer: it must
+// be up and below its concurrent-transfer cap.
 func (e *Engine) hasSlot(epIdx int) bool {
+	if e.epDown[epIdx] > 0 {
+		return false
+	}
 	limit := e.w.Endpoints[epIdx].MaxActive
 	return limit <= 0 || e.epActive[epIdx] < limit
 }
 
 // start activates an admitted transfer: it occupies endpoint slots and
-// begins its setup phase. The logged start time is the activation time.
+// begins its setup phase. The logged start time is the first activation
+// time, preserved across outage-driven retries.
 func (e *Engine) start(x *xfer) {
 	e.epActive[x.srcIdx]++
 	e.epActive[x.dstIdx]++
-	x.startedAt = e.now
+	if !x.started {
+		x.startedAt = e.now
+		x.started = true
+	}
 	x.phase = phaseSetup
 	x.phaseEnd = e.now + x.overhead
 	e.active = append(e.active, x)
@@ -542,18 +821,20 @@ func (e *Engine) complete(x *xfer) {
 			ch.nextStart = e.now
 		}
 	}
+	e.stats.Completed++
 	e.log.Append(logs.Record{
-		ID:     x.id,
-		Src:    x.spec.Src,
-		Dst:    x.spec.Dst,
-		Ts:     x.startedAt,
-		Te:     e.now,
-		Bytes:  x.spec.Bytes,
-		Files:  x.spec.Files,
-		Dirs:   x.spec.Dirs,
-		Conc:   x.spec.Conc,
-		Par:    x.spec.Par,
-		Faults: x.faults,
+		ID:      x.id,
+		Src:     x.spec.Src,
+		Dst:     x.spec.Dst,
+		Ts:      x.startedAt,
+		Te:      e.now,
+		Bytes:   x.spec.Bytes,
+		Files:   x.spec.Files,
+		Dirs:    x.spec.Dirs,
+		Conc:    x.spec.Conc,
+		Par:     x.spec.Par,
+		Faults:  x.faults,
+		Retries: x.retries,
 	})
 }
 
@@ -668,24 +949,44 @@ func (e *Engine) resolve() {
 	// Per-resource transfer load, used for utilization and the monitor.
 	if cap(e.resLoad) < len(e.resources) {
 		e.resLoad = make([]float64, len(e.resources))
+		e.resMembers = make([]int, len(e.resources))
 	}
 	e.resLoad = e.resLoad[:len(e.resources)]
+	e.resMembers = e.resMembers[:len(e.resources)]
 	for i := range e.resLoad {
 		e.resLoad[i] = 0
+		e.resMembers[i] = 0
 	}
 	for _, x := range data {
+		if x.rate < 0 {
+			e.violate(fmt.Sprintf("negative rate %.6g for transfer %d at t=%.1f", x.rate, x.id, e.now))
+			x.rate = 0
+		}
 		x.rate *= x.rateEff
 		if x.rate < minRateFloor {
 			x.rate = minRateFloor
 		}
 		for _, ri := range x.resIdx {
 			e.resLoad[ri] += x.rate
+			e.resMembers[ri]++
+		}
+	}
+	// Capacity conservation: the fair-share solver must never hand a
+	// resource more than its effective capacity net of background load,
+	// modulo the anti-deadlock rate floor each member is entitled to.
+	for _, ri := range used {
+		r := e.resources[ri]
+		budget := r.effCap*(1-r.bgFrac) + float64(e.resMembers[ri])*minRateFloor + 1e-6
+		if e.resLoad[ri] > budget {
+			e.violate(fmt.Sprintf("capacity overcommit on resource %d: load %.6g > budget %.6g at t=%.1f",
+				ri, e.resLoad[ri], budget, e.now))
 		}
 	}
 	for _, x := range data {
-		// Fault hazard grows quadratically with endpoint utilization.
+		// Fault hazard grows quadratically with endpoint utilization,
+		// scaled up fabric-wide while a fault storm is in force.
 		util := math.Max(e.utilization(x.srcIdx), e.utilization(x.dstIdx))
-		h := e.w.FaultBaseHazard * util * util
+		h := e.w.FaultBaseHazard * e.hazardMul * util * util
 		if h > 0 {
 			x.nextFault = e.now + e.rng.ExpFloat64()/h
 		} else {
@@ -755,17 +1056,31 @@ func (e *Engine) refreshSnapshot(procsAt map[int]float64) {
 }
 
 // DebugState renders a snapshot of engine progress for diagnosing stalls:
-// current time, pending cursor, and the first few active transfers.
+// current time, queue depths, endpoints currently down, and the first few
+// live transfers from each queue.
 func (e *Engine) DebugState() string {
-	s := fmt.Sprintf("now=%.1f pending=%d/%d active=%d logged=%d\n",
-		e.now, e.nextPending, len(e.pending), len(e.active), len(e.log.Records))
-	for i, x := range e.active {
-		if i >= 10 {
-			s += "...\n"
-			break
+	s := fmt.Sprintf("now=%.1f pending=%d/%d active=%d waiting=%d retrying=%d logged=%d abandoned=%d\n",
+		e.now, e.nextPending, len(e.pending), len(e.active), len(e.waiting), len(e.retryQ),
+		len(e.log.Records), e.stats.Abandoned)
+	for i, down := range e.epDown {
+		if down > 0 {
+			s += fmt.Sprintf("  endpoint %s DOWN (depth %d)\n", e.w.Endpoints[i].ID, down)
 		}
-		s += fmt.Sprintf("  x%d %s->%s phase=%d bytesMB=%.3f rate=%.4f demand=%.2f phaseEnd=%.1f nextFault=%.1f\n",
-			x.id, x.spec.Src, x.spec.Dst, x.phase, x.bytesMB, x.rate, x.demand, x.phaseEnd, x.nextFault)
 	}
+	dump := func(label string, xs []*xfer) string {
+		out := ""
+		for i, x := range xs {
+			if i >= 10 {
+				out += "  ...\n"
+				break
+			}
+			out += fmt.Sprintf("  %s x%d %s->%s phase=%d bytesMB=%.3f rate=%.4f demand=%.2f phaseEnd=%.1f nextFault=%.1f retries=%d\n",
+				label, x.id, x.spec.Src, x.spec.Dst, x.phase, x.bytesMB, x.rate, x.demand, x.phaseEnd, x.nextFault, x.retries)
+		}
+		return out
+	}
+	s += dump("active", e.active)
+	s += dump("waiting", e.waiting)
+	s += dump("retry", e.retryQ)
 	return s
 }

@@ -1,0 +1,95 @@
+package simulate
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/logs"
+)
+
+// CheckInvariants is the post-run self-validation pass: it reports any
+// invariant violation the engine observed while running (capacity
+// conservation, non-negative rates, monotone clock) and re-checks the
+// produced log for internal consistency (well-formed records, registered
+// endpoints, sorted start times, and transfer accounting: every submitted
+// transfer either completed into the log or was abandoned by retry
+// exhaustion). Call it after Run; chaos scenarios should always be
+// followed by this check.
+func (e *Engine) CheckInvariants() error {
+	var problems []string
+	problems = append(problems, e.violations...)
+
+	if err := CheckLog(e.log); err != nil {
+		problems = append(problems, err.Error())
+	}
+	if got := e.stats.Completed + e.stats.Abandoned; got != e.stats.Submitted {
+		problems = append(problems, fmt.Sprintf(
+			"transfer accounting: completed %d + abandoned %d != submitted %d",
+			e.stats.Completed, e.stats.Abandoned, e.stats.Submitted))
+	}
+	if len(e.log.Records) != e.stats.Completed {
+		problems = append(problems, fmt.Sprintf(
+			"log has %d records but %d completions counted", len(e.log.Records), e.stats.Completed))
+	}
+	for i := range e.epActive {
+		if e.epActive[i] != 0 {
+			problems = append(problems, fmt.Sprintf(
+				"endpoint %s still holds %d slots after drain", e.w.Endpoints[i].ID, e.epActive[i]))
+		}
+	}
+
+	if len(problems) == 0 {
+		return nil
+	}
+	return fmt.Errorf("simulate: %d invariant violation(s):\n  %s",
+		len(problems), strings.Join(problems, "\n  "))
+}
+
+// CheckLog validates a transfer log's internal consistency independently of
+// any engine: finite, well-ordered records with sane counters and
+// registered endpoints. It works on simulated and ingested logs alike.
+func CheckLog(l *logs.Log) error {
+	var problems []string
+	flag := func(format string, args ...any) {
+		if len(problems) < maxViolations {
+			problems = append(problems, fmt.Sprintf(format, args...))
+		}
+	}
+	prevTs := math.Inf(-1)
+	for i := range l.Records {
+		r := &l.Records[i]
+		switch {
+		case math.IsNaN(r.Ts) || math.IsInf(r.Ts, 0) || math.IsNaN(r.Te) || math.IsInf(r.Te, 0):
+			flag("record %d: non-finite times [%g, %g]", r.ID, r.Ts, r.Te)
+		case r.Te < r.Ts:
+			flag("record %d: ends at %g before start %g", r.ID, r.Te, r.Ts)
+		}
+		if r.Bytes <= 0 || math.IsNaN(r.Bytes) || math.IsInf(r.Bytes, 0) {
+			flag("record %d: invalid bytes %g", r.ID, r.Bytes)
+		}
+		if r.Files <= 0 || r.Dirs < 0 || r.Conc <= 0 || r.Par <= 0 {
+			flag("record %d: invalid shape files=%d dirs=%d conc=%d par=%d", r.ID, r.Files, r.Dirs, r.Conc, r.Par)
+		}
+		if r.Faults < 0 || r.Retries < 0 {
+			flag("record %d: negative faults=%d or retries=%d", r.ID, r.Faults, r.Retries)
+		}
+		if len(l.Endpoints) > 0 {
+			if _, ok := l.Endpoints[r.Src]; !ok {
+				flag("record %d: unregistered source endpoint %q", r.ID, r.Src)
+			}
+			if _, ok := l.Endpoints[r.Dst]; !ok {
+				flag("record %d: unregistered destination endpoint %q", r.ID, r.Dst)
+			}
+		}
+		if r.Ts < prevTs {
+			flag("record %d: start time %g out of order (previous %g)", r.ID, r.Ts, prevTs)
+		} else {
+			prevTs = r.Ts
+		}
+	}
+	if len(problems) == 0 {
+		return nil
+	}
+	return fmt.Errorf("log consistency: %s", strings.Join(problems, "; "))
+}

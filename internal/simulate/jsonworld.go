@@ -43,6 +43,11 @@ type WorldSpec struct {
 	FaultRetryS     float64 `json:"fault_retry_s,omitempty"`
 	E2EEfficiency   float64 `json:"e2e_efficiency,omitempty"`
 	JitterSigma     float64 `json:"jitter_sigma,omitempty"`
+
+	RetryBackoffBaseS float64 `json:"retry_backoff_base_s,omitempty"`
+	RetryBackoffMaxS  float64 `json:"retry_backoff_max_s,omitempty"`
+	RetryJitter       float64 `json:"retry_jitter,omitempty"`
+	MaxRetries        int     `json:"max_retries,omitempty"`
 }
 
 // EndpointSpec is the JSON form of one endpoint.
@@ -116,6 +121,12 @@ func (s *WorldSpec) Build() (*World, error) {
 	setIfPositive(&w.FaultRetry, s.FaultRetryS)
 	setIfPositive(&w.E2EEfficiency, s.E2EEfficiency)
 	setIfPositive(&w.JitterSigma, s.JitterSigma)
+	setIfPositive(&w.RetryBackoffBase, s.RetryBackoffBaseS)
+	setIfPositive(&w.RetryBackoffMax, s.RetryBackoffMaxS)
+	setIfPositive(&w.RetryJitter, s.RetryJitter)
+	if s.MaxRetries > 0 {
+		w.MaxRetries = s.MaxRetries
+	}
 	if s.FaultBaseHazard >= 0 && s.FaultBaseHazard != 0 {
 		w.FaultBaseHazard = s.FaultBaseHazard
 	}
@@ -234,6 +245,11 @@ func SpecFromWorld(w *World) *WorldSpec {
 		FaultRetryS:     w.FaultRetry,
 		E2EEfficiency:   w.E2EEfficiency,
 		JitterSigma:     w.JitterSigma,
+
+		RetryBackoffBaseS: w.RetryBackoffBase,
+		RetryBackoffMaxS:  w.RetryBackoffMax,
+		RetryJitter:       w.RetryJitter,
+		MaxRetries:        w.MaxRetries,
 	}
 	for _, ep := range w.Endpoints {
 		s.Endpoints = append(s.Endpoints, EndpointSpec{

@@ -1,6 +1,7 @@
 package simulate
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -175,17 +176,41 @@ func Generate(cfg Config) (*Generated, error) {
 // GenerateLog is the one-call pipeline: generate a world and workload, run
 // the engine, return the log alongside the generated structures.
 func GenerateLog(cfg Config) (*logs.Log, *Generated, error) {
+	return GenerateLogContext(context.Background(), cfg)
+}
+
+// GenerateLogContext is GenerateLog under a context: the simulation stops
+// promptly with the context's error when ctx is cancelled or times out.
+func GenerateLogContext(ctx context.Context, cfg Config) (*logs.Log, *Generated, error) {
+	l, _, g, err := GenerateLogChaos(ctx, cfg, nil)
+	return l, g, err
+}
+
+// GenerateLogChaos generates a world and workload, injects the disruption
+// plan (nil for none), runs the engine under ctx, and self-validates any
+// chaos run with CheckInvariants. The engine's Stats come back alongside
+// the log so callers can see retries and abandonments that never reached
+// it.
+func GenerateLogChaos(ctx context.Context, cfg Config, plan *ChaosPlan) (*logs.Log, Stats, *Generated, error) {
 	g, err := Generate(cfg)
 	if err != nil {
-		return nil, nil, err
+		return nil, Stats{}, nil, err
 	}
 	eng := NewEngine(g.World, cfg.Seed+1)
 	eng.Submit(g.Specs...)
-	l, err := eng.Run()
-	if err != nil {
-		return nil, nil, err
+	if err := eng.SetChaos(plan); err != nil {
+		return nil, Stats{}, nil, err
 	}
-	return l, g, nil
+	l, err := eng.RunContext(ctx)
+	if err != nil {
+		return nil, eng.Stats(), nil, err
+	}
+	if !plan.Empty() {
+		if err := eng.CheckInvariants(); err != nil {
+			return nil, eng.Stats(), nil, err
+		}
+	}
+	return l, eng.Stats(), g, nil
 }
 
 // buildWorld creates the endpoint fleet: hub DTNs at major facilities,

@@ -132,6 +132,17 @@ type World struct {
 	FaultBaseHazard float64 // faults per second at full utilization
 	FaultRetry      float64 // stall seconds per fault
 
+	// Retry policy for transfers aborted mid-flight (endpoint outages in a
+	// chaos plan): attempt n re-enters the event queue after
+	// RetryBackoffBase·2^(n−1) seconds, capped at RetryBackoffMax, with a
+	// multiplicative ±RetryJitter spread drawn from the engine RNG. After
+	// MaxRetries failed attempts the transfer is abandoned (it never
+	// reaches the log, like a transfer a user finally gives up on).
+	RetryBackoffBase float64 // seconds before the first retry
+	RetryBackoffMax  float64 // backoff ceiling, seconds
+	RetryJitter      float64 // fractional jitter in [0, 1)
+	MaxRetries       int     // attempts before abandoning; 0 = unlimited
+
 	// E2EEfficiency is the fraction of the bottleneck rate an end-to-end
 	// disk-to-disk transfer actually sustains: pipelining stalls between
 	// storage and network stages cost a few percent, which is why Table 1's
@@ -163,6 +174,11 @@ func NewWorld(endpoints []*Endpoint) *World {
 		FaultRetry:      30,
 		E2EEfficiency:   0.92,
 		JitterSigma:     0.012,
+
+		RetryBackoffBase: 5,
+		RetryBackoffMax:  600,
+		RetryJitter:      0.5,
+		MaxRetries:       8,
 	}
 	for _, e := range endpoints {
 		w.byID[e.ID] = e
