@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race fuzz
+.PHONY: check build vet test race fuzz bench
 
 # The full gate: what CI (and a careful human) runs before merging.
 check: build vet test race
@@ -16,6 +16,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Component benchmarks, repeated for benchstat. Writes benchstat-compatible
+# text plus parsed JSON under bench/BENCH_<git-sha>.{txt,json}; pass
+# BENCH_LABEL / BENCH_PATTERN / BENCH_COUNT to override (see scripts/bench.sh).
+bench:
+	./scripts/bench.sh $(BENCH_LABEL)
 
 # Short fuzz pass over the CSV ingestion round-trip properties.
 fuzz:

@@ -236,7 +236,7 @@ func run(ctx context.Context, cmd string, cfg simulate.Config, opts options) err
 		}
 
 	case "models":
-		results, err := pl.EvaluateEdges(edges)
+		results, err := pl.EvaluateEdgesContext(ctx, edges)
 		if err != nil {
 			return err
 		}
@@ -307,14 +307,14 @@ func run(ctx context.Context, cmd string, cfg simulate.Config, opts options) err
 		fmt.Print(core.RenderLoadCurves(pl.Fig8(edges, 4)))
 
 	case "fig9":
-		results, err := pl.EvaluateEdges(edges)
+		results, err := pl.EvaluateEdgesContext(ctx, edges)
 		if err != nil {
 			return err
 		}
 		fmt.Print(core.RenderFig9(results))
 
 	case "fig12":
-		results, err := pl.EvaluateEdges(edges)
+		results, err := pl.EvaluateEdgesContext(ctx, edges)
 		if err != nil {
 			return err
 		}
@@ -339,7 +339,7 @@ func run(ctx context.Context, cmd string, cfg simulate.Config, opts options) err
 		if len(edges) < n {
 			n = len(edges)
 		}
-		rows, err := pl.Ablate(edges, n)
+		rows, err := pl.AblateContext(ctx, edges, n)
 		if err != nil {
 			return err
 		}
@@ -364,7 +364,7 @@ func run(ctx context.Context, cmd string, cfg simulate.Config, opts options) err
 		fmt.Print(core.RenderTuned(rows))
 
 	case "global":
-		res, err := pl.GlobalModel(edges)
+		res, err := pl.GlobalModelContext(ctx, edges)
 		if err != nil {
 			return err
 		}
@@ -378,7 +378,7 @@ func run(ctx context.Context, cmd string, cfg simulate.Config, opts options) err
 		fmt.Print(core.RenderLMT(res))
 
 	case "all":
-		return runAll(pl, edges, cfg)
+		return runAll(ctx, pl, edges, cfg)
 
 	default:
 		return fmt.Errorf("%w: unknown command %q", errUsage, cmd)
@@ -423,7 +423,7 @@ func fig5Edge(pl *core.Pipeline, edges []core.EdgeData) (core.EdgeData, error) {
 	return best, nil
 }
 
-func runAll(pl *core.Pipeline, edges []core.EdgeData, cfg simulate.Config) error {
+func runAll(ctx context.Context, pl *core.Pipeline, edges []core.EdgeData, cfg simulate.Config) error {
 	section := func(name string) { fmt.Printf("\n===== %s =====\n", name) }
 
 	section("Table 1 (testbed, Eq. 1)")
@@ -495,7 +495,7 @@ func runAll(pl *core.Pipeline, edges []core.EdgeData, cfg simulate.Config) error
 	fmt.Print(core.RenderSection32(eqRows, eqSummary))
 
 	section("Figures 9-12 + headline MdAPE")
-	results, err := pl.EvaluateEdges(edges)
+	results, err := pl.EvaluateEdgesContext(ctx, edges)
 	if err != nil {
 		return err
 	}
@@ -509,7 +509,7 @@ func runAll(pl *core.Pipeline, edges []core.EdgeData, cfg simulate.Config) error
 	fmt.Print(core.RenderFig12(results))
 
 	section("Single model for all edges (§5.4)")
-	g, err := pl.GlobalModel(edges)
+	g, err := pl.GlobalModelContext(ctx, edges)
 	if err != nil {
 		return err
 	}
@@ -530,7 +530,7 @@ func runAll(pl *core.Pipeline, edges []core.EdgeData, cfg simulate.Config) error
 	fmt.Print(core.RenderLMT(lr))
 
 	section("Feature-group ablation (extension)")
-	abl, err := pl.Ablate(edges, 6)
+	abl, err := pl.AblateContext(ctx, edges, 6)
 	if err != nil {
 		return err
 	}

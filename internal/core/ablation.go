@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/features"
+	"repro/internal/pool"
 	"repro/internal/stats"
 )
 
@@ -51,47 +53,75 @@ type AblationRow struct {
 // Ablate trains the per-edge nonlinear model with each feature group
 // removed in turn and reports the accuracy cost, for up to maxEdges edges.
 func (p *Pipeline) Ablate(edges []EdgeData, maxEdges int) ([]AblationRow, error) {
+	return p.AblateContext(context.Background(), edges, maxEdges)
+}
+
+// AblateContext runs the ablation study with the edges spread over a
+// worker pool; each edge's block of rows (full model first, then each
+// removed group) is computed independently and the blocks are
+// concatenated in input order, so the report is identical to the serial
+// study's.
+func (p *Pipeline) AblateContext(ctx context.Context, edges []EdgeData, maxEdges int) ([]AblationRow, error) {
 	if maxEdges > 0 && len(edges) > maxEdges {
 		edges = edges[:maxEdges]
 	}
+	blocks := make([][]AblationRow, len(edges))
+	err := pool.ForEach(ctx, len(edges), pool.Workers(), func(_ context.Context, i int) error {
+		rows, err := p.ablateEdge(edges[i])
+		if err != nil {
+			return err
+		}
+		blocks[i] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var out []AblationRow
-	for _, ed := range edges {
-		vecs := p.VectorsAt(ed.Qualifying)
-		full, err := features.Dataset(vecs, false)
-		if err != nil {
-			return nil, err
-		}
-		full, _ = full.DropLowVariance(LowVarianceMin)
-		seed := modelSeed(ed.Edge.String())
+	for _, rows := range blocks {
+		out = append(out, rows...)
+	}
+	return out, nil
+}
 
-		_, fullAPEs, err := trainAndTest(full, seed)
-		if err != nil {
-			return nil, err
-		}
-		base, err := stats.Median(fullAPEs)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, AblationRow{Edge: ed.Edge.String(), Group: "", MdAPE: base})
+// ablateEdge produces one edge's ablation rows: the full model baseline
+// followed by one row per removed feature group.
+func (p *Pipeline) ablateEdge(ed EdgeData) ([]AblationRow, error) {
+	vecs := p.VectorsAt(ed.Qualifying)
+	full, err := features.Dataset(vecs, false)
+	if err != nil {
+		return nil, err
+	}
+	full, _ = full.DropLowVariance(LowVarianceMin)
+	seed := modelSeed(ed.Edge.String())
 
-		for _, group := range ablationOrder {
-			reduced := full.DropColumns(FeatureGroups[group]...)
-			if reduced.NumFeatures() == 0 {
-				continue
-			}
-			_, apes, err := trainAndTest(reduced, seed)
-			if err != nil {
-				return nil, err
-			}
-			md, err := stats.Median(apes)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, AblationRow{
-				Edge: ed.Edge.String(), Group: group,
-				MdAPE: md, DeltaPct: md - base,
-			})
+	_, fullAPEs, err := trainAndTest(full, seed)
+	if err != nil {
+		return nil, err
+	}
+	base, err := stats.Median(fullAPEs)
+	if err != nil {
+		return nil, err
+	}
+	out := []AblationRow{{Edge: ed.Edge.String(), Group: "", MdAPE: base}}
+
+	for _, group := range ablationOrder {
+		reduced := full.DropColumns(FeatureGroups[group]...)
+		if reduced.NumFeatures() == 0 {
+			continue
 		}
+		_, apes, err := trainAndTest(reduced, seed)
+		if err != nil {
+			return nil, err
+		}
+		md, err := stats.Median(apes)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AblationRow{
+			Edge: ed.Edge.String(), Group: group,
+			MdAPE: md, DeltaPct: md - base,
+		})
 	}
 	return out, nil
 }

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/features"
+	"repro/internal/pool"
 	"repro/internal/simulate"
 	"repro/internal/stats"
 )
@@ -41,65 +42,84 @@ func ChaosSweep(ctx context.Context, cfg simulate.Config, ccfg chaos.Config, int
 	if len(intensities) == 0 {
 		return nil, fmt.Errorf("core: chaos sweep needs at least one intensity")
 	}
-	out := make([]ChaosPoint, 0, len(intensities))
 	for _, x := range intensities {
 		if x < 0 {
 			return nil, fmt.Errorf("core: negative chaos intensity %g", x)
 		}
-		g, err := simulate.Generate(cfg)
+	}
+	// Each intensity is an independent simulate-engineer-train run
+	// (deterministic in cfg.Seed and ccfg.Seed, not in schedule), so the
+	// sweep fans out over the worker pool; points are written at their
+	// input index, keeping the rendered table order stable.
+	out := make([]ChaosPoint, len(intensities))
+	err := pool.ForEach(ctx, len(intensities), pool.Workers(), func(ctx context.Context, i int) error {
+		pt, err := chaosPoint(ctx, cfg, ccfg, intensities[i], minQualifying, maxEdges)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		plan := chaos.Plan(ccfg.WithIntensity(x), g.World)
-		l, st, _, err := simulate.GenerateLogChaos(ctx, cfg, plan)
-		if err != nil {
-			return nil, fmt.Errorf("core: chaos intensity %g: %w", x, err)
-		}
-		pt := ChaosPoint{
-			Intensity: x,
-			Transfers: len(l.Records),
-			Aborts:    st.OutageAborts,
-			Abandoned: st.Abandoned,
-			LinMdAPE:  math.NaN(),
-			XGBMdAPE:  math.NaN(),
-		}
-		var faulted int
-		for i := range l.Records {
-			pt.MeanFaults += float64(l.Records[i].Faults)
-			pt.MeanRetries += float64(l.Records[i].Retries)
-			if l.Records[i].Faults > 0 {
-				faulted++
-			}
-		}
-		if pt.Transfers > 0 {
-			pt.MeanFaults /= float64(pt.Transfers)
-			pt.MeanRetries /= float64(pt.Transfers)
-			pt.FaultShare = float64(faulted) / float64(pt.Transfers)
-		}
-
-		pl := &Pipeline{Cfg: cfg, Gen: g, Log: l, Vecs: features.Engineer(l)}
-		edges := pl.SelectEdges(minQualifying, DefaultThreshold, maxEdges)
-		pt.Edges = len(edges)
-		if len(edges) > 0 {
-			results, err := pl.EvaluateEdges(edges)
-			if err != nil {
-				return nil, fmt.Errorf("core: chaos intensity %g: %w", x, err)
-			}
-			var lins, xgbs []float64
-			for _, r := range results {
-				lins = append(lins, r.LinMdAPE)
-				xgbs = append(xgbs, r.XGBMdAPE)
-			}
-			if pt.LinMdAPE, err = stats.Median(lins); err != nil {
-				return nil, err
-			}
-			if pt.XGBMdAPE, err = stats.Median(xgbs); err != nil {
-				return nil, err
-			}
-		}
-		out = append(out, pt)
+		out[i] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// chaosPoint runs one intensity of the sweep end to end.
+func chaosPoint(ctx context.Context, cfg simulate.Config, ccfg chaos.Config, x float64, minQualifying, maxEdges int) (ChaosPoint, error) {
+	pt := ChaosPoint{
+		Intensity: x,
+		LinMdAPE:  math.NaN(),
+		XGBMdAPE:  math.NaN(),
+	}
+	g, err := simulate.Generate(cfg)
+	if err != nil {
+		return pt, err
+	}
+	plan := chaos.Plan(ccfg.WithIntensity(x), g.World)
+	l, st, _, err := simulate.GenerateLogChaos(ctx, cfg, plan)
+	if err != nil {
+		return pt, fmt.Errorf("core: chaos intensity %g: %w", x, err)
+	}
+	pt.Transfers = len(l.Records)
+	pt.Aborts = st.OutageAborts
+	pt.Abandoned = st.Abandoned
+	var faulted int
+	for i := range l.Records {
+		pt.MeanFaults += float64(l.Records[i].Faults)
+		pt.MeanRetries += float64(l.Records[i].Retries)
+		if l.Records[i].Faults > 0 {
+			faulted++
+		}
+	}
+	if pt.Transfers > 0 {
+		pt.MeanFaults /= float64(pt.Transfers)
+		pt.MeanRetries /= float64(pt.Transfers)
+		pt.FaultShare = float64(faulted) / float64(pt.Transfers)
+	}
+
+	pl := &Pipeline{Cfg: cfg, Gen: g, Log: l, Vecs: features.Engineer(l)}
+	edges := pl.SelectEdges(minQualifying, DefaultThreshold, maxEdges)
+	pt.Edges = len(edges)
+	if len(edges) > 0 {
+		results, err := pl.EvaluateEdgesContext(ctx, edges)
+		if err != nil {
+			return pt, fmt.Errorf("core: chaos intensity %g: %w", x, err)
+		}
+		var lins, xgbs []float64
+		for _, r := range results {
+			lins = append(lins, r.LinMdAPE)
+			xgbs = append(xgbs, r.XGBMdAPE)
+		}
+		if pt.LinMdAPE, err = stats.Median(lins); err != nil {
+			return pt, err
+		}
+		if pt.XGBMdAPE, err = stats.Median(xgbs); err != nil {
+			return pt, err
+		}
+	}
+	return pt, nil
 }
 
 // RenderChaos renders the sweep as the MdAPE-vs-fault-rate table.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -8,6 +9,7 @@ import (
 	"repro/internal/ml/dataset"
 	"repro/internal/ml/gbt"
 	"repro/internal/ml/linreg"
+	"repro/internal/pool"
 	"repro/internal/stats"
 )
 
@@ -29,6 +31,14 @@ type GlobalResult struct {
 // maximum incoming rate (Equation 5), and evaluates both families on a
 // 70/30 split.
 func (p *Pipeline) GlobalModel(edges []EdgeData) (GlobalResult, error) {
+	return p.GlobalModelContext(context.Background(), edges)
+}
+
+// GlobalModelContext is GlobalModel with the two model-family folds —
+// linear and boosted-tree, each a fit plus a test-set evaluation on the
+// shared split — run concurrently on the worker pool. The folds write
+// disjoint result fields, so the output is identical to the serial run.
+func (p *Pipeline) GlobalModelContext(ctx context.Context, edges []EdgeData) (GlobalResult, error) {
 	var res GlobalResult
 	var idxs []int
 	for _, ed := range edges {
@@ -60,37 +70,46 @@ func (p *Pipeline) GlobalModel(edges []EdgeData) (GlobalResult, error) {
 		return res, err
 	}
 
-	lin, err := linreg.Fit(trainStd)
+	folds := []func() error{
+		func() error {
+			lin, err := linreg.Fit(trainStd)
+			if err != nil {
+				return err
+			}
+			linPred, err := lin.PredictAll(testStd)
+			if err != nil {
+				return err
+			}
+			if res.LinMdAPE, err = stats.MdAPE(testStd.Y, linPred); err != nil {
+				return err
+			}
+			res.LinR2, err = stats.R2(testStd.Y, linPred)
+			return err
+		},
+		func() error {
+			xp := gbt.DefaultParams()
+			xp.Rounds = 250 // the pooled dataset is larger and more heterogeneous
+			xp.MaxDepth = 6
+			xm, err := gbt.Train(trainStd, xp)
+			if err != nil {
+				return err
+			}
+			xgbPred, err := xm.PredictAll(testStd)
+			if err != nil {
+				return err
+			}
+			if res.XGBMdAPE, err = stats.MdAPE(testStd.Y, xgbPred); err != nil {
+				return err
+			}
+			res.XGBR2, err = stats.R2(testStd.Y, xgbPred)
+			return err
+		},
+	}
+	err = pool.ForEach(ctx, len(folds), pool.Workers(), func(_ context.Context, i int) error {
+		return folds[i]()
+	})
 	if err != nil {
-		return res, err
-	}
-	linPred, err := lin.PredictAll(testStd)
-	if err != nil {
-		return res, err
-	}
-	if res.LinMdAPE, err = stats.MdAPE(testStd.Y, linPred); err != nil {
-		return res, err
-	}
-	if res.LinR2, err = stats.R2(testStd.Y, linPred); err != nil {
-		return res, err
-	}
-
-	xp := gbt.DefaultParams()
-	xp.Rounds = 250 // the pooled dataset is larger and more heterogeneous
-	xp.MaxDepth = 6
-	xm, err := gbt.Train(trainStd, xp)
-	if err != nil {
-		return res, err
-	}
-	xgbPred, err := xm.PredictAll(testStd)
-	if err != nil {
-		return res, err
-	}
-	if res.XGBMdAPE, err = stats.MdAPE(testStd.Y, xgbPred); err != nil {
-		return res, err
-	}
-	if res.XGBR2, err = stats.R2(testStd.Y, xgbPred); err != nil {
-		return res, err
+		return GlobalResult{Samples: res.Samples}, err
 	}
 	return res, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -8,6 +9,7 @@ import (
 	"repro/internal/ml/dataset"
 	"repro/internal/ml/gbt"
 	"repro/internal/ml/linreg"
+	"repro/internal/pool"
 	"repro/internal/stats"
 )
 
@@ -170,13 +172,27 @@ func trainAndTest(ds *dataset.Dataset, seed int64) (linAPEs, xgbAPEs []float64, 
 
 // EvaluateEdges runs EvaluateEdge over every selected edge.
 func (p *Pipeline) EvaluateEdges(edges []EdgeData) ([]EdgeModelResult, error) {
-	out := make([]EdgeModelResult, 0, len(edges))
-	for _, ed := range edges {
-		r, err := p.EvaluateEdge(ed)
+	return p.EvaluateEdgesContext(context.Background(), edges)
+}
+
+// EvaluateEdgesContext evaluates every selected edge on a worker pool
+// sized to the available CPUs. Each edge's models are trained
+// independently (per-edge seeds, no shared state), and results are
+// assembled in input order, so the output — and every table rendered from
+// it — is identical to the serial loop's. An already-cancelled context
+// returns promptly with its error and starts no work.
+func (p *Pipeline) EvaluateEdgesContext(ctx context.Context, edges []EdgeData) ([]EdgeModelResult, error) {
+	out := make([]EdgeModelResult, len(edges))
+	err := pool.ForEach(ctx, len(edges), pool.Workers(), func(_ context.Context, i int) error {
+		r, err := p.EvaluateEdge(edges[i])
 		if err != nil {
-			return nil, fmt.Errorf("edge %s: %w", ed.Edge, err)
+			return fmt.Errorf("edge %s: %w", edges[i].Edge, err)
 		}
-		out = append(out, r)
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

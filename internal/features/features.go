@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/logs"
 	"repro/internal/ml/dataset"
+	"repro/internal/pool"
 )
 
 // Names lists the model features in canonical order, matching the columns
@@ -85,8 +86,16 @@ type epIndex struct {
 }
 
 // Engineer computes feature vectors for every record in the log. The log
-// is sorted by start time as a side effect.
+// is sorted by start time as a side effect. The per-record overlap
+// analysis runs on a worker pool sized to the available CPUs; each record
+// only reads the shared index and writes its own output slot, so the
+// result is identical to the serial computation (engineerSerial in the
+// tests pins this).
 func Engineer(l *logs.Log) []Vector {
+	return engineer(l, pool.Workers())
+}
+
+func engineer(l *logs.Log, workers int) []Vector {
 	l.SortByStart()
 	recs := l.Records
 
@@ -101,20 +110,22 @@ func Engineer(l *logs.Log) []Vector {
 	}
 	for i := range recs {
 		r := &recs[i]
-		get(r.Src).asSrc = append(get(r.Src).asSrc, i)
-		get(r.Dst).asDst = append(get(r.Dst).asDst, i)
-		if d := r.Duration(); d > get(r.Src).maxDur {
-			get(r.Src).maxDur = d
+		src, dst := get(r.Src), get(r.Dst)
+		src.asSrc = append(src.asSrc, i)
+		dst.asDst = append(dst.asDst, i)
+		d := r.Duration()
+		if d > src.maxDur {
+			src.maxDur = d
 		}
-		if d := r.Duration(); d > get(r.Dst).maxDur {
-			get(r.Dst).maxDur = d
+		if d > dst.maxDur {
+			dst.maxDur = d
 		}
 	}
 	// Records are in start order already, so the per-endpoint index lists
-	// are sorted by Ts too.
+	// are sorted by Ts too. From here the index is read-only.
 
 	out := make([]Vector, len(recs))
-	for k := range recs {
+	pool.Do(len(recs), workers, func(k int) {
 		rk := &recs[k]
 		v := Vector{
 			RecordIdx: k,
@@ -143,7 +154,7 @@ func Engineer(l *logs.Log) []Vector {
 			instances(recs, dst.asDst, rk, k, dst.maxDur)
 
 		out[k] = v
-	}
+	})
 	return out
 }
 

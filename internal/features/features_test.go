@@ -315,3 +315,44 @@ func TestOverlapLinearityProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestEngineerParallelMatchesSerial pins the concurrency contract: the
+// worker-pool engineering pass must produce exactly — bitwise — the
+// vectors the serial loop does, on a log big enough that records span
+// many endpoints with overlapping lifetimes.
+func TestEngineerParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	l := logs.NewLog()
+	eps := []string{"a", "b", "c", "d", "e"}
+	for _, id := range eps {
+		l.AddEndpoint(logs.Endpoint{ID: id, Site: "ANL", Type: logs.GCS})
+	}
+	for i := 0; i < 500; i++ {
+		src := eps[rng.Intn(len(eps))]
+		dst := eps[rng.Intn(len(eps))]
+		for dst == src {
+			dst = eps[rng.Intn(len(eps))]
+		}
+		ts := rng.Float64() * 1000
+		l.Append(logs.Record{
+			ID: i, Src: src, Dst: dst,
+			Ts: ts, Te: ts + 1 + rng.Float64()*200,
+			Bytes: 1e6 + rng.Float64()*1e9,
+			Files: 1 + rng.Intn(50), Dirs: 1 + rng.Intn(5),
+			Conc: 1 + rng.Intn(8), Par: 1 + rng.Intn(8),
+			Faults: rng.Intn(3),
+		})
+	}
+	serial := engineer(l, 1)
+	for _, workers := range []int{2, 4, 16} {
+		par := engineer(l, workers)
+		if len(par) != len(serial) {
+			t.Fatalf("workers=%d: %d vectors vs %d serial", workers, len(par), len(serial))
+		}
+		for i := range par {
+			if par[i] != serial[i] {
+				t.Fatalf("workers=%d: vector %d differs:\nparallel: %+v\nserial:   %+v", workers, i, par[i], serial[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package gbt
+
+// Golden-equivalence tests: the presorted, bitmap-partitioned, parallel
+// split search must produce bit-identical ensembles to the naive
+// reference finder (refGrow) — same feature, threshold, weight, and gain
+// at every node, same importances, same predictions. Not "close": equal.
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/ml/dataset"
+)
+
+// equivDataset builds a seeded dataset; quantize > 0 snaps feature values
+// onto a coarse grid so that columns are riddled with exact ties, the
+// case where an unstable candidate order would diverge first.
+func equivDataset(t *testing.T, n, p int, seed int64, quantize float64) *dataset.Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	names := make([]string, p)
+	for j := range names {
+		names[j] = string(rune('a' + j))
+	}
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		row := make([]float64, p)
+		for j := range row {
+			v := rng.Float64()*10 - 5
+			if quantize > 0 {
+				v = math.Round(v/quantize) * quantize
+			}
+			row[j] = v
+		}
+		x[i] = row
+		y[i] = row[0] - 2*row[p-1] + rng.NormFloat64()
+	}
+	d, err := dataset.New(names, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// assertModelsIdentical compares two ensembles structurally, field by
+// field, and fails on the first differing node.
+func assertModelsIdentical(t *testing.T, got, want *Model) {
+	t.Helper()
+	if got.Base != want.Base {
+		t.Fatalf("Base differs: %v vs %v", got.Base, want.Base)
+	}
+	if len(got.trees) != len(want.trees) {
+		t.Fatalf("tree count differs: %d vs %d", len(got.trees), len(want.trees))
+	}
+	for ti := range got.trees {
+		g, w := got.trees[ti].nodes, want.trees[ti].nodes
+		if len(g) != len(w) {
+			t.Fatalf("tree %d: node count %d vs %d", ti, len(g), len(w))
+		}
+		for ni := range g {
+			if g[ni] != w[ni] {
+				t.Fatalf("tree %d node %d differs:\noptimized: %+v\nreference: %+v", ti, ni, g[ni], w[ni])
+			}
+		}
+	}
+	if !reflect.DeepEqual(got.Importance(), want.Importance()) {
+		t.Fatalf("importances differ:\noptimized: %v\nreference: %v", got.Importance(), want.Importance())
+	}
+}
+
+func TestOptimizedMatchesReference(t *testing.T) {
+	cases := []struct {
+		name     string
+		n, p     int
+		seed     int64
+		quantize float64
+		mutate   func(*Params)
+	}{
+		{name: "continuous defaults", n: 400, p: 6, seed: 1},
+		{name: "heavy ties", n: 400, p: 5, seed: 2, quantize: 2.0},
+		{name: "all ties one column", n: 300, p: 4, seed: 3, quantize: 10.0},
+		{name: "no subsampling", n: 350, p: 5, seed: 4, mutate: func(p *Params) {
+			p.SubsampleRows = 1
+			p.SubsampleCols = 1
+		}},
+		{name: "row and column subsampling", n: 500, p: 8, seed: 5, mutate: func(p *Params) {
+			p.SubsampleRows = 0.6
+			p.SubsampleCols = 0.5
+		}},
+		{name: "deep trees", n: 300, p: 4, seed: 6, mutate: func(p *Params) { p.MaxDepth = 8 }},
+		{name: "gamma pruning", n: 300, p: 4, seed: 7, quantize: 1.0, mutate: func(p *Params) { p.Gamma = 0.5 }},
+		{name: "min child weight", n: 300, p: 4, seed: 8, mutate: func(p *Params) { p.MinChildWeight = 25 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := equivDataset(t, tc.n, tc.p, tc.seed, tc.quantize)
+			p := DefaultParams()
+			p.Rounds = 30
+			p.Seed = tc.seed * 11
+			if tc.mutate != nil {
+				tc.mutate(&p)
+			}
+			opt, err := train(d, p, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := train(d, p, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertModelsIdentical(t, opt, ref)
+
+			probe := equivDataset(t, 50, tc.p, tc.seed+1000, tc.quantize)
+			po, err := opt.PredictAll(probe)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pr, err := ref.PredictAll(probe)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range po {
+				if po[i] != pr[i] {
+					t.Fatalf("prediction %d differs: %v vs %v", i, po[i], pr[i])
+				}
+			}
+		})
+	}
+}
+
+// TestWorkerCountInvariance pins the determinism contract of the parallel
+// split search: any worker count yields the ensemble the serial scan does.
+func TestWorkerCountInvariance(t *testing.T) {
+	d := equivDataset(t, 400, 9, 77, 0.5)
+	base := DefaultParams()
+	base.Rounds = 25
+	var serial *Model
+	for _, workers := range []int{1, 2, 3, 8, 32} {
+		p := base
+		p.Workers = workers
+		m, err := Train(d, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serial == nil {
+			serial = m
+			continue
+		}
+		assertModelsIdentical(t, m, serial)
+	}
+}
+
+// TestReferenceModeStillLearns guards the reference path itself against
+// rot: it must remain a working trainer, not just dead weight.
+func TestReferenceModeStillLearns(t *testing.T) {
+	d := equivDataset(t, 400, 3, 13, 0)
+	p := DefaultParams()
+	p.Rounds = 40
+	m, err := train(d, p, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := make([]float64, 3)
+	probe[0] = 3
+	probe[2] = 1
+	got, err := m.Predict(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-(3-2*1)) > 1.5 {
+		t.Errorf("reference model Predict = %g, want ~1", got)
+	}
+}

@@ -12,6 +12,24 @@
 // For squared-error loss the gradient is (ŷ−y) and the hessian is 1.
 // Feature importance is the total gain contributed by each feature across
 // all splits, averaged over trees — exactly the importance Figure 12 plots.
+//
+// # Performance
+//
+// The exact greedy search is implemented with per-feature presorting:
+// every feature column is argsorted once per Train (ties broken by row
+// index, so the order is a deterministic total order), and tree growth
+// partitions those sorted index lists against a left/right membership
+// bitmap instead of re-sorting at every node. Split scans across features
+// run on a bounded worker pool; the winning split is reduced in feature
+// order with a strict-improvement rule, so the lowest feature index wins
+// on equal gain no matter how many workers ran. Trees are flat arrays of
+// nodes in pre-order (the same layout the JSON serialization uses), which
+// keeps Predict's pointer chasing inside one cache-friendly slice.
+//
+// The naive per-node sorting search is retained as refGrow and exercised
+// by the equivalence tests: both paths visit candidate splits in the same
+// deterministic order and accumulate gradient sums in the same sequence,
+// so they produce bit-identical trees, predictions, and importances.
 package gbt
 
 import (
@@ -21,6 +39,7 @@ import (
 	"sort"
 
 	"repro/internal/ml/dataset"
+	"repro/internal/pool"
 )
 
 // ErrNotTrained is returned when prediction is attempted before training.
@@ -38,6 +57,7 @@ type Params struct {
 	SubsampleRows  float64 // fraction of rows sampled per tree (0,1]
 	SubsampleCols  float64 // fraction of features considered per tree (0,1]
 	Seed           int64   // RNG seed for subsampling
+	Workers        int     // split-search goroutines (0 = GOMAXPROCS)
 }
 
 // DefaultParams returns the configuration used by the reproduction's
@@ -79,43 +99,57 @@ func (p *Params) fillDefaults() {
 	if p.SubsampleCols <= 0 || p.SubsampleCols > 1 {
 		p.SubsampleCols = d.SubsampleCols
 	}
+	if p.Workers <= 0 {
+		p.Workers = pool.Workers()
+	}
 }
 
-// node is one tree node; leaves have feature == -1.
+// node is one tree node in the flat pre-order layout; leaves have
+// feature == -1 and child indices 0.
 type node struct {
-	feature   int     // split feature index, -1 for leaf
 	threshold float64 // go left when x[feature] <= threshold
-	left      *node
-	right     *node
 	weight    float64 // leaf output (already scaled by η)
 	gain      float64 // split gain (for importance)
+	feature   int32   // split feature index, -1 for leaf
+	left      int32   // child indices into the tree's node slice
+	right     int32
 }
 
-// tree is one fitted regression tree.
-type tree struct{ root *node }
+// tree is one fitted regression tree: nodes in pre-order, root at 0.
+type tree struct{ nodes []node }
 
 func (t *tree) predict(x []float64) float64 {
-	n := t.root
-	for n.feature >= 0 {
+	nodes := t.nodes
+	i := int32(0)
+	for {
+		n := &nodes[i]
+		if n.feature < 0 {
+			return n.weight
+		}
 		if x[n.feature] <= n.threshold {
-			n = n.left
+			i = n.left
 		} else {
-			n = n.right
+			i = n.right
 		}
 	}
-	return n.weight
 }
 
 // Model is a fitted boosted ensemble.
 type Model struct {
 	Base   float64 // initial prediction (mean of training targets)
 	Names  []string
-	trees  []*tree
+	trees  []tree
 	params Params
 }
 
 // Train fits a boosted ensemble on d with parameters p.
 func Train(d *dataset.Dataset, p Params) (*Model, error) {
+	return train(d, p, false)
+}
+
+// train is the shared implementation behind Train and the reference-mode
+// training the equivalence tests use.
+func train(d *dataset.Dataset, p Params, reference bool) (*Model, error) {
 	n := d.Len()
 	if n == 0 {
 		return nil, dataset.ErrEmpty
@@ -141,14 +175,32 @@ func Train(d *dataset.Dataset, p Params) (*Model, error) {
 	grad := make([]float64, n)
 	hess := make([]float64, n)
 
-	b := &builder{d: d, p: p}
+	b := newBuilder(d.X, d.NumFeatures(), p, reference)
+
+	// With no subsampling the row/column identity lists are loop
+	// invariants: compute them once instead of once per round.
+	var allRows, allCols []int
+	if p.SubsampleRows >= 1 {
+		allRows = identity(n)
+	}
+	if p.SubsampleCols >= 1 {
+		allCols = identity(d.NumFeatures())
+	}
+
+	m.trees = make([]tree, 0, p.Rounds)
 	for round := 0; round < p.Rounds; round++ {
 		for i := range grad {
 			grad[i] = pred[i] - d.Y[i] // squared loss gradient
 			hess[i] = 1
 		}
-		rows := sampleRows(n, p.SubsampleRows, rng)
-		cols := sampleCols(d.NumFeatures(), p.SubsampleCols, rng)
+		rows := allRows
+		if rows == nil {
+			rows = sampleRows(n, p.SubsampleRows, rng)
+		}
+		cols := allCols
+		if cols == nil {
+			cols = sampleCols(d.NumFeatures(), p.SubsampleCols, rng)
+		}
 		t := b.build(rows, cols, grad, hess)
 		m.trees = append(m.trees, t)
 		for i, row := range d.X {
@@ -158,14 +210,17 @@ func Train(d *dataset.Dataset, p Params) (*Model, error) {
 	return m, nil
 }
 
-func sampleRows(n int, frac float64, rng *rand.Rand) []int {
-	if frac >= 1 {
-		out := make([]int, n)
-		for i := range out {
-			out[i] = i
-		}
-		return out
+func identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
 	}
+	return out
+}
+
+// sampleRows draws a sorted subset of row indices; callers handle the
+// frac >= 1 identity case (no RNG draw) themselves.
+func sampleRows(n int, frac float64, rng *rand.Rand) []int {
 	k := int(frac * float64(n))
 	if k < 1 {
 		k = 1
@@ -176,14 +231,9 @@ func sampleRows(n int, frac float64, rng *rand.Rand) []int {
 	return rows
 }
 
+// sampleCols draws a sorted subset of feature indices; callers handle the
+// frac >= 1 identity case (no RNG draw) themselves.
 func sampleCols(p int, frac float64, rng *rand.Rand) []int {
-	if frac >= 1 {
-		out := make([]int, p)
-		for i := range out {
-			out[i] = i
-		}
-		return out
-	}
 	k := int(frac * float64(p))
 	if k < 1 {
 		k = 1
@@ -192,89 +242,6 @@ func sampleCols(p int, frac float64, rng *rand.Rand) []int {
 	cols := append([]int(nil), perm[:k]...)
 	sort.Ints(cols)
 	return cols
-}
-
-// builder holds per-training-run state for tree construction.
-type builder struct {
-	d *dataset.Dataset
-	p Params
-}
-
-// build grows one tree on the given row subset using only the given columns.
-func (b *builder) build(rows, cols []int, grad, hess []float64) *tree {
-	root := b.grow(rows, cols, grad, hess, 0)
-	return &tree{root: root}
-}
-
-func (b *builder) grow(rows, cols []int, grad, hess []float64, depth int) *node {
-	var gSum, hSum float64
-	for _, i := range rows {
-		gSum += grad[i]
-		hSum += hess[i]
-	}
-	leaf := func() *node {
-		return &node{feature: -1, weight: -gSum / (hSum + b.p.Lambda) * b.p.LearningRate}
-	}
-	if depth >= b.p.MaxDepth || len(rows) < 2 {
-		return leaf()
-	}
-
-	bestGain := 0.0
-	bestFeat := -1
-	bestThresh := 0.0
-	parentScore := gSum * gSum / (hSum + b.p.Lambda)
-
-	order := make([]int, len(rows))
-	for _, f := range cols {
-		copy(order, rows)
-		x := b.d.X
-		sort.Slice(order, func(a, c int) bool { return x[order[a]][f] < x[order[c]][f] })
-
-		var gl, hl float64
-		for k := 0; k < len(order)-1; k++ {
-			i := order[k]
-			gl += grad[i]
-			hl += hess[i]
-			// Can't split between equal feature values.
-			if x[order[k]][f] == x[order[k+1]][f] {
-				continue
-			}
-			gr := gSum - gl
-			hr := hSum - hl
-			if hl < b.p.MinChildWeight || hr < b.p.MinChildWeight {
-				continue
-			}
-			gain := 0.5*(gl*gl/(hl+b.p.Lambda)+gr*gr/(hr+b.p.Lambda)-parentScore) - b.p.Gamma
-			if gain > bestGain {
-				bestGain = gain
-				bestFeat = f
-				bestThresh = (x[order[k]][f] + x[order[k+1]][f]) / 2
-			}
-		}
-	}
-
-	if bestFeat < 0 {
-		return leaf()
-	}
-
-	var leftRows, rightRows []int
-	for _, i := range rows {
-		if b.d.X[i][bestFeat] <= bestThresh {
-			leftRows = append(leftRows, i)
-		} else {
-			rightRows = append(rightRows, i)
-		}
-	}
-	if len(leftRows) == 0 || len(rightRows) == 0 {
-		return leaf()
-	}
-	return &node{
-		feature:   bestFeat,
-		threshold: bestThresh,
-		gain:      bestGain,
-		left:      b.grow(leftRows, cols, grad, hess, depth+1),
-		right:     b.grow(rightRows, cols, grad, hess, depth+1),
-	}
 }
 
 // NumTrees returns the number of trees in the ensemble.
@@ -289,21 +256,29 @@ func (m *Model) Predict(x []float64) (float64, error) {
 		return 0, fmt.Errorf("gbt: feature vector has %d entries, want %d", len(x), len(m.Names))
 	}
 	out := m.Base
-	for _, t := range m.trees {
-		out += t.predict(x)
+	for i := range m.trees {
+		out += m.trees[i].predict(x)
 	}
 	return out, nil
 }
 
-// PredictAll returns predictions for every row of d.
+// PredictAll returns predictions for every row of d. The feature-width
+// check runs once up front (dataset.New already guarantees rectangular
+// rows), keeping the per-row loop branch-free.
 func (m *Model) PredictAll(d *dataset.Dataset) ([]float64, error) {
+	if len(m.trees) == 0 {
+		return nil, ErrNotTrained
+	}
+	if d.NumFeatures() != len(m.Names) {
+		return nil, fmt.Errorf("gbt: dataset has %d features, want %d", d.NumFeatures(), len(m.Names))
+	}
 	out := make([]float64, d.Len())
 	for i, row := range d.X {
-		v, err := m.Predict(row)
-		if err != nil {
-			return nil, err
+		s := m.Base
+		for ti := range m.trees {
+			s += m.trees[ti].predict(row)
 		}
-		out[i] = v
+		out[i] = s
 	}
 	return out, nil
 }
@@ -314,17 +289,12 @@ func (m *Model) PredictAll(d *dataset.Dataset) ([]float64, error) {
 // used in Figure 12.
 func (m *Model) Importance() map[string]float64 {
 	raw := make([]float64, len(m.Names))
-	var walk func(n *node)
-	walk = func(n *node) {
-		if n == nil || n.feature < 0 {
-			return
+	for ti := range m.trees {
+		for _, n := range m.trees[ti].nodes {
+			if n.feature >= 0 {
+				raw[n.feature] += n.gain
+			}
 		}
-		raw[n.feature] += n.gain
-		walk(n.left)
-		walk(n.right)
-	}
-	for _, t := range m.trees {
-		walk(t.root)
 	}
 	var total float64
 	for _, v := range raw {

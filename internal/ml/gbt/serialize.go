@@ -9,7 +9,9 @@ import (
 
 // Serialization: a trained ensemble round-trips through a compact JSON
 // form, so models can be trained offline (e.g. from historical logs) and
-// shipped to the scheduler or prediction service that uses them.
+// shipped to the scheduler or prediction service that uses them. The wire
+// format — nodes flattened in pre-order with explicit child indices — is
+// also the in-memory layout, so Save/Load are direct field mappings.
 
 // jsonNode is the serialized form of one tree node, flattened into an
 // array with child indices (index 0 is the root, -1 means no child).
@@ -42,28 +44,25 @@ func (m *Model) Save(w io.Writer) error {
 		return ErrNotTrained
 	}
 	jm := jsonModel{Version: serializationVersion, Base: m.Base, Names: m.Names}
-	for _, t := range m.trees {
-		var flat []jsonNode
-		flatten(t.root, &flat)
+	for ti := range m.trees {
+		nodes := m.trees[ti].nodes
+		flat := make([]jsonNode, len(nodes))
+		for i, n := range nodes {
+			if n.feature < 0 {
+				flat[i] = jsonNode{Feature: -1, Weight: n.weight, Left: -1, Right: -1}
+				continue
+			}
+			flat[i] = jsonNode{
+				Feature:   int(n.feature),
+				Threshold: n.threshold,
+				Gain:      n.gain,
+				Left:      int(n.left),
+				Right:     int(n.right),
+			}
+		}
 		jm.Trees = append(jm.Trees, flat)
 	}
 	return json.NewEncoder(w).Encode(&jm)
-}
-
-// flatten appends the subtree rooted at n in pre-order and returns its
-// index within the array.
-func flatten(n *node, out *[]jsonNode) int {
-	idx := len(*out)
-	*out = append(*out, jsonNode{Feature: n.feature, Left: -1, Right: -1})
-	if n.feature < 0 {
-		(*out)[idx].Weight = n.weight
-		return idx
-	}
-	(*out)[idx].Threshold = n.threshold
-	(*out)[idx].Gain = n.gain
-	(*out)[idx].Left = flatten(n.left, out)
-	(*out)[idx].Right = flatten(n.right, out)
-	return idx
 }
 
 // Load reads a model previously written by Save.
@@ -80,49 +79,45 @@ func Load(r io.Reader) (*Model, error) {
 	}
 	m := &Model{Base: jm.Base, Names: jm.Names}
 	for ti, flat := range jm.Trees {
-		root, err := unflatten(flat, 0, len(jm.Names))
+		t, err := unflatten(flat, len(jm.Names))
 		if err != nil {
 			return nil, fmt.Errorf("%w: tree %d: %v", ErrBadModel, ti, err)
 		}
-		m.trees = append(m.trees, &tree{root: root})
+		m.trees = append(m.trees, t)
 	}
 	return m, nil
 }
 
-// unflatten rebuilds the subtree at index i, validating indices and
-// feature references.
-func unflatten(flat []jsonNode, i, numFeatures int) (*node, error) {
-	if i < 0 || i >= len(flat) {
-		return nil, fmt.Errorf("node index %d out of range", i)
+// unflatten validates a serialized tree — index ranges, feature
+// references, and the pre-order invariant that children strictly follow
+// their parent (so a crafted payload cannot make Predict loop) — and
+// converts it to the in-memory node array.
+func unflatten(flat []jsonNode, numFeatures int) (tree, error) {
+	if len(flat) == 0 {
+		return tree{}, fmt.Errorf("empty tree")
 	}
-	jn := flat[i]
-	if jn.Feature < 0 {
-		return &node{feature: -1, weight: jn.Weight}, nil
+	nodes := make([]node, len(flat))
+	for i, jn := range flat {
+		if jn.Feature < 0 {
+			nodes[i] = node{feature: -1, weight: jn.Weight}
+			continue
+		}
+		if jn.Feature >= numFeatures {
+			return tree{}, fmt.Errorf("feature %d out of range", jn.Feature)
+		}
+		if jn.Left <= i || jn.Right <= i {
+			return tree{}, fmt.Errorf("node %d has non-forward child", i)
+		}
+		if jn.Left >= len(flat) || jn.Right >= len(flat) {
+			return tree{}, fmt.Errorf("node %d child index out of range", i)
+		}
+		nodes[i] = node{
+			feature:   int32(jn.Feature),
+			threshold: jn.Threshold,
+			gain:      jn.Gain,
+			left:      int32(jn.Left),
+			right:     int32(jn.Right),
+		}
 	}
-	if jn.Feature >= numFeatures {
-		return nil, fmt.Errorf("feature %d out of range", jn.Feature)
-	}
-	if jn.Left == i || jn.Right == i {
-		return nil, fmt.Errorf("node %d references itself", i)
-	}
-	// Pre-order layout guarantees children come later; enforce it so a
-	// crafted payload cannot loop.
-	if jn.Left <= i || jn.Right <= i {
-		return nil, fmt.Errorf("node %d has non-forward child", i)
-	}
-	left, err := unflatten(flat, jn.Left, numFeatures)
-	if err != nil {
-		return nil, err
-	}
-	right, err := unflatten(flat, jn.Right, numFeatures)
-	if err != nil {
-		return nil, err
-	}
-	return &node{
-		feature:   jn.Feature,
-		threshold: jn.Threshold,
-		gain:      jn.Gain,
-		left:      left,
-		right:     right,
-	}, nil
+	return tree{nodes: nodes}, nil
 }

@@ -1,0 +1,130 @@
+// Package pool provides the bounded worker pools behind every parallel
+// stage in the repository: per-feature split search in gbt, per-record
+// feature engineering, and the per-edge / per-intensity experiment loops
+// in core. It exists because the module deliberately has no external
+// dependencies (errgroup lives in golang.org/x/sync); the semantics here
+// are the errgroup-with-SetLimit subset those call sites need, plus a
+// hard guarantee used by the determinism tests: work item i's results are
+// only ever written by the goroutine that ran item i, so callers can
+// assemble outputs in input order regardless of scheduling.
+package pool
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers returns the default pool size: one worker per available CPU.
+func Workers() int { return runtime.GOMAXPROCS(0) }
+
+// Do runs fn(i) for every i in [0, n) using at most workers goroutines
+// and returns when all calls have finished. With workers <= 1 (or n <= 1)
+// it degrades to a plain loop on the calling goroutine, which the
+// equivalence tests use as the serial reference.
+func Do(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForEach runs fn(ctx, i) for every i in [0, n) using at most workers
+// goroutines. An already-cancelled context returns ctx.Err() immediately
+// without running anything. Once any call fails (or ctx is cancelled) no
+// new items are started, every in-flight call sees a cancelled context,
+// and ForEach waits for all workers to exit before returning — no
+// goroutine outlives the call. The returned error prefers a non-context
+// failure (the one with the lowest item index) over the cancellation
+// errors it triggered; if the parent context was cancelled, ctx.Err()
+// wins.
+func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := cctx.Err(); err != nil {
+					errs[i] = err
+					return
+				}
+				if err := fn(cctx, i); err != nil {
+					errs[i] = err
+					cancel()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	for _, e := range errs {
+		if e != nil && !errors.Is(e, context.Canceled) && !errors.Is(e, context.DeadlineExceeded) {
+			return e
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

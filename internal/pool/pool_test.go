@@ -1,0 +1,135 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDoCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		const n = 500
+		counts := make([]atomic.Int32, n)
+		Do(n, workers, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestDoBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int32
+	var mu sync.Mutex
+	Do(100, workers, func(int) {
+		c := cur.Add(1)
+		mu.Lock()
+		if c > peak.Load() {
+			peak.Store(c)
+		}
+		mu.Unlock()
+		time.Sleep(100 * time.Microsecond)
+		cur.Add(-1)
+	})
+	if p := peak.Load(); p > workers {
+		t.Errorf("observed %d concurrent calls, want <= %d", p, workers)
+	}
+}
+
+func TestDoZeroAndNegative(t *testing.T) {
+	ran := false
+	Do(0, 4, func(int) { ran = true })
+	Do(-3, 4, func(int) { ran = true })
+	if ran {
+		t.Error("Do ran work for n <= 0")
+	}
+}
+
+func TestForEachCollectsInOrder(t *testing.T) {
+	const n = 200
+	out := make([]int, n)
+	err := ForEach(context.Background(), n, 8, func(_ context.Context, i int) error {
+		out[i] = i * i
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out {
+		if out[i] != i*i {
+			t.Fatalf("index %d holds %d", i, out[i])
+		}
+	}
+}
+
+func TestForEachReturnsLowestIndexedError(t *testing.T) {
+	boom := func(i int) error { return fmt.Errorf("item %d failed", i) }
+	for _, workers := range []int{1, 4} {
+		err := ForEach(context.Background(), 50, workers, func(_ context.Context, i int) error {
+			if i == 7 || i == 31 {
+				return boom(i)
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: error swallowed", workers)
+		}
+		if got := err.Error(); got != "item 7 failed" && got != "item 31 failed" {
+			t.Errorf("workers=%d: unexpected error %q", workers, got)
+		}
+	}
+}
+
+func TestForEachErrorCancelsRemaining(t *testing.T) {
+	var started atomic.Int32
+	err := ForEach(context.Background(), 1000, 2, func(ctx context.Context, i int) error {
+		started.Add(1)
+		if i == 0 {
+			return errors.New("early failure")
+		}
+		select {
+		case <-ctx.Done():
+		case <-time.After(time.Millisecond):
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "early failure" {
+		t.Fatalf("got %v, want early failure", err)
+	}
+	if s := started.Load(); s == 1000 {
+		t.Error("failure did not stop new work from starting")
+	}
+}
+
+func TestForEachPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := ForEach(ctx, 10, 4, func(context.Context, int) error { ran = true; return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Error("pre-cancelled context still ran work")
+	}
+}
+
+func TestForEachParentCancellationWins(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	err := ForEach(ctx, 100, 4, func(cctx context.Context, i int) error {
+		if i == 3 {
+			cancel()
+		}
+		<-cctx.Done()
+		return cctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# bench.sh — run the component benchmarks and record the numbers as a
+# tracked artifact, so the perf trajectory across PRs is reconstructable.
+#
+# Usage: scripts/bench.sh [label]
+#
+# The label defaults to the current git SHA (12 chars, "-dirty" appended
+# when the tree has uncommitted changes). Two files are written under
+# bench/:
+#
+#   BENCH_<label>.txt   raw `go test -bench` output, benchstat-compatible
+#   BENCH_<label>.json  parsed {name, iterations, ns_per_op, ...} records
+#
+# Tunables (environment):
+#   BENCH_PATTERN  benchmark regexp        (default: component benchmarks)
+#   BENCH_COUNT    -count                  (default: 5)
+#   BENCH_TIME     -benchtime              (default: 1x)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+label="${1:-}"
+if [ -z "$label" ]; then
+    label="$(git rev-parse --short=12 HEAD 2>/dev/null || echo nogit)"
+    if ! git diff --quiet HEAD 2>/dev/null; then
+        label="${label}-dirty"
+    fi
+fi
+
+pattern="${BENCH_PATTERN:-GBTTrain|Fig11Headline|FeatureEngineering|LinregFit|SimulateSmall|Predict\$|MIC}"
+count="${BENCH_COUNT:-5}"
+benchtime="${BENCH_TIME:-1x}"
+
+mkdir -p bench
+txt="bench/BENCH_${label}.txt"
+json="bench/BENCH_${label}.json"
+
+echo "running benchmarks matching '${pattern}' (count=${count}, benchtime=${benchtime})..." >&2
+go test -run '^$' -bench "$pattern" -benchmem -count "$count" -benchtime "$benchtime" . | tee "$txt"
+
+# Parse the benchstat-compatible text into JSON. Benchmark lines look like:
+#   BenchmarkGBTTrain    	       2	 601234567 ns/op	 123456 B/op	   789 allocs/op
+awk -v label="$label" '
+BEGIN { print "["; first = 1 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)  # strip -GOMAXPROCS suffix if present
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns = $(i-1)
+        if ($i == "B/op")      bytes = $(i-1)
+        if ($i == "allocs/op") allocs = $(i-1)
+    }
+    if (ns == "") next
+    if (!first) printf(",\n")
+    first = 0
+    printf("  {\"label\": \"%s\", \"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", label, name, $2, ns)
+    if (bytes != "")  printf(", \"bytes_per_op\": %s", bytes)
+    if (allocs != "") printf(", \"allocs_per_op\": %s", allocs)
+    printf("}")
+}
+END { print "\n]" }
+' "$txt" > "$json"
+
+echo "wrote $txt and $json" >&2
