@@ -1,9 +1,11 @@
 GO ?= go
 
-.PHONY: check build vet test race fuzz bench
+EXAMPLES := $(wildcard examples/*)
+
+.PHONY: check build vet test race fuzz bench examples coverage
 
 # The full gate: what CI (and a careful human) runs before merging.
-check: build vet test race
+check: build vet test race examples
 
 build:
 	$(GO) build ./...
@@ -23,6 +25,23 @@ race:
 bench:
 	./scripts/bench.sh $(BENCH_LABEL)
 
-# Short fuzz pass over the CSV ingestion round-trip properties.
+# Short fuzz passes: the CSV ingestion round-trip properties and the
+# world-spec parser (malformed JSON / non-finite numbers must error,
+# never panic).
 fuzz:
 	$(GO) test ./internal/logs -run '^$$' -fuzz FuzzReadCSV -fuzztime 30s
+	$(GO) test ./internal/simulate -run '^$$' -fuzz FuzzParseWorld -fuzztime 30s
+
+# Vet and compile every example program. They are plain main packages, so
+# `go build ./...` already type-checks them; this target keeps them honest
+# one by one and gives a readable per-example failure in CI.
+examples:
+	@for dir in $(EXAMPLES); do \
+		echo "== $$dir"; \
+		$(GO) vet ./$$dir/ || exit 1; \
+		$(GO) build -o /dev/null ./$$dir/ || exit 1; \
+	done
+
+# Statement-coverage gate over the internal packages (see scripts/coverage.sh).
+coverage:
+	./scripts/coverage.sh

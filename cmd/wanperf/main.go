@@ -37,6 +37,14 @@
 //	-small            use the reduced workload (fast, for exploration)
 //	-out FILE         for simulate: CSV output path (default stdout)
 //	-intensities LIST for chaos: comma-separated fault intensities
+//	-metrics FILE     write engine/model/pool metrics as JSON
+//	-trace FILE       write hierarchical phase spans as JSON
+//	-pprof ADDR       serve net/http/pprof on ADDR (e.g. localhost:6060)
+//
+// With -metrics or -trace a human-readable run summary is also printed to
+// stderr at exit. Observability never perturbs results: instruments are
+// outside every RNG stream, so instrumented runs are byte-identical to
+// plain ones.
 //
 // Exit status is 0 on success, 1 on a runtime error, and 2 on a usage
 // error.
@@ -49,6 +57,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -57,6 +67,8 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/pool"
 	"repro/internal/simulate"
 )
 
@@ -84,7 +96,19 @@ func realMain(ctx context.Context, args []string) int {
 		usage()
 		return 2
 	}
-	if err := run(ctx, cmd, cfg, opts); err != nil {
+	if opts.pprofAddr != "" {
+		go func() {
+			if serr := http.ListenAndServe(opts.pprofAddr, nil); serr != nil {
+				fmt.Fprintln(os.Stderr, "wanperf: pprof:", serr)
+			}
+		}()
+	}
+	o := buildObs(cmd, opts)
+	err = run(ctx, cmd, cfg, opts, o)
+	if oerr := finishObs(opts, o); oerr != nil && err == nil {
+		err = oerr
+	}
+	if err != nil {
 		if errors.Is(err, errUsage) {
 			fmt.Fprintln(os.Stderr, "wanperf:", err)
 			usage()
@@ -96,10 +120,54 @@ func realMain(ctx context.Context, args []string) int {
 	return 0
 }
 
+// buildObs assembles the observability bundle the run feeds. Metrics and
+// tracing are independent: either flag alone enables just that half, and
+// with neither the bundle is nil so the whole stack runs uninstrumented.
+func buildObs(cmd string, opts options) *obs.Obs {
+	if opts.metrics == "" && opts.trace == "" {
+		return nil
+	}
+	o := &obs.Obs{}
+	if opts.metrics != "" {
+		o.Metrics = obs.NewRegistry()
+		pool.SetMetrics(o.Metrics)
+	}
+	if opts.trace != "" {
+		o.Tracer = obs.NewTracer()
+		o.Root = o.Tracer.Start("wanperf." + cmd)
+	}
+	return o
+}
+
+// finishObs closes the root span, writes the requested JSON artifacts, and
+// prints the run summary to stderr. Called even when the run failed, so a
+// partial trace is still available for debugging.
+func finishObs(opts options, o *obs.Obs) error {
+	if o == nil {
+		return nil
+	}
+	pool.SetMetrics(nil)
+	o.Root.End()
+	if opts.metrics != "" {
+		if err := withOutput(opts.metrics, o.Metrics.WriteJSON); err != nil {
+			return fmt.Errorf("writing metrics: %w", err)
+		}
+	}
+	if opts.trace != "" {
+		if err := withOutput(opts.trace, o.Tracer.WriteJSON); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+	}
+	return obs.WriteSummary(os.Stderr, o.Metrics.Snapshot(), o.Tracer.Snapshot())
+}
+
 // options carries the per-command flag values into run.
 type options struct {
 	out         string
 	intensities []float64
+	metrics     string // JSON metrics output path ("" = disabled)
+	trace       string // JSON trace output path ("" = disabled)
+	pprofAddr   string // pprof listen address ("" = disabled)
 }
 
 func parseArgs(args []string) (cmd string, cfg simulate.Config, opts options, err error) {
@@ -117,6 +185,9 @@ func parseArgs(args []string) (cmd string, cfg simulate.Config, opts options, er
 	out := fs.String("out", "", "output path for simulate (default stdout)")
 	intensities := fs.String("intensities", "0,0.5,1,2,4",
 		"comma-separated fault intensities for the chaos sweep")
+	metrics := fs.String("metrics", "", "write metrics JSON to this path")
+	trace := fs.String("trace", "", "write trace-span JSON to this path")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address")
 	if err := fs.Parse(args[1:]); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return "", cfg, opts, flag.ErrHelp
@@ -128,6 +199,9 @@ func parseArgs(args []string) (cmd string, cfg simulate.Config, opts options, er
 	}
 	cfg.Seed = *seed
 	opts.out = *out
+	opts.metrics = *metrics
+	opts.trace = *trace
+	opts.pprofAddr = *pprofAddr
 	if opts.intensities, err = parseIntensities(*intensities); err != nil {
 		return "", cfg, opts, fmt.Errorf("%w: %v", errUsage, err)
 	}
@@ -161,6 +235,7 @@ func parseIntensities(s string) ([]float64, error) {
 func usage() {
 	fmt.Fprintln(os.Stderr, strings.TrimSpace(`
 usage: wanperf <command> [-seed N] [-small] [-out FILE] [-intensities LIST]
+                         [-metrics FILE] [-trace FILE] [-pprof ADDR]
 commands: simulate edges models table1 table3 table4 table5
           fig3 fig4 fig5 fig6 fig8 fig9 fig12 fig13
           eq1 global lmt ablation tuned worldspec chaos all`))
@@ -195,13 +270,13 @@ func withOutput(out string, fn func(io.Writer) error) error {
 	return werr
 }
 
-func run(ctx context.Context, cmd string, cfg simulate.Config, opts options) error {
+func run(ctx context.Context, cmd string, cfg simulate.Config, opts options, o *obs.Obs) error {
 	var pl *core.Pipeline
 	var edges []core.EdgeData
 	if needsPipeline(cmd) {
 		fmt.Fprintln(os.Stderr, "simulating...")
 		var err error
-		pl, err = core.RunContext(ctx, cfg)
+		pl, err = core.RunObs(ctx, cfg, o)
 		if err != nil {
 			return err
 		}

@@ -2,12 +2,16 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"os"
+	"path/filepath"
 	"reflect"
 	"testing"
 
 	"repro/internal/chaos"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/simulate"
 )
 
@@ -28,7 +32,7 @@ func TestRunUnknownCommand(t *testing.T) {
 	cfg := simulate.SmallConfig()
 	// Unknown commands need a pipeline (the default path), so this also
 	// exercises the simulate-then-dispatch flow end to end.
-	err := run(context.Background(), "definitely-not-a-command", cfg, options{})
+	err := run(context.Background(), "definitely-not-a-command", cfg, options{}, nil)
 	if err == nil {
 		t.Fatal("unknown command accepted")
 	}
@@ -61,6 +65,70 @@ func TestRealMainCancelledIsRuntimeError(t *testing.T) {
 	cancel()
 	if got := realMain(ctx, []string{"edges", "-small"}); got != 1 {
 		t.Errorf("cancelled run exited %d, want 1", got)
+	}
+}
+
+// TestObsFlagsEndToEnd drives a full command through realMain with
+// -metrics and -trace and checks both artifacts are valid JSON carrying
+// the engine counters and the phase spans the issue promises.
+func TestObsFlagsEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	mfile := filepath.Join(dir, "metrics.json")
+	tfile := filepath.Join(dir, "trace.json")
+	if code := realMain(context.Background(),
+		[]string{"edges", "-small", "-metrics", mfile, "-trace", tfile}); code != 0 {
+		t.Fatalf("realMain exited %d", code)
+	}
+
+	var snap obs.MetricsSnapshot
+	mb, err := os.ReadFile(mfile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(mb, &snap); err != nil {
+		t.Fatalf("metrics JSON invalid: %v", err)
+	}
+	for _, name := range []string{"sim.events", "sim.transfers_completed", "pipeline.records", "pool.tasks"} {
+		if snap.Counters[name] <= 0 {
+			t.Errorf("counter %s = %d, want > 0", name, snap.Counters[name])
+		}
+	}
+
+	var tr struct {
+		Spans []obs.SpanSnapshot `json:"spans"`
+	}
+	tb, err := os.ReadFile(tfile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(tb, &tr); err != nil {
+		t.Fatalf("trace JSON invalid: %v", err)
+	}
+	want := map[string]bool{"wanperf.edges": false, "simulate": false, "features": false}
+	for _, sp := range tr.Spans {
+		if _, ok := want[sp.Name]; ok {
+			want[sp.Name] = true
+		}
+		if sp.Open {
+			t.Errorf("span %s left open", sp.Name)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("trace missing span %q", name)
+		}
+	}
+}
+
+// TestObsFlagsParsed pins the flag plumbing without running a pipeline.
+func TestObsFlagsParsed(t *testing.T) {
+	_, _, opts, err := parseArgs([]string{"edges",
+		"-metrics", "m.json", "-trace", "t.json", "-pprof", "localhost:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.metrics != "m.json" || opts.trace != "t.json" || opts.pprofAddr != "localhost:0" {
+		t.Errorf("obs flags not parsed: %+v", opts)
 	}
 }
 

@@ -39,6 +39,8 @@ func (p *Pipeline) GlobalModel(edges []EdgeData) (GlobalResult, error) {
 // shared split — run concurrently on the worker pool. The folds write
 // disjoint result fields, so the output is identical to the serial run.
 func (p *Pipeline) GlobalModelContext(ctx context.Context, edges []EdgeData) (GlobalResult, error) {
+	phase := p.Obs.Child("global_model")
+	defer phase.End()
 	var res GlobalResult
 	var idxs []int
 	for _, ed := range edges {
@@ -90,6 +92,7 @@ func (p *Pipeline) GlobalModelContext(ctx context.Context, edges []EdgeData) (Gl
 			xp := gbt.DefaultParams()
 			xp.Rounds = 250 // the pooled dataset is larger and more heterogeneous
 			xp.MaxDepth = 6
+			xp.Metrics = p.Obs.Reg()
 			xm, err := gbt.Train(trainStd, xp)
 			if err != nil {
 				return err
@@ -106,6 +109,7 @@ func (p *Pipeline) GlobalModelContext(ctx context.Context, edges []EdgeData) (Gl
 		},
 	}
 	err = pool.ForEach(ctx, len(folds), pool.Workers(), func(_ context.Context, i int) error {
+		p.Obs.Counter("core.folds").Inc()
 		return folds[i]()
 	})
 	if err != nil {
@@ -156,7 +160,7 @@ func (p *Pipeline) Fig13(minSamples, maxEdges int) ([]ThresholdResult, error) {
 				return nil, err
 			}
 			ds, _ = ds.DropLowVariance(LowVarianceMin)
-			linAPEs, xgbAPEs, err := trainAndTest(ds, modelSeed(ed.Edge.String())+int64(th*10))
+			linAPEs, xgbAPEs, err := trainAndTest(ds, modelSeed(ed.Edge.String())+int64(th*10), p.Obs.Reg())
 			if err != nil {
 				return nil, err
 			}

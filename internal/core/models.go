@@ -4,11 +4,14 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"strconv"
+	"time"
 
 	"repro/internal/features"
 	"repro/internal/ml/dataset"
 	"repro/internal/ml/gbt"
 	"repro/internal/ml/linreg"
+	"repro/internal/obs"
 	"repro/internal/pool"
 	"repro/internal/stats"
 )
@@ -72,7 +75,7 @@ func (p *Pipeline) EvaluateEdge(ed EdgeData) (EdgeModelResult, error) {
 	if ds.NumFeatures() == 0 {
 		return res, fmt.Errorf("core: edge %s has no informative features", res.Edge)
 	}
-	linAPEs, xgbAPEs, err := trainAndTest(ds, seed)
+	linAPEs, xgbAPEs, err := trainAndTest(ds, seed, p.Obs.Reg())
 	if err != nil {
 		return res, err
 	}
@@ -110,6 +113,7 @@ func (p *Pipeline) EvaluateEdge(ed EdgeData) (EdgeModelResult, error) {
 	}
 	xp := gbt.DefaultParams()
 	xp.Seed = seed
+	xp.Metrics = p.Obs.Reg()
 	xm, err := gbt.Train(dsExp, xp)
 	if err != nil {
 		return res, err
@@ -119,8 +123,10 @@ func (p *Pipeline) EvaluateEdge(ed EdgeData) (EdgeModelResult, error) {
 }
 
 // trainAndTest fits both families on a 70/30 split and returns test-set
-// absolute percentage errors.
-func trainAndTest(ds *dataset.Dataset, seed int64) (linAPEs, xgbAPEs []float64, err error) {
+// absolute percentage errors. reg (nil for uninstrumented) receives the
+// boosted-tree training telemetry and a fold counter.
+func trainAndTest(ds *dataset.Dataset, seed int64, reg *obs.Registry) (linAPEs, xgbAPEs []float64, err error) {
+	reg.Counter("core.folds").Inc()
 	train, test := ds.Split(TrainFraction, seed)
 	if train.Len() == 0 || test.Len() == 0 {
 		return nil, nil, dataset.ErrEmpty
@@ -155,6 +161,7 @@ func trainAndTest(ds *dataset.Dataset, seed int64) (linAPEs, xgbAPEs []float64, 
 
 	xp := gbt.DefaultParams()
 	xp.Seed = seed
+	xp.Metrics = reg
 	xm, err := gbt.Train(trainStd, xp)
 	if err != nil {
 		return nil, nil, err
@@ -182,12 +189,22 @@ func (p *Pipeline) EvaluateEdges(edges []EdgeData) ([]EdgeModelResult, error) {
 // it — is identical to the serial loop's. An already-cancelled context
 // returns promptly with its error and starts no work.
 func (p *Pipeline) EvaluateEdgesContext(ctx context.Context, edges []EdgeData) ([]EdgeModelResult, error) {
+	phase := p.Obs.Child("evaluate_edges")
+	defer phase.End()
+	fitMS := p.Obs.Histogram("core.edge_fit_ms", obs.ExpBuckets(4, 2, 14))
 	out := make([]EdgeModelResult, len(edges))
 	err := pool.ForEach(ctx, len(edges), pool.Workers(), func(_ context.Context, i int) error {
+		sp := phase.Child("fit:" + edges[i].Edge.String())
+		start := time.Now()
 		r, err := p.EvaluateEdge(edges[i])
 		if err != nil {
+			sp.End()
 			return fmt.Errorf("edge %s: %w", edges[i].Edge, err)
 		}
+		sp.Annotate("samples", strconv.Itoa(r.Samples))
+		sp.End()
+		fitMS.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+		p.Obs.Counter("core.edges_evaluated").Inc()
 		out[i] = r
 		return nil
 	})

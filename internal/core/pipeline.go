@@ -9,9 +9,11 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 
 	"repro/internal/features"
 	"repro/internal/logs"
+	"repro/internal/obs"
 	"repro/internal/simulate"
 )
 
@@ -21,6 +23,11 @@ type Pipeline struct {
 	Gen  *simulate.Generated
 	Log  *logs.Log
 	Vecs []features.Vector // aligned with Log.Records
+
+	// Obs is the observability sink the pipeline's experiments feed
+	// (phase spans, per-edge fit timings, model-training telemetry).
+	// nil — the default from Run/RunContext — disables it entirely.
+	Obs *obs.Obs
 }
 
 // DefaultThreshold is the load threshold T of §4.3.2: only transfers with
@@ -44,11 +51,30 @@ func Run(cfg simulate.Config) (*Pipeline, error) {
 // RunContext is Run under a context: a long simulation stops promptly with
 // the context's error when ctx is cancelled or times out.
 func RunContext(ctx context.Context, cfg simulate.Config) (*Pipeline, error) {
-	l, g, err := simulate.GenerateLogContext(ctx, cfg)
+	return RunObs(ctx, cfg, nil)
+}
+
+// RunObs is RunContext with observability attached: the simulate and
+// feature-engineering phases run under trace spans, the engine feeds
+// its "sim.*" metrics, and the returned pipeline carries o so that the
+// experiment drivers (EvaluateEdges, GlobalModel, Ablate, ...) report
+// per-phase spans and model-fit timings. A nil o is fully disabled and
+// makes RunObs identical to RunContext.
+func RunObs(ctx context.Context, cfg simulate.Config, o *obs.Obs) (*Pipeline, error) {
+	sp := o.Child("simulate")
+	l, _, g, err := simulate.GenerateLogChaosObs(ctx, cfg, nil, o.Reg())
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
-	return &Pipeline{Cfg: cfg, Gen: g, Log: l, Vecs: features.Engineer(l)}, nil
+	sp.Annotate("records", strconv.Itoa(len(l.Records)))
+	sp.End()
+
+	sp = o.Child("features")
+	vecs := features.Engineer(l)
+	sp.End()
+	o.Counter("pipeline.records").Add(int64(len(l.Records)))
+	return &Pipeline{Cfg: cfg, Gen: g, Log: l, Vecs: vecs, Obs: o}, nil
 }
 
 // FromLog builds a pipeline from an existing log (e.g. read from CSV).

@@ -47,7 +47,7 @@ func (p *Pipeline) TunedModels(edges []EdgeData, maxEdges int) ([]TunedRow, erro
 		train, test := ds.Split(TrainFraction, seed)
 
 		// Default configuration.
-		_, defAPEs, err := trainAndTest(ds, seed)
+		_, defAPEs, err := trainAndTest(ds, seed, p.Obs.Reg())
 		if err != nil {
 			return nil, err
 		}

@@ -2,6 +2,7 @@ package gbt
 
 import (
 	"sort"
+	"time"
 
 	"repro/internal/pool"
 )
@@ -37,6 +38,14 @@ type builder struct {
 	rootBuf   []int32   // scratch: root row/feature lists under row subsampling
 	levels    []levelBufs
 	reference bool // use refGrow (naive per-node sorting) instead
+
+	// Split-search telemetry, active only when Params.Metrics is set:
+	// measure gates the clock reads, splitNS accumulates the wall time
+	// spent scanning candidate splits across the whole training run.
+	// grow's recursion is sequential, and the timer brackets only the
+	// scan block (not the recursive calls), so nothing double-counts.
+	measure bool
+	splitNS int64
 }
 
 // levelBufs is the partition scratch for one recursion depth. Depth-first
@@ -78,6 +87,7 @@ func newBuilder(x [][]float64, numFeatures int, p Params, reference bool) *build
 		goLeft:    make([]bool, n),
 		inSample:  make([]bool, n),
 		reference: reference,
+		measure:   p.Metrics != nil,
 	}
 	nf := numFeatures
 	for f := 0; f < nf; f++ {
@@ -176,12 +186,19 @@ func (b *builder) grow(w *flatWriter, rowList []int32, featLists [][]int32, cols
 		f := cols[ci]
 		cands[ci] = b.scanFeature(featLists[f], f, gSum, hSum, parentScore, grad, hess)
 	}
+	var t0 time.Time
+	if b.measure {
+		t0 = time.Now()
+	}
 	if b.p.Workers > 1 && len(cols) > 1 {
 		pool.Do(len(cols), b.p.Workers, scan)
 	} else {
 		for ci := range cols {
 			scan(ci)
 		}
+	}
+	if b.measure {
+		b.splitNS += int64(time.Since(t0))
 	}
 
 	bestGain := 0.0

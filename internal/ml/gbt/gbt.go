@@ -37,8 +37,10 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"time"
 
 	"repro/internal/ml/dataset"
+	"repro/internal/obs"
 	"repro/internal/pool"
 )
 
@@ -58,6 +60,12 @@ type Params struct {
 	SubsampleCols  float64 // fraction of features considered per tree (0,1]
 	Seed           int64   // RNG seed for subsampling
 	Workers        int     // split-search goroutines (0 = GOMAXPROCS)
+
+	// Metrics, when non-nil, receives training telemetry: trees built,
+	// per-tree build-time histogram, and cumulative split-search time.
+	// It never influences the fitted model, and the nil default costs
+	// nothing on the training hot path.
+	Metrics *obs.Registry
 }
 
 // DefaultParams returns the configuration used by the reproduction's
@@ -187,6 +195,13 @@ func train(d *dataset.Dataset, p Params, reference bool) (*Model, error) {
 		allCols = identity(d.NumFeatures())
 	}
 
+	// Telemetry instruments; all nil (no-op) when p.Metrics is unset, so
+	// the only cost the uninstrumented path pays is the measure branch.
+	measure := p.Metrics != nil
+	treesBuilt := p.Metrics.Counter("gbt.trees_built")
+	splitNS := p.Metrics.Counter("gbt.split_search_ns")
+	treeMS := p.Metrics.Histogram("gbt.tree_build_ms", obs.ExpBuckets(0.25, 2, 14))
+
 	m.trees = make([]tree, 0, p.Rounds)
 	for round := 0; round < p.Rounds; round++ {
 		for i := range grad {
@@ -201,11 +216,22 @@ func train(d *dataset.Dataset, p Params, reference bool) (*Model, error) {
 		if cols == nil {
 			cols = sampleCols(d.NumFeatures(), p.SubsampleCols, rng)
 		}
+		var t0 time.Time
+		if measure {
+			t0 = time.Now()
+		}
 		t := b.build(rows, cols, grad, hess)
+		if measure {
+			treeMS.Observe(float64(time.Since(t0)) / float64(time.Millisecond))
+			treesBuilt.Inc()
+		}
 		m.trees = append(m.trees, t)
 		for i, row := range d.X {
 			pred[i] += t.predict(row)
 		}
+	}
+	if measure {
+		splitNS.Add(b.splitNS)
 	}
 	return m, nil
 }

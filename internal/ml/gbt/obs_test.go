@@ -1,0 +1,55 @@
+package gbt
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestTrainMetrics verifies the training telemetry flows when a registry
+// is attached and — critically — that attaching one does not change the
+// fitted model: observability must never perturb results.
+func TestTrainMetrics(t *testing.T) {
+	d := makeDataset(t, 400, 7, func(x []float64) float64 {
+		return 3*x[0] + math.Sin(4*x[1])
+	}, 0.05, 3)
+
+	plain := DefaultParams()
+	plain.Rounds = 20
+	base, err := Train(d, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	instr := plain
+	instr.Metrics = reg
+	m, err := Train(d, instr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := reg.Snapshot()
+	if got := s.Counters["gbt.trees_built"]; got != 20 {
+		t.Errorf("gbt.trees_built = %d, want 20", got)
+	}
+	if got := s.Counters["gbt.split_search_ns"]; got <= 0 {
+		t.Errorf("gbt.split_search_ns = %d, want > 0", got)
+	}
+	if got := s.Histograms["gbt.tree_build_ms"].Count; got != 20 {
+		t.Errorf("tree_build_ms observations = %d, want 20", got)
+	}
+
+	// Identical predictions with and without instrumentation.
+	for i := range d.X {
+		pb, err1 := base.Predict(d.X[i])
+		pm, err2 := m.Predict(d.X[i])
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if pb != pm {
+			t.Fatalf("row %d: instrumented prediction %g != plain %g", i, pm, pb)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestNilSafety pins the zero-cost-when-disabled contract: every method
+// of every type must be callable on a nil receiver without panicking and
+// without observable effect.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Error("nil counter has a value")
+	}
+	g := r.Gauge("y")
+	g.Set(3)
+	g.Add(1)
+	g.SetMax(9)
+	if g.Value() != 0 {
+		t.Error("nil gauge has a value")
+	}
+	h := r.Histogram("z", LinearBuckets(0, 1, 4))
+	h.Observe(2)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil histogram recorded")
+	}
+	if s := r.Snapshot(); s.Counters != nil || s.Gauges != nil || s.Histograms != nil {
+		t.Error("nil registry snapshot not empty")
+	}
+
+	var tr *Tracer
+	sp := tr.Start("root")
+	if sp != nil {
+		t.Fatal("nil tracer returned a span")
+	}
+	sp.End()
+	sp.Annotate("k", "v")
+	if child := sp.Child("c"); child != nil {
+		t.Error("nil span returned a child")
+	}
+	if tr.Snapshot() != nil {
+		t.Error("nil tracer snapshot not empty")
+	}
+
+	var o *Obs
+	o.Counter("a").Inc()
+	o.Gauge("b").Set(1)
+	o.Histogram("c", nil).Observe(1)
+	o.Child("d").End()
+	if o.Reg() != nil {
+		t.Error("nil Obs has a registry")
+	}
+}
+
+func TestCounterGaugeConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits")
+	g := r.Gauge("level")
+	h := r.Histogram("obs", ExpBuckets(1, 2, 8))
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 300))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if g.Value() != workers*per {
+		t.Errorf("gauge = %g, want %d", g.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+	var total int64
+	for _, n := range r.Snapshot().Histograms["obs"].Counts {
+		total += n
+	}
+	if total != workers*per {
+		t.Errorf("bucket counts sum to %d, want %d", total, workers*per)
+	}
+}
+
+func TestRegistryReusesInstruments(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Error("same name yields distinct counters")
+	}
+	if r.Gauge("a") != r.Gauge("a") {
+		t.Error("same name yields distinct gauges")
+	}
+	h1 := r.Histogram("a", LinearBuckets(0, 1, 3))
+	h2 := r.Histogram("a", LinearBuckets(0, 5, 9)) // layout of first call wins
+	if h1 != h2 {
+		t.Error("same name yields distinct histograms")
+	}
+	if len(h2.bounds) != 3 {
+		t.Errorf("second layout overwrote the first: %v", h2.bounds)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 2, 10, 99, 1000} {
+		h.Observe(v)
+	}
+	got := r.Snapshot().Histograms["h"]
+	want := []int64{2, 2, 1, 1} // ≤1: {0.5, 1}; ≤10: {2, 10}; ≤100: {99}; over: {1000}
+	for i, n := range want {
+		if got.Counts[i] != n {
+			t.Fatalf("counts = %v, want %v", got.Counts, want)
+		}
+	}
+	if got.Count != 6 || math.Abs(got.Sum-1112.5) > 1e-9 {
+		t.Errorf("count=%d sum=%g", got.Count, got.Sum)
+	}
+	if math.Abs(got.Mean()-1112.5/6) > 1e-9 {
+		t.Errorf("mean=%g", got.Mean())
+	}
+}
+
+func TestGaugeSetMax(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("peak")
+	g.SetMax(3)
+	g.SetMax(1)
+	g.SetMax(7)
+	if g.Value() != 7 {
+		t.Errorf("peak = %g, want 7", g.Value())
+	}
+}
+
+func TestBucketLayouts(t *testing.T) {
+	lin := LinearBuckets(2, 3, 4)
+	for i, want := range []float64{2, 5, 8, 11} {
+		if lin[i] != want {
+			t.Fatalf("LinearBuckets = %v", lin)
+		}
+	}
+	exp := ExpBuckets(1, 2, 5)
+	for i, want := range []float64{1, 2, 4, 8, 16} {
+		if exp[i] != want {
+			t.Fatalf("ExpBuckets = %v", exp)
+		}
+	}
+}
+
+func TestMetricsJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sim.events").Add(42)
+	r.Gauge("sim.active").Set(3.5)
+	r.Histogram("fit_ms", ExpBuckets(1, 4, 6)).Observe(17)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got MetricsSnapshot
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("emitted invalid JSON: %v\n%s", err, buf.String())
+	}
+	if got.Counters["sim.events"] != 42 {
+		t.Errorf("counter lost in round trip: %+v", got)
+	}
+	if got.Gauges["sim.active"] != 3.5 {
+		t.Errorf("gauge lost in round trip: %+v", got)
+	}
+	if got.Histograms["fit_ms"].Count != 1 {
+		t.Errorf("histogram lost in round trip: %+v", got)
+	}
+}
+
+// BenchmarkDisabledCounter measures the disabled-path cost the engine
+// event loop pays per instrument call: one nil receiver check.
+func BenchmarkDisabledCounter(b *testing.B) {
+	var r *Registry
+	c := r.Counter("x")
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkEnabledCounter(b *testing.B) {
+	c := NewRegistry().Counter("x")
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}

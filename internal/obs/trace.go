@@ -1,0 +1,253 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Tracer records hierarchical wall-clock spans. Spans are cheap (one
+// mutex-guarded append at start, one timestamp at end) and are meant for
+// phase-level instrumentation — simulate/features/fit, per-edge model
+// fits — not per-event hot loops; the hot loops use Registry counters.
+// The nil *Tracer hands out nil (no-op) spans.
+type Tracer struct {
+	mu     sync.Mutex
+	start  time.Time
+	spans  []*Span
+	nextID int
+}
+
+// NewTracer returns an enabled tracer whose span timestamps are relative
+// to the call time.
+func NewTracer() *Tracer {
+	return &Tracer{start: time.Now(), nextID: 1}
+}
+
+// Span is one timed operation. Create roots with Tracer.Start, children
+// with Span.Child, and close with End. All methods are safe on a nil
+// receiver, and a nil span's Child is again nil, so a disabled tracer
+// propagates through call trees for free.
+type Span struct {
+	t      *Tracer
+	id     int
+	parent int // 0 for roots
+	name   string
+	start  time.Duration // since tracer start
+	dur    time.Duration // -1 while open
+	attrs  map[string]string
+}
+
+func (t *Tracer) newSpan(name string, parent int) *Span {
+	if t == nil {
+		return nil
+	}
+	now := time.Since(t.start)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := &Span{t: t, id: t.nextID, parent: parent, name: name, start: now, dur: -1}
+	t.nextID++
+	t.spans = append(t.spans, s)
+	return s
+}
+
+// Start opens a root span.
+func (t *Tracer) Start(name string) *Span {
+	return t.newSpan(name, 0)
+}
+
+// Child opens a span nested under s.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.t.newSpan(name, s.id)
+}
+
+// End closes the span, fixing its duration. Idempotent: only the first
+// End sticks.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := time.Since(s.t.start)
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	if s.dur < 0 {
+		s.dur = now - s.start
+	}
+}
+
+// Annotate attaches a key/value attribute to the span.
+func (s *Span) Annotate(key, value string) {
+	if s == nil {
+		return
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	if s.attrs == nil {
+		s.attrs = map[string]string{}
+	}
+	s.attrs[key] = value
+}
+
+// SpanSnapshot is the exported form of one span. Times are milliseconds
+// relative to tracer creation; Parent is 0 for root spans; Open marks
+// spans that had not Ended when the snapshot was taken (their DurMS is
+// the elapsed time so far).
+type SpanSnapshot struct {
+	ID      int               `json:"id"`
+	Parent  int               `json:"parent,omitempty"`
+	Name    string            `json:"name"`
+	StartMS float64           `json:"start_ms"`
+	DurMS   float64           `json:"dur_ms"`
+	Open    bool              `json:"open,omitempty"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// Snapshot copies every span in start order. A nil tracer yields nil.
+func (t *Tracer) Snapshot() []SpanSnapshot {
+	if t == nil {
+		return nil
+	}
+	now := time.Since(t.start)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanSnapshot, 0, len(t.spans))
+	for _, s := range t.spans {
+		ss := SpanSnapshot{
+			ID:      s.id,
+			Parent:  s.parent,
+			Name:    s.name,
+			StartMS: float64(s.start) / float64(time.Millisecond),
+		}
+		d := s.dur
+		if d < 0 {
+			d = now - s.start
+			ss.Open = true
+		}
+		ss.DurMS = float64(d) / float64(time.Millisecond)
+		if len(s.attrs) > 0 {
+			ss.Attrs = make(map[string]string, len(s.attrs))
+			for k, v := range s.attrs {
+				ss.Attrs[k] = v
+			}
+		}
+		out = append(out, ss)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].StartMS < out[j].StartMS })
+	return out
+}
+
+// WriteJSON writes the span list as indented JSON ({"spans": [...]}).
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Spans []SpanSnapshot `json:"spans"`
+	}{Spans: t.Snapshot()})
+}
+
+// Obs bundles the two sinks plus an optional root span that pipeline
+// phases hang their children off. The nil *Obs (and any nil field) is
+// fully disabled; every method is nil-safe.
+type Obs struct {
+	Metrics *Registry
+	Tracer  *Tracer
+	Root    *Span
+}
+
+// Reg returns the metrics registry (nil when disabled).
+func (o *Obs) Reg() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics
+}
+
+// Counter is shorthand for Reg().Counter.
+func (o *Obs) Counter(name string) *Counter { return o.Reg().Counter(name) }
+
+// Gauge is shorthand for Reg().Gauge.
+func (o *Obs) Gauge(name string) *Gauge { return o.Reg().Gauge(name) }
+
+// Histogram is shorthand for Reg().Histogram.
+func (o *Obs) Histogram(name string, bounds []float64) *Histogram {
+	return o.Reg().Histogram(name, bounds)
+}
+
+// Child opens a span under Root (or a new root span when Root is unset).
+func (o *Obs) Child(name string) *Span {
+	if o == nil {
+		return nil
+	}
+	if o.Root != nil {
+		return o.Root.Child(name)
+	}
+	return o.Tracer.Start(name)
+}
+
+// WriteSummary renders a human-readable run summary: the span tree with
+// durations, then counters, gauges, and histogram means. It is what
+// wanperf prints to stderr at exit when observability is on.
+func WriteSummary(w io.Writer, m MetricsSnapshot, spans []SpanSnapshot) error {
+	var b strings.Builder
+	if len(spans) > 0 {
+		b.WriteString("spans:\n")
+		children := map[int][]SpanSnapshot{}
+		for _, s := range spans {
+			children[s.Parent] = append(children[s.Parent], s)
+		}
+		var walk func(parent, depth int)
+		walk = func(parent, depth int) {
+			for _, s := range children[parent] {
+				open := ""
+				if s.Open {
+					open = " (open)"
+				}
+				fmt.Fprintf(&b, "  %s%-*s %10.1f ms%s\n",
+					strings.Repeat("  ", depth), 36-2*depth, s.Name, s.DurMS, open)
+				walk(s.ID, depth+1)
+			}
+		}
+		walk(0, 0)
+	}
+	writeSorted := func(title string, names []string, line func(string)) {
+		if len(names) == 0 {
+			return
+		}
+		sort.Strings(names)
+		b.WriteString(title + ":\n")
+		for _, n := range names {
+			line(n)
+		}
+	}
+	var names []string
+	for n := range m.Counters {
+		names = append(names, n)
+	}
+	writeSorted("counters", names, func(n string) {
+		fmt.Fprintf(&b, "  %-36s %d\n", n, m.Counters[n])
+	})
+	names = nil
+	for n := range m.Gauges {
+		names = append(names, n)
+	}
+	writeSorted("gauges", names, func(n string) {
+		fmt.Fprintf(&b, "  %-36s %g\n", n, m.Gauges[n])
+	})
+	names = nil
+	for n := range m.Histograms {
+		names = append(names, n)
+	}
+	writeSorted("histograms", names, func(n string) {
+		h := m.Histograms[n]
+		fmt.Fprintf(&b, "  %-36s n=%d mean=%.3f\n", n, h.Count, h.Mean())
+	})
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSpanHierarchyAndExport(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start("run")
+	sim := root.Child("simulate")
+	sim.Annotate("records", "123")
+	sim.End()
+	fit := root.Child("fit")
+	fit.End()
+	root.End()
+
+	spans := tr.Snapshot()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	byName := map[string]SpanSnapshot{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["run"].Parent != 0 {
+		t.Error("root span has a parent")
+	}
+	if byName["simulate"].Parent != byName["run"].ID || byName["fit"].Parent != byName["run"].ID {
+		t.Error("children not linked to root")
+	}
+	if byName["simulate"].Attrs["records"] != "123" {
+		t.Error("annotation lost")
+	}
+	for _, s := range spans {
+		if s.Open {
+			t.Errorf("span %s still open after End", s.Name)
+		}
+		if s.DurMS < 0 {
+			t.Errorf("span %s has negative duration", s.Name)
+		}
+	}
+}
+
+func TestOpenSpanSnapshot(t *testing.T) {
+	tr := NewTracer()
+	tr.Start("never-ended")
+	spans := tr.Snapshot()
+	if len(spans) != 1 || !spans[0].Open {
+		t.Fatalf("open span not marked: %+v", spans)
+	}
+	if spans[0].DurMS < 0 {
+		t.Error("open span has negative elapsed duration")
+	}
+}
+
+func TestEndIdempotent(t *testing.T) {
+	tr := NewTracer()
+	s := tr.Start("x")
+	s.End()
+	first := tr.Snapshot()[0].DurMS
+	s.End()
+	if again := tr.Snapshot()[0].DurMS; again != first {
+		t.Errorf("second End moved duration %g -> %g", first, again)
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start("run")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := root.Child("edge")
+			s.Annotate("k", "v")
+			s.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if got := len(tr.Snapshot()); got != 17 {
+		t.Errorf("got %d spans, want 17", got)
+	}
+}
+
+func TestTraceJSON(t *testing.T) {
+	tr := NewTracer()
+	s := tr.Start("run")
+	s.Child("phase").End()
+	s.End()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Spans []SpanSnapshot `json:"spans"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("emitted invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(got.Spans) != 2 {
+		t.Fatalf("round trip lost spans: %+v", got)
+	}
+}
+
+func TestObsChildUsesRoot(t *testing.T) {
+	tr := NewTracer()
+	o := &Obs{Tracer: tr, Root: tr.Start("root")}
+	o.Child("phase").End()
+	spans := tr.Snapshot()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	var rootID int
+	for _, s := range spans {
+		if s.Name == "root" {
+			rootID = s.ID
+		}
+	}
+	for _, s := range spans {
+		if s.Name == "phase" && s.Parent != rootID {
+			t.Error("Obs.Child not parented to Root")
+		}
+	}
+
+	// Without a Root, Child starts a root span.
+	o2 := &Obs{Tracer: tr}
+	o2.Child("free").End()
+	for _, s := range tr.Snapshot() {
+		if s.Name == "free" && s.Parent != 0 {
+			t.Error("rootless Obs.Child should start a root span")
+		}
+	}
+}
+
+func TestWriteSummary(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sim.events").Add(9)
+	r.Gauge("sim.active").Set(2)
+	r.Histogram("fit_ms", ExpBuckets(1, 2, 4)).Observe(3)
+	tr := NewTracer()
+	root := tr.Start("wanperf.models")
+	root.Child("simulate").End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := WriteSummary(&buf, r.Snapshot(), tr.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"wanperf.models", "simulate", "sim.events", "sim.active", "fit_ms", "ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}

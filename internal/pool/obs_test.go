@@ -1,0 +1,67 @@
+package pool
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestMetricsAttached verifies the pool feeds task/batch counters and a
+// bounded occupancy profile when a registry is attached, and that
+// detaching stops the flow.
+func TestMetricsAttached(t *testing.T) {
+	reg := obs.NewRegistry()
+	SetMetrics(reg)
+	t.Cleanup(func() { SetMetrics(nil) })
+
+	var ran atomic.Int64
+	Do(10, 4, func(i int) { ran.Add(1) })
+	if err := ForEach(context.Background(), 7, 3, func(context.Context, int) error {
+		ran.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 17 {
+		t.Fatalf("ran %d tasks", ran.Load())
+	}
+
+	s := reg.Snapshot()
+	if got := s.Counters["pool.tasks"]; got != 17 {
+		t.Errorf("pool.tasks = %d, want 17", got)
+	}
+	if got := s.Counters["pool.batches"]; got != 2 {
+		t.Errorf("pool.batches = %d, want 2", got)
+	}
+	if got := s.Gauges["pool.busy_workers"]; got != 0 {
+		t.Errorf("busy workers = %g after drain, want 0", got)
+	}
+	occ := s.Histograms["pool.occupancy"]
+	if occ.Count != 17 {
+		t.Errorf("occupancy observations = %d, want 17", occ.Count)
+	}
+
+	// Detached: counts stay frozen.
+	SetMetrics(nil)
+	Do(5, 2, func(int) {})
+	if got := reg.Snapshot().Counters["pool.tasks"]; got != 17 {
+		t.Errorf("detached pool still counted: %d", got)
+	}
+}
+
+// TestMetricsSerialPath covers the workers<=1 degenerate loops.
+func TestMetricsSerialPath(t *testing.T) {
+	reg := obs.NewRegistry()
+	SetMetrics(reg)
+	t.Cleanup(func() { SetMetrics(nil) })
+
+	Do(3, 1, func(int) {})
+	if err := ForEach(context.Background(), 3, 1, func(context.Context, int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Snapshot().Counters["pool.tasks"]; got != 6 {
+		t.Errorf("pool.tasks = %d, want 6", got)
+	}
+}

@@ -15,10 +15,68 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Workers returns the default pool size: one worker per available CPU.
 func Workers() int { return runtime.GOMAXPROCS(0) }
+
+// poolMetrics holds the instruments the pool feeds when observability is
+// attached: total tasks run, Do/ForEach batches, and worker occupancy
+// (how many workers were busy when each task started — the utilization
+// profile of every parallel stage in the repository).
+type poolMetrics struct {
+	tasks     *obs.Counter
+	batches   *obs.Counter
+	busy      *obs.Gauge
+	occupancy *obs.Histogram
+}
+
+// metrics is the process-wide sink, nil (disabled) by default. The pool
+// has no per-call configuration surface — Do/ForEach are called from deep
+// inside gbt and core — so attachment is global, like the runtime's own
+// instrumentation.
+var metrics atomic.Pointer[poolMetrics]
+
+// SetMetrics attaches the pool's instruments to reg; nil detaches. Safe
+// to call concurrently with running pools.
+func SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		metrics.Store(nil)
+		return
+	}
+	metrics.Store(&poolMetrics{
+		tasks:     reg.Counter("pool.tasks"),
+		batches:   reg.Counter("pool.batches"),
+		busy:      reg.Gauge("pool.busy_workers"),
+		occupancy: reg.Histogram("pool.occupancy", obs.LinearBuckets(1, 1, 32)),
+	})
+}
+
+// batch counts one Do/ForEach invocation.
+func (m *poolMetrics) batch() {
+	if m != nil {
+		m.batches.Inc()
+	}
+}
+
+// taskStart/taskEnd bracket one work item for the occupancy profile.
+func (m *poolMetrics) taskStart() {
+	if m == nil {
+		return
+	}
+	m.tasks.Inc()
+	m.busy.Add(1)
+	m.occupancy.Observe(m.busy.Value())
+}
+
+func (m *poolMetrics) taskEnd() {
+	if m == nil {
+		return
+	}
+	m.busy.Add(-1)
+}
 
 // Do runs fn(i) for every i in [0, n) using at most workers goroutines
 // and returns when all calls have finished. With workers <= 1 (or n <= 1)
@@ -28,12 +86,16 @@ func Do(n, workers int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
+	m := metrics.Load()
+	m.batch()
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			m.taskStart()
 			fn(i)
+			m.taskEnd()
 		}
 		return
 	}
@@ -48,7 +110,9 @@ func Do(n, workers int, fn func(i int)) {
 				if i >= n {
 					return
 				}
+				m.taskStart()
 				fn(i)
+				m.taskEnd()
 			}
 		}()
 	}
@@ -71,6 +135,8 @@ func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i
 	if n <= 0 {
 		return nil
 	}
+	m := metrics.Load()
+	m.batch()
 	if workers > n {
 		workers = n
 	}
@@ -79,7 +145,10 @@ func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := fn(ctx, i); err != nil {
+			m.taskStart()
+			err := fn(ctx, i)
+			m.taskEnd()
+			if err != nil {
 				return err
 			}
 		}
@@ -104,7 +173,10 @@ func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i
 					errs[i] = err
 					return
 				}
-				if err := fn(cctx, i); err != nil {
+				m.taskStart()
+				err := fn(cctx, i)
+				m.taskEnd()
+				if err != nil {
 					errs[i] = err
 					cancel()
 				}

@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"repro/internal/logs"
+	"repro/internal/obs"
 )
 
 // TransferSpec describes one transfer to simulate. The Skip* flags support
@@ -144,6 +145,52 @@ type Engine struct {
 
 	// cached per-interval snapshot for the monitor
 	snapshot []EndpointLoad
+
+	// Observability instruments (see SetObs). All nil by default, and
+	// every call on a nil instrument is a no-op costing one pointer
+	// check, so the uninstrumented event loop is unchanged.
+	m engineMetrics
+}
+
+// engineMetrics bundles the engine's instruments. The zero value (all
+// nil) is the disabled state.
+type engineMetrics struct {
+	events       *obs.Counter   // event-loop iterations processed
+	completed    *obs.Counter   // transfers completed into the log
+	faults       *obs.Counter   // transient faults fired
+	retries      *obs.Counter   // retry attempts scheduled
+	abandoned    *obs.Counter   // transfers dropped after MaxRetries
+	outageAborts *obs.Counter   // in-flight transfers aborted by outages
+	outageStalls *obs.Counter   // in-flight transfers stalled by outages
+	chaos        *obs.Counter   // chaos plan boundaries activated
+	active       *obs.Gauge     // transfers currently active
+	waiting      *obs.Gauge     // transfers queued on endpoint limits
+	retryQ       *obs.Gauge     // transfers waiting out retry backoff
+	queueDepth   *obs.Histogram // active+waiting depth, sampled per event
+}
+
+// SetObs attaches the engine's metrics to a registry ("sim.*" names);
+// a nil registry leaves the engine uninstrumented. Must be called
+// before Run.
+func (e *Engine) SetObs(reg *obs.Registry) {
+	if reg == nil {
+		e.m = engineMetrics{}
+		return
+	}
+	e.m = engineMetrics{
+		events:       reg.Counter("sim.events"),
+		completed:    reg.Counter("sim.transfers_completed"),
+		faults:       reg.Counter("sim.faults"),
+		retries:      reg.Counter("sim.transfers_retried"),
+		abandoned:    reg.Counter("sim.transfers_abandoned"),
+		outageAborts: reg.Counter("sim.outage_aborts"),
+		outageStalls: reg.Counter("sim.outage_stalls"),
+		chaos:        reg.Counter("sim.chaos_activations"),
+		active:       reg.Gauge("sim.active"),
+		waiting:      reg.Gauge("sim.waiting"),
+		retryQ:       reg.Gauge("sim.retrying"),
+		queueDepth:   reg.Histogram("sim.queue_depth", obs.ExpBuckets(1, 2, 12)),
+	}
 }
 
 // Stats counts what the engine did beyond the log's view: every disruption,
@@ -361,6 +408,11 @@ func (e *Engine) RunContext(ctx context.Context) (*logs.Log, error) {
 		e.now = tNext
 		e.processEvents()
 		e.resolve()
+		e.m.events.Inc()
+		e.m.active.Set(float64(len(e.active)))
+		e.m.waiting.Set(float64(len(e.waiting)))
+		e.m.retryQ.Set(float64(len(e.retryQ)))
+		e.m.queueDepth.Observe(float64(len(e.active) + len(e.waiting)))
 	}
 	e.log.SortByStart()
 	return e.log, nil
@@ -526,6 +578,7 @@ func (e *Engine) processEvents() {
 			case x.nextFault <= e.now+timeEps:
 				x.faults++
 				e.stats.Faults++
+				e.m.faults.Inc()
 				x.phase = phaseStall
 				x.phaseEnd = e.now + e.w.FaultRetry
 				x.nextFault = math.Inf(1)
@@ -547,6 +600,7 @@ func (e *Engine) processChaos() {
 	for e.nextChaos < len(e.chaosEvents) && e.chaosEvents[e.nextChaos].t <= e.now+timeEps {
 		ev := &e.chaosEvents[e.nextChaos]
 		e.nextChaos++
+		e.m.chaos.Inc()
 		switch ev.kind {
 		case ceOutageStart:
 			e.beginOutage(ev.outage)
@@ -610,12 +664,14 @@ func (e *Engine) beginOutage(o *OutageEvent) {
 		}
 		if o.Abort {
 			e.stats.OutageAborts++
+			e.m.outageAborts.Inc()
 			e.epActive[x.srcIdx]--
 			e.epActive[x.dstIdx]--
 			e.scheduleRetry(x)
 			continue // dropped from active
 		}
 		e.stats.OutageStalls++
+		e.m.outageStalls.Inc()
 		x.phase = phaseStall
 		if x.phaseEnd < o.End {
 			x.phaseEnd = o.End
@@ -636,6 +692,7 @@ func (e *Engine) scheduleRetry(x *xfer) {
 	x.nextFault = math.Inf(1)
 	if e.w.MaxRetries > 0 && x.retries > e.w.MaxRetries {
 		e.stats.Abandoned++
+		e.m.abandoned.Inc()
 		// Keep chained load generators alive: an abandoned link schedules
 		// its successor just as a completion would.
 		if x.chainID > 0 {
@@ -647,6 +704,7 @@ func (e *Engine) scheduleRetry(x *xfer) {
 		return
 	}
 	e.stats.Retries++
+	e.m.retries.Inc()
 	backoff := e.w.RetryBackoffBase * math.Pow(2, float64(x.retries-1))
 	if backoff > e.w.RetryBackoffMax && e.w.RetryBackoffMax > 0 {
 		backoff = e.w.RetryBackoffMax
@@ -822,6 +880,7 @@ func (e *Engine) complete(x *xfer) {
 		}
 	}
 	e.stats.Completed++
+	e.m.completed.Inc()
 	e.log.Append(logs.Record{
 		ID:      x.id,
 		Src:     x.spec.Src,

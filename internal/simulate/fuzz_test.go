@@ -1,0 +1,63 @@
+package simulate
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzParseWorld feeds arbitrary bytes through the world-spec parser and
+// checks its contract: ReadWorldSpec and Build never panic; whatever Build
+// accepts has strictly positive, finite endpoint capacities; and every
+// accepted world survives a SpecFromWorld→Write→Read→Build round trip.
+// Malformed JSON, NaN/Inf-smuggling numbers, and non-positive capacities
+// must all surface as errors.
+func FuzzParseWorld(f *testing.F) {
+	f.Add([]byte(sampleSpec))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"endpoints": []}`))
+	f.Add([]byte(`{"endpoints": [{"id": "a", "site": "ANL", "disk_read_mbps": -5,
+		"disk_write_mbps": 1, "nic_mbps": 1, "per_proc_disk_mbps": 1}]}`))
+	f.Add([]byte(`{"endpoints": [{"id": "a", "site": "ANL", "disk_read_mbps": 1e999,
+		"disk_write_mbps": 1, "nic_mbps": 1, "per_proc_disk_mbps": 1}]}`))
+	f.Add([]byte(`{"endpoints": [{"id": "a", "site": "nowhere", "disk_read_mbps": 1,
+		"disk_write_mbps": 1, "nic_mbps": 1, "per_proc_disk_mbps": 1}]}`))
+	f.Add([]byte(`{"tcp_window_mb": NaN}`))
+	f.Add([]byte(`{"bogus_field": 1}`))
+	f.Add([]byte(strings.Replace(sampleSpec, "800", "0", 1)))
+	f.Add([]byte(`{"endpoints`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := ReadWorldSpec(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		w, err := spec.Build()
+		if err != nil {
+			return
+		}
+		for _, ep := range w.Endpoints {
+			for _, c := range []float64{ep.DiskReadMBps, ep.DiskWriteMBps, ep.NICMBps, ep.PerProcDiskMBps} {
+				if !(c > 0) || math.IsInf(c, 0) {
+					t.Fatalf("endpoint %s built with invalid capacity %g", ep.ID, c)
+				}
+			}
+			if ep.MaxActive < 0 {
+				t.Fatalf("endpoint %s built with negative max_active %d", ep.ID, ep.MaxActive)
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteWorldSpec(&buf, SpecFromWorld(w)); err != nil {
+			t.Fatalf("exporting accepted world: %v", err)
+		}
+		back, err := ReadWorldSpec(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-reading exported spec: %v", err)
+		}
+		if _, err := back.Build(); err != nil {
+			t.Fatalf("round-tripped spec fails to build: %v", err)
+		}
+	})
+}

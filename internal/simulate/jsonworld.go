@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 
 	"repro/internal/geo"
 	"repro/internal/logs"
@@ -87,10 +88,41 @@ func ReadWorldSpec(r io.Reader) (*WorldSpec, error) {
 	return &spec, nil
 }
 
+// finite rejects the values JSON itself cannot express but programmatic
+// spec construction can smuggle in: NaN and ±Inf would silently corrupt
+// every downstream rate computation, so Build refuses them up front.
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
 // Build validates the spec and constructs the world.
 func (s *WorldSpec) Build() (*World, error) {
 	if len(s.Endpoints) == 0 {
 		return nil, fmt.Errorf("simulate: world spec has no endpoints")
+	}
+	worldFields := []struct {
+		name string
+		v    float64
+	}{
+		{"tcp_window_mb", s.TCPWindowMB},
+		{"wan_intra_mbps", s.WANIntraMBps},
+		{"wan_inter_mbps", s.WANInterMBps},
+		{"setup_time_s", s.SetupTimeS},
+		{"per_file_cost_s", s.PerFileCostS},
+		{"per_dir_cost_s", s.PerDirCostS},
+		{"per_file_gap_s", s.PerFileGapS},
+		{"fault_base_hazard", s.FaultBaseHazard},
+		{"fault_retry_s", s.FaultRetryS},
+		{"e2e_efficiency", s.E2EEfficiency},
+		{"jitter_sigma", s.JitterSigma},
+		{"retry_backoff_base_s", s.RetryBackoffBaseS},
+		{"retry_backoff_max_s", s.RetryBackoffMaxS},
+		{"retry_jitter", s.RetryJitter},
+	}
+	for _, f := range worldFields {
+		if !finite(f.v) {
+			return nil, fmt.Errorf("simulate: %s must be finite, got %g", f.name, f.v)
+		}
 	}
 	seen := map[string]bool{}
 	var eps []*Endpoint
@@ -137,8 +169,22 @@ func (e *EndpointSpec) build() (*Endpoint, error) {
 	if e.ID == "" {
 		return nil, fmt.Errorf("missing id")
 	}
-	if e.DiskReadMBps <= 0 || e.DiskWriteMBps <= 0 || e.NICMBps <= 0 || e.PerProcDiskMBps <= 0 {
-		return nil, fmt.Errorf("capacities must be positive")
+	caps := []float64{e.DiskReadMBps, e.DiskWriteMBps, e.NICMBps, e.PerProcDiskMBps}
+	for _, c := range caps {
+		// NaN fails both <= 0 and the finite check's negation below, so
+		// spell the predicate positively: every capacity must be a finite
+		// value strictly above zero.
+		if !(finite(c) && c > 0) {
+			return nil, fmt.Errorf("capacities must be positive and finite")
+		}
+	}
+	for _, v := range []float64{e.Lat, e.Lon, e.CPUKnee, e.CPUSteep, e.BgMaxFrac, e.BgMeanIntervalS} {
+		if !finite(v) {
+			return nil, fmt.Errorf("fields must be finite")
+		}
+	}
+	if e.MaxActive < 0 {
+		return nil, fmt.Errorf("max_active %d must be non-negative", e.MaxActive)
 	}
 
 	var site geo.Site

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/geo"
 	"repro/internal/logs"
+	"repro/internal/obs"
 )
 
 // Config controls synthetic world and workload generation. The defaults
@@ -192,11 +193,20 @@ func GenerateLogContext(ctx context.Context, cfg Config) (*logs.Log, *Generated,
 // the log so callers can see retries and abandonments that never reached
 // it.
 func GenerateLogChaos(ctx context.Context, cfg Config, plan *ChaosPlan) (*logs.Log, Stats, *Generated, error) {
+	return GenerateLogChaosObs(ctx, cfg, plan, nil)
+}
+
+// GenerateLogChaosObs is GenerateLogChaos with the engine's metrics
+// attached to reg (nil for uninstrumented; see Engine.SetObs). The
+// instruments observe the run without touching its RNG streams, so an
+// instrumented run produces a byte-identical log.
+func GenerateLogChaosObs(ctx context.Context, cfg Config, plan *ChaosPlan, reg *obs.Registry) (*logs.Log, Stats, *Generated, error) {
 	g, err := Generate(cfg)
 	if err != nil {
 		return nil, Stats{}, nil, err
 	}
 	eng := NewEngine(g.World, cfg.Seed+1)
+	eng.SetObs(reg)
 	eng.Submit(g.Specs...)
 	if err := eng.SetChaos(plan); err != nil {
 		return nil, Stats{}, nil, err
