@@ -25,12 +25,15 @@ race:
 bench:
 	./scripts/bench.sh $(BENCH_LABEL)
 
-# Short fuzz passes: the CSV ingestion round-trip properties and the
+# Short fuzz passes: the CSV ingestion round-trip properties, the
 # world-spec parser (malformed JSON / non-finite numbers must error,
-# never panic).
+# never panic), and the engine-schedule differential fuzzer (optimized
+# event core must stay byte-identical to the reference core under
+# adversarial deadline ties).
 fuzz:
 	$(GO) test ./internal/logs -run '^$$' -fuzz FuzzReadCSV -fuzztime 30s
 	$(GO) test ./internal/simulate -run '^$$' -fuzz FuzzParseWorld -fuzztime 30s
+	$(GO) test ./internal/simulate -run '^$$' -fuzz FuzzEngineSchedules -fuzztime 30s
 
 # Vet and compile every example program. They are plain main packages, so
 # `go build ./...` already type-checks them; this target keeps them honest

@@ -7,6 +7,7 @@
 package repro
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -235,6 +236,71 @@ func BenchmarkLMT(b *testing.B) {
 		}
 		logOncePerBench(b, core.RenderLMT(res))
 	}
+}
+
+// ---- Engine-scale benchmarks ----
+//
+// BenchmarkEngineRun{Small,Medium,Large} time the simulator's event core
+// alone — workload generation happens once outside the timer — at roughly
+// 1k, 10k, and 50k transfers. They are the scaling story for the indexed
+// event heap and incremental fair-share resolution: the paper's production
+// log has millions of transfers, so log scale is bounded by engine
+// throughput.
+
+// engineRunConfig builds a workload configuration of the requested scale:
+// edges spread over many hub/personal endpoints so the resource-sharing
+// graph has many connected components, the regime a production fabric
+// (many site pairs, few globally shared resources) actually runs in.
+func engineRunConfig(heavy int, mean float64, tail, hubs, personal int, days float64) simulate.Config {
+	return simulate.Config{
+		Seed:               20260805,
+		Horizon:            days * 24 * 3600,
+		HeavyEdges:         heavy,
+		HeavyTransfersMean: mean,
+		TailEdges:          tail,
+		TailTransfersMax:   6,
+		HubEndpoints:       hubs,
+		PersonalEndpoints:  personal,
+		NoisyFrac:          0.4,
+		BurstMax:           4,
+	}
+}
+
+func benchEngineRun(b *testing.B, cfg simulate.Config) {
+	g, err := simulate.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	logOncePerBench(b, fmt.Sprintf("%s: %d transfers over %d endpoints",
+		b.Name(), len(g.Specs), len(g.World.Endpoints)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := simulate.NewEngine(g.World, cfg.Seed+1)
+		eng.Submit(g.Specs...)
+		l, err := eng.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(l.Records) == 0 {
+			b.Fatal("no records")
+		}
+	}
+}
+
+// BenchmarkEngineRunSmall simulates ~1k transfers.
+func BenchmarkEngineRunSmall(b *testing.B) {
+	benchEngineRun(b, engineRunConfig(4, 250, 20, 8, 6, 6))
+}
+
+// BenchmarkEngineRunMedium simulates ~10k transfers.
+func BenchmarkEngineRunMedium(b *testing.B) {
+	benchEngineRun(b, engineRunConfig(12, 800, 60, 12, 12, 15))
+}
+
+// BenchmarkEngineRunLarge simulates ~50k transfers.
+func BenchmarkEngineRunLarge(b *testing.B) {
+	benchEngineRun(b, engineRunConfig(36, 1400, 140, 24, 24, 30))
 }
 
 // ---- Component micro-benchmarks ----

@@ -68,6 +68,13 @@ type resource struct {
 	remain  float64 // solver state
 	sumW    float64 // solver state: weight of unfrozen users
 	touched bool    // solver state: participates in current solve
+
+	// Sharing-graph state for the incremental resolver: the data-phase
+	// transfers currently drawing on this resource (maintained by
+	// enterData/leaveData, unused on the reference path), and a BFS mark
+	// for component discovery.
+	members []*xfer
+	visited bool
 }
 
 type phase int
@@ -101,6 +108,30 @@ type xfer struct {
 	nextFault float64
 	retries   int     // whole-transfer restarts after outage aborts
 	retryAt   float64 // when the next attempt re-enters the queue
+
+	// Event-core bookkeeping (see DESIGN.md §9). doneAt is the stable
+	// completion deadline: recomputed only when the resolved rate changes
+	// (prevRate) or the transfer re-enters the data phase (needDeadline),
+	// so untouched components keep bitwise-identical deadlines between the
+	// reference and incremental paths.
+	doneAt       float64
+	prevRate     float64
+	needDeadline bool
+	actSeq       int // activation order; solver scopes sort by it
+	waitSeq      int // FIFO order in the waiting queue
+	inWaiting    bool
+	inComp       bool   // scratch: component-BFS mark (incResolve)
+	memberPos    [5]int // position in each resource's member list, parallel to resIdx
+}
+
+// waitEntry is one slot in a per-endpoint waiting queue. It records the
+// waitSeq the transfer held when appended: a retried transfer re-enters the
+// queue as a fresh entry with a new seq, and its earlier entries — which
+// would otherwise read the new seq through the shared pointer and break the
+// queue's sortedness — are recognized as stale by the seq mismatch.
+type waitEntry struct {
+	x   *xfer
+	seq int
 }
 
 // Engine runs transfers through a world and collects the resulting log.
@@ -145,6 +176,50 @@ type Engine struct {
 
 	// cached per-interval snapshot for the monitor
 	snapshot []EndpointLoad
+
+	// ref selects the reference event core: linear-scan nextEventTime and
+	// from-scratch fair-share resolution. The optimized core (indexed heaps
+	// + dirty-component resolution) is the default; both produce
+	// byte-identical logs (DESIGN.md §9).
+	ref bool
+
+	// Solver scratch shared by both cores, reused across events.
+	procsAt      []float64 // per-endpoint GridFTP process count, maintained incrementally
+	procsScratch []float64 // reference-path from-scratch recompute buffer
+	dataBuf      []*xfer   // reference gather buffer
+	compBuf      []*xfer   // per-event component transfer storage
+	compRes      []int     // per-event component resource storage (BFS queue)
+	compUsed     []int     // per-scope used-resource list, first-touch order
+	xcompBuf     []int     // reference: per-transfer component id
+	compCounts   []int     // reference: component sizes
+	compOffsets  []int     // reference: component scatter offsets
+	ufParent     []int     // reference: union-find over resources
+	compID       []int     // reference: dense component id per root resource
+
+	// Optimized event-core state.
+	xferHeap     indexedHeap // per-transfer deadline: phaseEnd or doneAt, keyed by xfer id
+	bgHeap       indexedHeap // per-endpoint background resample, keyed by endpoint index
+	chainHeap    indexedHeap // per-chain next start, keyed by chain index
+	minFault     float64     // min over active data-phase nextFault (redrawn each resolve)
+	minRetryAt   float64     // min over retryQ retryAt
+	actSeq       int
+	waitSeq      int
+	resDirty     []bool
+	dirtyRes     []int
+	epDirty      []bool
+	dirtyEps     []int
+	epWaiting    [][]waitEntry // per-endpoint waiting transfers (lazily compacted)
+	epWaitDead   []int         // started-transfer tombstones per endpoint queue
+	freedMark    []bool
+	freedPending []int // endpoints with slots freed since the last waiting probe
+	probeQs      [][]waitEntry
+	probeEps     []int
+	probePos     []int
+	waitLive     int       // non-tombstoned entries in waiting (optimized core)
+	wanList      []int     // WAN resource indices in creation order (deterministic iteration)
+	utilMemo     []float64 // per-endpoint utilization, memoized per fault redraw
+	utilStamp    []uint64
+	utilRound    uint64
 
 	// Observability instruments (see SetObs). All nil by default, and
 	// every call on a nil instrument is a no-op costing one pointer
@@ -291,6 +366,7 @@ func (e *Engine) wanResource(srcIdx, dstIdx int) int {
 	e.resources = append(e.resources, &resource{cap: c, effCap: c * e.wanFactor(a.Name, b.Name), epIdx: -1, kind: -1})
 	e.wanIdx[key] = idx
 	e.wanSites[idx] = [2]string{a.Name, b.Name}
+	e.wanList = append(e.wanList, idx)
 	return idx
 }
 
@@ -374,18 +450,19 @@ func (e *Engine) RunContext(ctx context.Context) (*logs.Log, error) {
 		}
 		e.stats.Submitted += len(ch.specs)
 	}
+	e.initRun()
 
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		if e.nextPending >= len(e.pending) && len(e.active) == 0 && len(e.waiting) == 0 &&
+		if e.nextPending >= len(e.pending) && len(e.active) == 0 && e.waitingLen() == 0 &&
 			len(e.retryQ) == 0 && e.chainsDone() {
 			break // all work drained; ignore perpetual background events
 		}
 		tNext := e.nextEventTime()
 		if math.IsInf(tNext, 1) {
-			if len(e.active) > 0 || len(e.waiting) > 0 || len(e.retryQ) > 0 {
+			if len(e.active) > 0 || e.waitingLen() > 0 || len(e.retryQ) > 0 {
 				return nil, &DeadlockError{State: e.DebugState()}
 			}
 			break
@@ -393,7 +470,9 @@ func (e *Engine) RunContext(ctx context.Context) (*logs.Log, error) {
 		if e.monitor != nil && tNext > e.now {
 			e.monitor.OnInterval(e.now, tNext, e.snapshot)
 		}
-		// Advance payload for data-phase transfers.
+		// Advance payload for data-phase transfers. The per-event float
+		// trajectory of bytesMB is path-dependent, so this stays a full
+		// scan on both cores — the O(actives) floor of the event loop.
 		dt := tNext - e.now
 		if dt > 0 {
 			for _, x := range e.active {
@@ -410,12 +489,56 @@ func (e *Engine) RunContext(ctx context.Context) (*logs.Log, error) {
 		e.resolve()
 		e.m.events.Inc()
 		e.m.active.Set(float64(len(e.active)))
-		e.m.waiting.Set(float64(len(e.waiting)))
+		e.m.waiting.Set(float64(e.waitingLen()))
 		e.m.retryQ.Set(float64(len(e.retryQ)))
-		e.m.queueDepth.Observe(float64(len(e.active) + len(e.waiting)))
+		e.m.queueDepth.Observe(float64(len(e.active) + e.waitingLen()))
 	}
 	e.log.SortByStart()
 	return e.log, nil
+}
+
+// SetReference switches the engine to its reference event core: the
+// linear-scan nextEventTime and from-scratch fair-share resolution that the
+// optimized indexed-heap/incremental-component path is differentially
+// tested against. Both cores produce byte-identical logs; the reference
+// core is O(events × actives) and exists as the golden oracle. Must be
+// called before Run.
+func (e *Engine) SetReference(on bool) { e.ref = on }
+
+// initRun sizes the engine-owned scratch and, on the optimized core, seeds
+// the event heaps from the initial schedule.
+func (e *Engine) initRun() {
+	nEp := len(e.w.Endpoints)
+	e.minFault = math.Inf(1)
+	e.minRetryAt = math.Inf(1)
+	e.procsAt = make([]float64, nEp)
+	e.procsScratch = make([]float64, nEp)
+	e.utilMemo = make([]float64, nEp)
+	e.utilStamp = make([]uint64, nEp)
+	e.ensureResState()
+	if e.ref {
+		return
+	}
+	e.epDirty = make([]bool, nEp)
+	e.freedMark = make([]bool, nEp)
+	e.epWaiting = make([][]waitEntry, nEp)
+	e.epWaitDead = make([]int, nEp)
+	for i := range e.bgNext {
+		e.bgHeap.update(i, e.bgNext[i])
+	}
+	for ci, ch := range e.chains {
+		e.chainHeap.update(ci, ch.nextStart)
+	}
+}
+
+// waitingLen is the number of live waiting transfers. The optimized core
+// tombstones started entries (compacting lazily), so len(e.waiting) counts
+// dead slots there.
+func (e *Engine) waitingLen() int {
+	if e.ref {
+		return len(e.waiting)
+	}
+	return e.waitLive
 }
 
 // SetMonitor attaches a load monitor (may be nil).
@@ -450,8 +573,30 @@ func (e *Engine) chainsDone() bool {
 	return true
 }
 
-// nextEventTime scans all event sources for the earliest upcoming event.
+// nextEventTime returns the time of the earliest upcoming event. The
+// reference core scans every event source; the optimized core reads the
+// heap minima and two scalar mins. Both compute the minimum of the same
+// candidate multiset, so they return the same value; only the TIME is
+// consumed — which sources fire at it is decided structurally by
+// processEvents (the tie-break contract, DESIGN.md §9).
 func (e *Engine) nextEventTime() float64 {
+	var t float64
+	if e.ref {
+		t = e.refNextEventTime()
+	} else {
+		t = e.optNextEventTime()
+	}
+	if t < e.now {
+		if t < e.now-1e-6 {
+			e.violate(fmt.Sprintf("clock regression: next event at %.9g before now=%.9g", t, e.now))
+		}
+		t = e.now
+	}
+	return t
+}
+
+// refNextEventTime scans all event sources for the earliest upcoming event.
+func (e *Engine) refNextEventTime() float64 {
 	t := math.Inf(1)
 	if e.nextPending < len(e.pending) {
 		t = math.Min(t, e.pending[e.nextPending].Start)
@@ -464,9 +609,7 @@ func (e *Engine) nextEventTime() float64 {
 		case phaseSetup, phaseStall:
 			t = math.Min(t, x.phaseEnd)
 		case phaseData:
-			if x.rate > 0 {
-				t = math.Min(t, e.now+x.bytesMB/x.rate)
-			}
+			t = math.Min(t, x.doneAt)
 			t = math.Min(t, x.nextFault)
 		}
 	}
@@ -479,12 +622,27 @@ func (e *Engine) nextEventTime() float64 {
 	for _, x := range e.retryQ {
 		t = math.Min(t, x.retryAt)
 	}
-	if t < e.now {
-		if t < e.now-1e-6 {
-			e.violate(fmt.Sprintf("clock regression: next event at %.9g before now=%.9g", t, e.now))
-		}
-		t = e.now
+	return t
+}
+
+// optNextEventTime reads the same candidate set from the indexed heaps:
+// xferHeap keys are phaseEnd (setup/stall) or doneAt (data), bgHeap keys
+// are bgNext, chainHeap keys are nextStart; fault and retry minima are
+// maintained as scalars (redrawFaults recomputes every fault deadline each
+// resolve anyway, and the retry queue rebuilds its min whenever it drains).
+func (e *Engine) optNextEventTime() float64 {
+	t := math.Inf(1)
+	if e.nextPending < len(e.pending) {
+		t = e.pending[e.nextPending].Start
 	}
+	t = math.Min(t, e.chainHeap.min())
+	t = math.Min(t, e.xferHeap.min())
+	t = math.Min(t, e.minFault)
+	t = math.Min(t, e.bgHeap.min())
+	if e.nextChaos < len(e.chaosEvents) {
+		t = math.Min(t, e.chaosEvents[e.nextChaos].t)
+	}
+	t = math.Min(t, e.minRetryAt)
 	return t
 }
 
@@ -510,27 +668,35 @@ const completeEpsMB = 1e-4
 
 // processEvents handles every event due at the current time: chaos
 // boundaries, arrivals, retries, phase transitions, faults, completions,
-// background changes.
+// background changes. The fixed block order below IS the tie-break rule
+// for simultaneous events — both cores run this same code, with the
+// optimized core skipping whole blocks only when its heap minimum proves
+// no entry is due (which cannot change which entries fire).
 func (e *Engine) processEvents() {
 	// Chaos boundaries first: an outage lifting at this instant frees slots
 	// for arrivals and retries processed below.
 	e.processChaos()
 
 	// Retries whose backoff has elapsed re-enter the queue.
-	if len(e.retryQ) > 0 {
+	if len(e.retryQ) > 0 && (e.ref || e.minRetryAt <= e.now+timeEps) {
 		keep := e.retryQ[:0]
+		min := math.Inf(1)
 		for _, x := range e.retryQ {
 			if x.retryAt <= e.now+timeEps {
 				if e.hasSlot(x.srcIdx) && e.hasSlot(x.dstIdx) {
 					e.start(x)
 				} else {
-					e.waiting = append(e.waiting, x)
+					e.pushWaiting(x)
 				}
 			} else {
 				keep = append(keep, x)
+				if x.retryAt < min {
+					min = x.retryAt
+				}
 			}
 		}
 		e.retryQ = keep
+		e.minRetryAt = min
 	}
 
 	// Arrivals.
@@ -539,21 +705,29 @@ func (e *Engine) processEvents() {
 		e.nextPending++
 	}
 	// Chain arrivals.
-	for ci, ch := range e.chains {
-		if ch.nextStart <= e.now+timeEps && ch.next < len(ch.specs) {
-			e.admit(ch.specs[ch.next], ci+1)
-			ch.next++
-			ch.nextStart = math.Inf(1)
-		} else if ch.nextStart <= e.now+timeEps {
-			ch.nextStart = math.Inf(1)
+	if len(e.chains) > 0 && (e.ref || e.chainHeap.min() <= e.now+timeEps) {
+		for ci, ch := range e.chains {
+			if ch.nextStart <= e.now+timeEps && ch.next < len(ch.specs) {
+				e.admit(ch.specs[ch.next], ci+1)
+				ch.next++
+				e.setChainNext(ch, ci, math.Inf(1))
+			} else if ch.nextStart <= e.now+timeEps {
+				e.setChainNext(ch, ci, math.Inf(1))
+			}
 		}
 	}
 
-	// Background level changes.
-	for i, ep := range e.w.Endpoints {
-		if e.bgNext[i] <= e.now+timeEps {
-			e.resampleBg(i, ep)
-			e.bgNext[i] = e.expSample(ep.Bg.MeanInterval)
+	// Background level changes. The gated loop still visits endpoints in
+	// index order, preserving the RNG draw sequence.
+	if e.ref || e.bgHeap.min() <= e.now+timeEps {
+		for i, ep := range e.w.Endpoints {
+			if e.bgNext[i] <= e.now+timeEps {
+				e.resampleBg(i, ep)
+				e.bgNext[i] = e.expSample(ep.Bg.MeanInterval)
+				if !e.ref {
+					e.bgHeap.update(i, e.bgNext[i])
+				}
+			}
 		}
 	}
 
@@ -564,26 +738,39 @@ func (e *Engine) processEvents() {
 		switch x.phase {
 		case phaseSetup, phaseStall:
 			if x.phaseEnd <= e.now+timeEps {
-				x.phase = phaseData
+				e.enterData(x)
 			}
 			keep = append(keep, x)
 		case phaseData:
 			switch {
 			case x.bytesMB <= completeEpsMB:
+				e.leaveData(x)
 				e.complete(x)
-				e.epActive[x.srcIdx]--
-				e.epActive[x.dstIdx]--
+				e.releaseSlots(x)
 				freed = true
 				// dropped from active
 			case x.nextFault <= e.now+timeEps:
 				x.faults++
 				e.stats.Faults++
 				e.m.faults.Inc()
+				e.leaveData(x)
 				x.phase = phaseStall
 				x.phaseEnd = e.now + e.w.FaultRetry
 				x.nextFault = math.Inf(1)
+				if !e.ref {
+					e.xferHeap.update(x.id, x.phaseEnd)
+				}
 				keep = append(keep, x)
 			default:
+				if x.doneAt <= e.now+timeEps {
+					// Residual payload above completeEpsMB at the stored
+					// deadline (float rounding): reschedule at the rate in
+					// force. Identical arithmetic on both cores.
+					x.doneAt = e.now + x.bytesMB/x.rate
+					if !e.ref {
+						e.xferHeap.update(x.id, x.doneAt)
+					}
+				}
 				keep = append(keep, x)
 			}
 		}
@@ -605,7 +792,11 @@ func (e *Engine) processChaos() {
 		case ceOutageStart:
 			e.beginOutage(ev.outage)
 		case ceOutageEnd:
-			e.epDown[e.epIndex(ev.outage.EndpointID)]--
+			idx := e.epIndex(ev.outage.EndpointID)
+			e.epDown[idx]--
+			if !e.ref {
+				e.markFreed(idx)
+			}
 			freed = true
 		case ceWANStart:
 			e.activeWAN = append(e.activeWAN, ev.wan)
@@ -623,9 +814,15 @@ func (e *Engine) processChaos() {
 	}
 	if changedWAN {
 		e.refreshWANCaps()
+		if !e.ref {
+			// Every WAN capacity may have moved; re-solve their components.
+			for _, ri := range e.wanList {
+				e.dirtyResource(ri)
+			}
+		}
 	}
 	if changedStorm {
-		e.refreshHazard()
+		e.refreshHazard() // feeds redrawFaults; no rates touched
 	}
 	if freed {
 		e.startWaiting()
@@ -665,18 +862,26 @@ func (e *Engine) beginOutage(o *OutageEvent) {
 		if o.Abort {
 			e.stats.OutageAborts++
 			e.m.outageAborts.Inc()
-			e.epActive[x.srcIdx]--
-			e.epActive[x.dstIdx]--
+			if x.phase == phaseData {
+				e.leaveData(x)
+			}
+			e.releaseSlots(x)
 			e.scheduleRetry(x)
 			continue // dropped from active
 		}
 		e.stats.OutageStalls++
 		e.m.outageStalls.Inc()
+		if x.phase == phaseData {
+			e.leaveData(x)
+		}
 		x.phase = phaseStall
 		if x.phaseEnd < o.End {
 			x.phaseEnd = o.End
 		}
 		x.nextFault = math.Inf(1)
+		if !e.ref {
+			e.xferHeap.update(x.id, x.phaseEnd)
+		}
 		keep = append(keep, x)
 	}
 	e.active = keep
@@ -698,7 +903,7 @@ func (e *Engine) scheduleRetry(x *xfer) {
 		if x.chainID > 0 {
 			ch := e.chains[x.chainID-1]
 			if ch.next < len(ch.specs) {
-				ch.nextStart = e.now
+				e.setChainNext(ch, x.chainID-1, e.now)
 			}
 		}
 		return
@@ -717,20 +922,58 @@ func (e *Engine) scheduleRetry(x *xfer) {
 	}
 	x.retryAt = e.now + backoff
 	e.retryQ = append(e.retryQ, x)
+	if x.retryAt < e.minRetryAt {
+		e.minRetryAt = x.retryAt
+	}
+}
+
+// setChainNext updates a chain's next-start time, mirroring it into the
+// chain heap on the optimized core.
+func (e *Engine) setChainNext(ch *chain, ci int, t float64) {
+	ch.nextStart = t
+	if !e.ref {
+		e.chainHeap.update(ci, t)
+	}
 }
 
 // startWaiting starts queued transfers, in FIFO order, whose endpoints now
-// have free slots.
+// have free slots. The reference core scans the whole queue; the optimized
+// core probes only the per-endpoint queues of endpoints that freed a slot
+// since the last probe (every other waiting transfer still has at least
+// one blocked endpoint, so the full scan could not have started it).
 func (e *Engine) startWaiting() {
+	if !e.ref {
+		e.startWaitingIndexed()
+		return
+	}
 	keep := e.waiting[:0]
 	for _, x := range e.waiting {
 		if e.hasSlot(x.srcIdx) && e.hasSlot(x.dstIdx) {
+			x.inWaiting = false
 			e.start(x)
 		} else {
 			keep = append(keep, x)
 		}
 	}
 	e.waiting = keep
+}
+
+// pushWaiting appends a transfer to the FIFO waiting queue and, on the
+// optimized core, to the per-endpoint queues used by startWaitingIndexed.
+func (e *Engine) pushWaiting(x *xfer) {
+	x.inWaiting = true
+	x.waitSeq = e.waitSeq
+	e.waitSeq++
+	e.waiting = append(e.waiting, x)
+	if e.ref {
+		return
+	}
+	e.waitLive++
+	en := waitEntry{x, x.waitSeq}
+	e.epWaiting[x.srcIdx] = append(e.epWaiting[x.srcIdx], en)
+	if x.dstIdx != x.srcIdx {
+		e.epWaiting[x.dstIdx] = append(e.epWaiting[x.dstIdx], en)
+	}
 }
 
 // hasSlot reports whether the endpoint can run one more transfer: it must
@@ -749,13 +992,90 @@ func (e *Engine) hasSlot(epIdx int) bool {
 func (e *Engine) start(x *xfer) {
 	e.epActive[x.srcIdx]++
 	e.epActive[x.dstIdx]++
+	e.procsAt[x.srcIdx] += float64(x.procs)
+	if x.dstIdx != x.srcIdx {
+		e.procsAt[x.dstIdx] += float64(x.procs)
+	}
 	if !x.started {
 		x.startedAt = e.now
 		x.started = true
 	}
 	x.phase = phaseSetup
 	x.phaseEnd = e.now + x.overhead
+	x.actSeq = e.actSeq
+	e.actSeq++
 	e.active = append(e.active, x)
+	if e.ref {
+		return
+	}
+	e.dirtyProcs(x.srcIdx)
+	e.dirtyProcs(x.dstIdx)
+	e.xferHeap.update(x.id, x.phaseEnd)
+}
+
+// releaseSlots returns a departing transfer's endpoint slots and processes
+// (completion or outage abort), and on the optimized core drops its heap
+// entry, dirties the CPU-contention state, and flags its endpoints for the
+// next waiting-queue probe.
+func (e *Engine) releaseSlots(x *xfer) {
+	e.epActive[x.srcIdx]--
+	e.epActive[x.dstIdx]--
+	e.procsAt[x.srcIdx] -= float64(x.procs)
+	if x.dstIdx != x.srcIdx {
+		e.procsAt[x.dstIdx] -= float64(x.procs)
+	}
+	if e.ref {
+		return
+	}
+	e.dirtyProcs(x.srcIdx)
+	e.dirtyProcs(x.dstIdx)
+	e.xferHeap.remove(x.id)
+	e.markFreed(x.srcIdx)
+	e.markFreed(x.dstIdx)
+}
+
+// enterData moves a transfer from setup/stall into the data phase; on the
+// optimized core it joins the sharing graph and dirties its resources so
+// the next resolve re-solves its component. The completion deadline is
+// recomputed at that resolve (needDeadline).
+func (e *Engine) enterData(x *xfer) {
+	x.phase = phaseData
+	x.needDeadline = true
+	if e.ref {
+		return
+	}
+	for k, ri := range x.resIdx {
+		r := e.resources[ri]
+		x.memberPos[k] = len(r.members)
+		r.members = append(r.members, x)
+		e.dirtyResource(ri)
+	}
+}
+
+// leaveData removes a data-phase transfer from the sharing graph (swap-
+// remove against each resource's member list) and dirties its resources.
+// Callers must ensure x is in the data phase.
+func (e *Engine) leaveData(x *xfer) {
+	if e.ref {
+		return
+	}
+	for k, ri := range x.resIdx {
+		r := e.resources[ri]
+		p := x.memberPos[k]
+		last := len(r.members) - 1
+		if p < last {
+			moved := r.members[last]
+			r.members[p] = moved
+			for mk, mri := range moved.resIdx {
+				if mri == ri {
+					moved.memberPos[mk] = p
+					break
+				}
+			}
+		}
+		r.members = r.members[:last]
+		e.dirtyResource(ri)
+	}
 }
 
 // admit turns a spec into an active transfer in its setup phase; chainID is
@@ -848,7 +1168,7 @@ func (e *Engine) admit(s TransferSpec, chainID int) {
 	if e.hasSlot(srcIdx) && e.hasSlot(dstIdx) {
 		e.start(x)
 	} else {
-		e.waiting = append(e.waiting, x)
+		e.pushWaiting(x)
 	}
 }
 
@@ -864,9 +1184,13 @@ func (e *Engine) epIndex(id string) int {
 // interference — matching the bursty non-Globus activity of §4.3.2.
 func (e *Engine) resampleBg(i int, ep *Endpoint) {
 	for k := 0; k < resKindsPerEndpoint; k++ {
-		r := e.resources[e.epResource(i, k)]
+		ri := e.epResource(i, k)
+		r := e.resources[ri]
 		u := e.rng.Float64()
 		r.bgFrac = ep.Bg.MaxFrac * u * u
+		if !e.ref {
+			e.dirtyResource(ri)
+		}
 	}
 }
 
@@ -876,7 +1200,7 @@ func (e *Engine) complete(x *xfer) {
 	if x.chainID > 0 {
 		ch := e.chains[x.chainID-1]
 		if ch.next < len(ch.specs) {
-			ch.nextStart = e.now
+			e.setChainNext(ch, x.chainID-1, e.now)
 		}
 	}
 	e.stats.Completed++
@@ -897,34 +1221,151 @@ func (e *Engine) complete(x *xfer) {
 	})
 }
 
-// resolve recomputes every data-phase transfer's rate via weighted
-// progressive filling (weighted max-min fairness with per-transfer demand
-// ceilings), then refreshes fault schedules and the monitor snapshot.
+// resolve recomputes data-phase transfer rates via weighted progressive
+// filling (weighted max-min fairness with per-transfer demand ceilings),
+// then refreshes fault schedules and the monitor snapshot. Both cores
+// solve one resource-sharing component at a time, over the component's
+// transfers in activation order — components are disjoint, so the solve is
+// float-exact regardless of which other components are (re)solved — which
+// is what lets the incremental core re-solve only dirty components and
+// still match the reference bit for bit.
 func (e *Engine) resolve() {
-	// CPU-contention multipliers: GridFTP processes at each endpoint.
-	procsAt := make(map[int]float64)
+	if e.ref {
+		e.refResolve()
+	} else {
+		e.incResolve()
+	}
+}
+
+// refResolve is the reference resolver: CPU-contention multipliers,
+// component partition, and per-component solve, all from scratch.
+func (e *Engine) refResolve() {
+	// CPU-contention multipliers: GridFTP processes at each endpoint,
+	// recomputed into an engine-owned buffer.
+	procs := e.procsScratch
+	for i := range procs {
+		procs[i] = 0
+	}
 	for _, x := range e.active {
-		procsAt[x.srcIdx] += float64(x.procs)
+		procs[x.srcIdx] += float64(x.procs)
 		if x.dstIdx != x.srcIdx {
-			procsAt[x.dstIdx] += float64(x.procs)
+			procs[x.dstIdx] += float64(x.procs)
 		}
 	}
 	for i, ep := range e.w.Endpoints {
-		eff := ep.cpuEff(procsAt[i])
-		for _, k := range []int{resDiskRead, resDiskWrite} {
-			r := e.resources[e.epResource(i, k)]
-			r.effCap = r.cap * eff
-		}
+		eff := ep.cpuEff(procs[i])
+		rd := e.resources[e.epResource(i, resDiskRead)]
+		rd.effCap = rd.cap * eff
+		wr := e.resources[e.epResource(i, resDiskWrite)]
+		wr.effCap = wr.cap * eff
 	}
 
-	// Collect data-phase transfers and the resources they touch.
-	var data []*xfer
-	var used []int
+	e.ensureResState()
+	// Per-resource transfer load, rebuilt from scratch: zero everything,
+	// then let each component's commit accumulate its members.
+	for i := range e.resLoad {
+		e.resLoad[i] = 0
+		e.resMembers[i] = 0
+	}
+
+	data := e.dataBuf[:0]
 	for _, x := range e.active {
-		if x.phase != phaseData {
-			continue
+		if x.phase == phaseData {
+			data = append(data, x)
 		}
-		data = append(data, x)
+	}
+	e.dataBuf = data
+	if len(data) > 0 {
+		e.refSolveComponents(data)
+	}
+
+	e.redrawFaults()
+	if e.monitor != nil {
+		e.refreshSnapshot(procs)
+	}
+}
+
+// refSolveComponents partitions the data-phase transfers into resource-
+// sharing components (union-find over resource indices, dense component
+// ids in first-appearance order, stable counting scatter) and solves each
+// component in isolation. The scatter preserves activation order within a
+// component — the summation order the incremental core reproduces.
+func (e *Engine) refSolveComponents(data []*xfer) {
+	for _, x := range data {
+		for _, ri := range x.resIdx {
+			e.ufParent[ri] = ri
+		}
+	}
+	for _, x := range data {
+		root := e.ufFind(x.resIdx[0])
+		for _, ri := range x.resIdx[1:] {
+			r := e.ufFind(ri)
+			if r != root {
+				e.ufParent[r] = root
+			}
+		}
+	}
+	for _, x := range data {
+		e.compID[e.ufFind(x.resIdx[0])] = -1
+	}
+	counts := e.compCounts[:0]
+	xcomp := e.xcompBuf[:0]
+	for _, x := range data {
+		root := e.ufFind(x.resIdx[0])
+		id := e.compID[root]
+		if id < 0 {
+			id = len(counts)
+			e.compID[root] = id
+			counts = append(counts, 0)
+		}
+		counts[id]++
+		xcomp = append(xcomp, id)
+	}
+	offsets := e.compOffsets[:0]
+	total := 0
+	for _, c := range counts {
+		offsets = append(offsets, total)
+		total += c
+	}
+	if cap(e.compBuf) < len(data) {
+		e.compBuf = make([]*xfer, len(data))
+	}
+	buf := e.compBuf[:len(data)]
+	for i, x := range data {
+		id := xcomp[i]
+		buf[offsets[id]] = x
+		offsets[id]++
+	}
+	start := 0
+	for _, c := range counts {
+		comp := buf[start : start+c]
+		start += c
+		used := e.initScope(comp, e.compUsed[:0])
+		e.solveScope(comp, used)
+		e.commitScope(comp, used)
+		e.compUsed = used
+	}
+	e.compCounts = counts
+	e.xcompBuf = xcomp
+	e.compOffsets = offsets
+}
+
+// ufFind is iterative find with path halving over ufParent.
+func (e *Engine) ufFind(i int) int {
+	for e.ufParent[i] != i {
+		e.ufParent[i] = e.ufParent[e.ufParent[i]]
+		i = e.ufParent[i]
+	}
+	return i
+}
+
+// initScope prepares one solver scope: stashes each transfer's previous
+// rate (for the stable-deadline rule in commitScope), zeroes working
+// rates, and initializes the scope's resources in first-touch order,
+// appending them to used. xs must be in activation order.
+func (e *Engine) initScope(xs []*xfer, used []int) []int {
+	for _, x := range xs {
+		x.prevRate = x.rate
 		x.rate = 0
 		x.frozen = false
 		for _, ri := range x.resIdx {
@@ -938,7 +1379,13 @@ func (e *Engine) resolve() {
 			r.sumW += x.weight
 		}
 	}
+	return used
+}
 
+// solveScope runs weighted progressive filling over one initialized scope,
+// leaving raw (pre-jitter, pre-floor) rates on the transfers and resetting
+// the resources' touched marks.
+func (e *Engine) solveScope(data []*xfer, used []int) {
 	unfrozen := len(data)
 	maxIter := len(data) + len(used) + 4
 	for iter := 0; unfrozen > 0 && iter < maxIter; iter++ {
@@ -1005,17 +1452,14 @@ func (e *Engine) resolve() {
 	for _, ri := range used {
 		e.resources[ri].touched = false
 	}
-	// Per-resource transfer load, used for utilization and the monitor.
-	if cap(e.resLoad) < len(e.resources) {
-		e.resLoad = make([]float64, len(e.resources))
-		e.resMembers = make([]int, len(e.resources))
-	}
-	e.resLoad = e.resLoad[:len(e.resources)]
-	e.resMembers = e.resMembers[:len(e.resources)]
-	for i := range e.resLoad {
-		e.resLoad[i] = 0
-		e.resMembers[i] = 0
-	}
+}
+
+// commitScope finalizes one solved scope: applies per-transfer jitter and
+// the anti-deadlock floor, accumulates per-resource load and membership
+// (the scope's resources must have been zeroed by the caller), refreshes
+// completion deadlines where the rate changed, and checks capacity
+// conservation.
+func (e *Engine) commitScope(data []*xfer, used []int) {
 	for _, x := range data {
 		if x.rate < 0 {
 			e.violate(fmt.Sprintf("negative rate %.6g for transfer %d at t=%.1f", x.rate, x.id, e.now))
@@ -1029,6 +1473,17 @@ func (e *Engine) resolve() {
 			e.resLoad[ri] += x.rate
 			e.resMembers[ri]++
 		}
+		// Stable completion deadline: recompute only when the resolved
+		// rate moved or the transfer (re-)entered the data phase, so a
+		// component left untouched by the incremental core keeps the exact
+		// deadline the reference core re-derives.
+		if x.needDeadline || x.rate != x.prevRate {
+			x.needDeadline = false
+			x.doneAt = e.now + x.bytesMB/x.rate
+			if !e.ref {
+				e.xferHeap.update(x.id, x.doneAt)
+			}
+		}
 	}
 	// Capacity conservation: the fair-share solver must never hand a
 	// resource more than its effective capacity net of background load,
@@ -1041,20 +1496,33 @@ func (e *Engine) resolve() {
 				ri, e.resLoad[ri], budget, e.now))
 		}
 	}
-	for _, x := range data {
+}
+
+// redrawFaults redraws every data-phase transfer's next fault time, in
+// activation order (one ExpFloat64 per transfer with a positive hazard —
+// the RNG-stream contract both cores share), and recomputes the scalar
+// fault minimum for optNextEventTime. The incremental core skips the call
+// when World.FaultBaseHazard is zero: no transfer can ever have a finite
+// deadline then, and no draws are at stake.
+func (e *Engine) redrawFaults() {
+	e.minFault = math.Inf(1)
+	e.utilRound++
+	for _, x := range e.active {
+		if x.phase != phaseData {
+			continue
+		}
 		// Fault hazard grows quadratically with endpoint utilization,
 		// scaled up fabric-wide while a fault storm is in force.
-		util := math.Max(e.utilization(x.srcIdx), e.utilization(x.dstIdx))
+		util := math.Max(e.utilizationMemo(x.srcIdx), e.utilizationMemo(x.dstIdx))
 		h := e.w.FaultBaseHazard * e.hazardMul * util * util
 		if h > 0 {
 			x.nextFault = e.now + e.rng.ExpFloat64()/h
 		} else {
 			x.nextFault = math.Inf(1)
 		}
-	}
-
-	if e.monitor != nil {
-		e.refreshSnapshot(procsAt)
+		if x.nextFault < e.minFault {
+			e.minFault = x.nextFault
+		}
 	}
 }
 
@@ -1072,6 +1540,20 @@ func usesResource(x *xfer, ri int) bool {
 		}
 	}
 	return false
+}
+
+// utilizationMemo caches utilization per endpoint for the duration of one
+// redrawFaults call (many data transfers share endpoints). Utilization is a
+// pure function of the current resource loads and capacities, so the cached
+// value is bitwise what a fresh computation would return.
+func (e *Engine) utilizationMemo(epIdx int) float64 {
+	if e.utilStamp[epIdx] == e.utilRound {
+		return e.utilMemo[epIdx]
+	}
+	u := e.utilization(epIdx)
+	e.utilStamp[epIdx] = e.utilRound
+	e.utilMemo[epIdx] = u
+	return u
 }
 
 // utilization returns the busiest-resource fraction at an endpoint,
@@ -1096,7 +1578,7 @@ func (e *Engine) utilization(epIdx int) float64 {
 }
 
 // refreshSnapshot rebuilds the per-endpoint true-load view for the monitor.
-func (e *Engine) refreshSnapshot(procsAt map[int]float64) {
+func (e *Engine) refreshSnapshot(procsAt []float64) {
 	e.snapshot = e.snapshot[:0]
 	for i, ep := range e.w.Endpoints {
 		rd := e.resources[e.epResource(i, resDiskRead)]
@@ -1119,7 +1601,7 @@ func (e *Engine) refreshSnapshot(procsAt map[int]float64) {
 // live transfers from each queue.
 func (e *Engine) DebugState() string {
 	s := fmt.Sprintf("now=%.1f pending=%d/%d active=%d waiting=%d retrying=%d logged=%d abandoned=%d\n",
-		e.now, e.nextPending, len(e.pending), len(e.active), len(e.waiting), len(e.retryQ),
+		e.now, e.nextPending, len(e.pending), len(e.active), e.waitingLen(), len(e.retryQ),
 		len(e.log.Records), e.stats.Abandoned)
 	for i, down := range e.epDown {
 		if down > 0 {
@@ -1139,7 +1621,18 @@ func (e *Engine) DebugState() string {
 		return out
 	}
 	s += dump("active", e.active)
-	s += dump("waiting", e.waiting)
+	// The optimized core tombstones started entries in e.waiting; show only
+	// live ones.
+	wait := e.waiting
+	if !e.ref {
+		wait = nil
+		for _, x := range e.waiting {
+			if x.inWaiting {
+				wait = append(wait, x)
+			}
+		}
+	}
+	s += dump("waiting", wait)
 	s += dump("retry", e.retryQ)
 	return s
 }

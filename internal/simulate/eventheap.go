@@ -1,0 +1,110 @@
+package simulate
+
+import "math"
+
+// indexedHeap is a binary min-heap over small non-negative integer ids
+// (transfer ids, endpoint indices, chain indices) keyed by event times,
+// with an id→slot index so a key can be raised, lowered, or removed in
+// O(log n) when the engine reschedules an event. The engine only ever
+// consumes the minimum KEY — never "the min element" — so heap order among
+// equal keys is irrelevant: tie-breaking between simultaneous events is
+// done structurally by processEvents, which handles every source due at
+// the chosen instant in a fixed order (the determinism contract, DESIGN §9).
+//
+// We index rather than tombstone (the "lazy invalidation" alternative):
+// rates change on every dirty-component resolve, and under a high fault
+// hazard a tombstoning heap would accumulate one dead entry per redraw per
+// transfer, so exact updates keep the heap at exactly one entry per live
+// event source.
+type indexedHeap struct {
+	ids []int     // heap slots: ids in heap order
+	key []float64 // key per id
+	pos []int     // heap slot per id; -1 when the id is not in the heap
+}
+
+func (h *indexedHeap) grow(id int) {
+	for len(h.pos) <= id {
+		h.pos = append(h.pos, -1)
+		h.key = append(h.key, 0)
+	}
+}
+
+// min returns the smallest key, +Inf when the heap is empty.
+func (h *indexedHeap) min() float64 {
+	if len(h.ids) == 0 {
+		return math.Inf(1)
+	}
+	return h.key[h.ids[0]]
+}
+
+// update inserts the id or moves it to its new key.
+func (h *indexedHeap) update(id int, key float64) {
+	h.grow(id)
+	if h.pos[id] == -1 {
+		h.key[id] = key
+		h.pos[id] = len(h.ids)
+		h.ids = append(h.ids, id)
+		h.up(len(h.ids) - 1)
+		return
+	}
+	old := h.key[id]
+	h.key[id] = key
+	switch {
+	case key < old:
+		h.up(h.pos[id])
+	case key > old:
+		h.down(h.pos[id])
+	}
+}
+
+// remove deletes the id; absent ids are a no-op.
+func (h *indexedHeap) remove(id int) {
+	if id >= len(h.pos) || h.pos[id] == -1 {
+		return
+	}
+	i := h.pos[id]
+	last := len(h.ids) - 1
+	h.swap(i, last)
+	h.ids = h.ids[:last]
+	h.pos[id] = -1
+	if i < last {
+		h.down(i)
+		h.up(i)
+	}
+}
+
+func (h *indexedHeap) swap(i, j int) {
+	h.ids[i], h.ids[j] = h.ids[j], h.ids[i]
+	h.pos[h.ids[i]] = i
+	h.pos[h.ids[j]] = j
+}
+
+func (h *indexedHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.key[h.ids[p]] <= h.key[h.ids[i]] {
+			return
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *indexedHeap) down(i int) {
+	n := len(h.ids)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && h.key[h.ids[r]] < h.key[h.ids[l]] {
+			m = r
+		}
+		if h.key[h.ids[i]] <= h.key[h.ids[m]] {
+			return
+		}
+		h.swap(i, m)
+		i = m
+	}
+}

@@ -72,13 +72,14 @@ func TestPropertyRandomWorlds(t *testing.T) {
 			plan = randomPlan(t, cfg, meta)
 		}
 		t.Run(fmt.Sprintf("cfg%02d", i), func(t *testing.T) {
-			runOnce := func(reg *obs.Registry) []byte {
+			runOnce := func(reg *obs.Registry, ref bool) ([]byte, Stats) {
 				t.Helper()
 				g, err := Generate(cfg)
 				if err != nil {
 					t.Fatal(err)
 				}
 				eng := NewEngine(g.World, cfg.Seed+1)
+				eng.SetReference(ref)
 				eng.SetObs(reg)
 				eng.Submit(g.Specs...)
 				if err := eng.SetChaos(plan); err != nil {
@@ -98,17 +99,27 @@ func TestPropertyRandomWorlds(t *testing.T) {
 				if err := l.WriteCSV(&buf); err != nil {
 					t.Fatal(err)
 				}
-				return buf.Bytes()
+				return buf.Bytes(), eng.Stats()
 			}
 
-			plain := runOnce(nil)
+			plain, plainStats := runOnce(nil, false)
 			reg := obs.NewRegistry()
-			instrumented := runOnce(reg)
+			instrumented, _ := runOnce(reg, false)
 			if !bytes.Equal(plain, instrumented) {
 				t.Error("instrumented run diverged from plain run with the same seed")
 			}
 			if s := reg.Snapshot(); s.Counters["sim.events"] == 0 {
 				t.Error("instrumented run recorded no engine events")
+			}
+			// The optimized event core (indexed heaps + dirty-component
+			// resolution) must be byte-identical to the reference core on
+			// every config — same RNG draws, same event order, same floats.
+			reference, refStats := runOnce(nil, true)
+			if !bytes.Equal(plain, reference) {
+				t.Error("optimized engine log diverged from reference engine log")
+			}
+			if plainStats != refStats {
+				t.Errorf("optimized stats %+v diverged from reference stats %+v", plainStats, refStats)
 			}
 		})
 	}
