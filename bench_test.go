@@ -349,6 +349,50 @@ func BenchmarkGBTTrain(b *testing.B) {
 	}
 }
 
+// BenchmarkGBTTrainHist measures histogram-binned training (Bins: 256)
+// on the same single-edge workload as BenchmarkGBTTrain, so the two
+// benchmarks compare the histogram and exact presorted split searches
+// directly.
+func BenchmarkGBTTrainHist(b *testing.B) {
+	p, edges := benchPipeline(b)
+	vecs := p.VectorsAt(edges[0].Qualifying)
+	ds, err := features.Dataset(vecs, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := gbt.DefaultParams()
+	params.Bins = 256
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gbt.Train(ds, params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredictAll measures flat batch inference: scoring every row of
+// one edge's feature matrix through the SoA forest in a single call.
+func BenchmarkPredictAll(b *testing.B) {
+	p, edges := benchPipeline(b)
+	vecs := p.VectorsAt(edges[0].Qualifying)
+	ds, err := features.Dataset(vecs, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := gbt.DefaultParams()
+	params.Bins = 256
+	m, err := gbt.Train(ds, params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.PredictAll(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkLinregFit measures linear model fitting on one edge.
 func BenchmarkLinregFit(b *testing.B) {
 	p, edges := benchPipeline(b)

@@ -37,6 +37,8 @@
 //	-small            use the reduced workload (fast, for exploration)
 //	-out FILE         for simulate: CSV output path (default stdout)
 //	-intensities LIST for chaos: comma-separated fault intensities
+//	-gbt-bins N       histogram bins for boosted-tree training (default 256;
+//	                  0 = exact presorted split search)
 //	-metrics FILE     write engine/model/pool metrics as JSON
 //	-trace FILE       write hierarchical phase spans as JSON
 //	-pprof ADDR       serve net/http/pprof on ADDR (e.g. localhost:6060)
@@ -165,6 +167,7 @@ func finishObs(opts options, o *obs.Obs) error {
 type options struct {
 	out         string
 	intensities []float64
+	gbtBins     int    // histogram bins for GBT training (0 = exact search)
 	metrics     string // JSON metrics output path ("" = disabled)
 	trace       string // JSON trace output path ("" = disabled)
 	pprofAddr   string // pprof listen address ("" = disabled)
@@ -185,6 +188,8 @@ func parseArgs(args []string) (cmd string, cfg simulate.Config, opts options, er
 	out := fs.String("out", "", "output path for simulate (default stdout)")
 	intensities := fs.String("intensities", "0,0.5,1,2,4",
 		"comma-separated fault intensities for the chaos sweep")
+	gbtBins := fs.Int("gbt-bins", 256,
+		"histogram bins for boosted-tree training (0 = exact presorted search)")
 	metrics := fs.String("metrics", "", "write metrics JSON to this path")
 	trace := fs.String("trace", "", "write trace-span JSON to this path")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address")
@@ -198,7 +203,11 @@ func parseArgs(args []string) (cmd string, cfg simulate.Config, opts options, er
 		cfg = simulate.SmallConfig()
 	}
 	cfg.Seed = *seed
+	if *gbtBins < 0 || *gbtBins > 256 {
+		return "", cfg, opts, fmt.Errorf("%w: -gbt-bins must be 0..256", errUsage)
+	}
 	opts.out = *out
+	opts.gbtBins = *gbtBins
 	opts.metrics = *metrics
 	opts.trace = *trace
 	opts.pprofAddr = *pprofAddr
@@ -235,7 +244,7 @@ func parseIntensities(s string) ([]float64, error) {
 func usage() {
 	fmt.Fprintln(os.Stderr, strings.TrimSpace(`
 usage: wanperf <command> [-seed N] [-small] [-out FILE] [-intensities LIST]
-                         [-metrics FILE] [-trace FILE] [-pprof ADDR]
+                         [-gbt-bins N] [-metrics FILE] [-trace FILE] [-pprof ADDR]
 commands: simulate edges models table1 table3 table4 table5
           fig3 fig4 fig5 fig6 fig8 fig9 fig12 fig13
           eq1 global lmt ablation tuned worldspec chaos all`))
@@ -280,6 +289,7 @@ func run(ctx context.Context, cmd string, cfg simulate.Config, opts options, o *
 		if err != nil {
 			return err
 		}
+		pl.GBTBins = opts.gbtBins
 		edges = pl.StudyEdges()
 		fmt.Fprintf(os.Stderr, "%d transfers logged, %d study edges\n", len(pl.Log.Records), len(edges))
 	}

@@ -95,7 +95,7 @@ func (p *Pipeline) ablateEdge(ed EdgeData) ([]AblationRow, error) {
 	full, _ = full.DropLowVariance(LowVarianceMin)
 	seed := modelSeed(ed.Edge.String())
 
-	_, fullAPEs, err := trainAndTest(full, seed, p.Obs.Reg())
+	_, fullAPEs, err := p.trainAndTest(full, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -110,7 +110,7 @@ func (p *Pipeline) ablateEdge(ed EdgeData) ([]AblationRow, error) {
 		if reduced.NumFeatures() == 0 {
 			continue
 		}
-		_, apes, err := trainAndTest(reduced, seed, p.Obs.Reg())
+		_, apes, err := p.trainAndTest(reduced, seed)
 		if err != nil {
 			return nil, err
 		}

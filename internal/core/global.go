@@ -92,6 +92,7 @@ func (p *Pipeline) GlobalModelContext(ctx context.Context, edges []EdgeData) (Gl
 			xp := gbt.DefaultParams()
 			xp.Rounds = 250 // the pooled dataset is larger and more heterogeneous
 			xp.MaxDepth = 6
+			xp.Bins = p.GBTBins
 			xp.Metrics = p.Obs.Reg()
 			xm, err := gbt.Train(trainStd, xp)
 			if err != nil {
@@ -160,7 +161,7 @@ func (p *Pipeline) Fig13(minSamples, maxEdges int) ([]ThresholdResult, error) {
 				return nil, err
 			}
 			ds, _ = ds.DropLowVariance(LowVarianceMin)
-			linAPEs, xgbAPEs, err := trainAndTest(ds, modelSeed(ed.Edge.String())+int64(th*10), p.Obs.Reg())
+			linAPEs, xgbAPEs, err := p.trainAndTest(ds, modelSeed(ed.Edge.String())+int64(th*10))
 			if err != nil {
 				return nil, err
 			}

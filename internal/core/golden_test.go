@@ -55,6 +55,14 @@ type goldenFile struct {
 func computeGolden(t *testing.T) goldenFile {
 	t.Helper()
 	p, edges := smallPipeline(t)
+	return computeGoldenFrom(t, p, edges)
+}
+
+// computeGoldenFrom runs the golden experiments on an explicit pipeline,
+// so variant configurations (e.g. histogram-binned training) can be
+// checked against the same committed figures.
+func computeGoldenFrom(t *testing.T, p *Pipeline, edges []EdgeData) goldenFile {
+	t.Helper()
 	results, err := p.EvaluateEdges(edges)
 	if err != nil {
 		t.Fatal(err)

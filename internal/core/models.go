@@ -75,7 +75,7 @@ func (p *Pipeline) EvaluateEdge(ed EdgeData) (EdgeModelResult, error) {
 	if ds.NumFeatures() == 0 {
 		return res, fmt.Errorf("core: edge %s has no informative features", res.Edge)
 	}
-	linAPEs, xgbAPEs, err := trainAndTest(ds, seed, p.Obs.Reg())
+	linAPEs, xgbAPEs, err := p.trainAndTest(ds, seed)
 	if err != nil {
 		return res, err
 	}
@@ -111,10 +111,7 @@ func (p *Pipeline) EvaluateEdge(ed EdgeData) (EdgeModelResult, error) {
 	for j, name := range lin.Names {
 		res.LinCoef[name] = math.Abs(lin.Coefficients[j])
 	}
-	xp := gbt.DefaultParams()
-	xp.Seed = seed
-	xp.Metrics = p.Obs.Reg()
-	xm, err := gbt.Train(dsExp, xp)
+	xm, err := gbt.Train(dsExp, p.gbtParams(seed))
 	if err != nil {
 		return res, err
 	}
@@ -122,11 +119,22 @@ func (p *Pipeline) EvaluateEdge(ed EdgeData) (EdgeModelResult, error) {
 	return res, nil
 }
 
+// gbtParams returns the boosted-tree configuration the pipeline's
+// experiments use: the reproduction defaults with the given seed, the
+// pipeline's quantization knob, and its telemetry sink.
+func (p *Pipeline) gbtParams(seed int64) gbt.Params {
+	xp := gbt.DefaultParams()
+	xp.Seed = seed
+	xp.Bins = p.GBTBins
+	xp.Metrics = p.Obs.Reg()
+	return xp
+}
+
 // trainAndTest fits both families on a 70/30 split and returns test-set
-// absolute percentage errors. reg (nil for uninstrumented) receives the
-// boosted-tree training telemetry and a fold counter.
-func trainAndTest(ds *dataset.Dataset, seed int64, reg *obs.Registry) (linAPEs, xgbAPEs []float64, err error) {
-	reg.Counter("core.folds").Inc()
+// absolute percentage errors. The pipeline supplies the boosted-tree
+// configuration (quantization knob, telemetry) and a fold counter.
+func (p *Pipeline) trainAndTest(ds *dataset.Dataset, seed int64) (linAPEs, xgbAPEs []float64, err error) {
+	p.Obs.Reg().Counter("core.folds").Inc()
 	train, test := ds.Split(TrainFraction, seed)
 	if train.Len() == 0 || test.Len() == 0 {
 		return nil, nil, dataset.ErrEmpty
@@ -159,10 +167,7 @@ func trainAndTest(ds *dataset.Dataset, seed int64, reg *obs.Registry) (linAPEs, 
 		return nil, nil, err
 	}
 
-	xp := gbt.DefaultParams()
-	xp.Seed = seed
-	xp.Metrics = reg
-	xm, err := gbt.Train(trainStd, xp)
+	xm, err := gbt.Train(trainStd, p.gbtParams(seed))
 	if err != nil {
 		return nil, nil, err
 	}

@@ -28,6 +28,15 @@ type Pipeline struct {
 	// (phase spans, per-edge fit timings, model-training telemetry).
 	// nil — the default from Run/RunContext — disables it entirely.
 	Obs *obs.Obs
+
+	// GBTBins switches every boosted-tree fit the experiments run
+	// (EvaluateEdges, GlobalModel, Ablate, Fig13, TunedModels) to
+	// histogram-binned training with the given quantization level
+	// (gbt.Params.Bins). 0 — the default — keeps the exact presorted
+	// path, so no caller is opted in implicitly; the wanperf CLI sets
+	// 256, and the golden harness pins that the binned figures stay
+	// within the exact path's tolerances.
+	GBTBins int
 }
 
 // DefaultThreshold is the load threshold T of §4.3.2: only transfers with

@@ -47,7 +47,7 @@ func (p *Pipeline) TunedModels(edges []EdgeData, maxEdges int) ([]TunedRow, erro
 		train, test := ds.Split(TrainFraction, seed)
 
 		// Default configuration.
-		_, defAPEs, err := trainAndTest(ds, seed, p.Obs.Reg())
+		_, defAPEs, err := p.trainAndTest(ds, seed)
 		if err != nil {
 			return nil, err
 		}
@@ -57,7 +57,13 @@ func (p *Pipeline) TunedModels(edges []EdgeData, maxEdges int) ([]TunedRow, erro
 		}
 
 		// CV-tuned configuration, searched on the training split only.
-		model, res, err := tune.TrainBest(train, tune.DefaultGrid(), 3, seed)
+		// The pipeline's quantization knob applies to every candidate, so
+		// the whole grid shares one binned matrix (tune's binning cache).
+		grid := tune.DefaultGrid()
+		if p.GBTBins > 0 {
+			grid.Bins = []int{p.GBTBins}
+		}
+		model, res, err := tune.TrainBest(train, grid, 3, seed)
 		if err != nil {
 			return nil, err
 		}

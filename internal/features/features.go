@@ -47,16 +47,26 @@ type Vector struct {
 // Values returns the feature values in Names order; withFaults appends
 // Nflt (NamesWithFaults order).
 func (v *Vector) Values(withFaults bool) []float64 {
-	out := []float64{
-		v.Ksout, v.Kdin, v.C, v.P,
-		v.Ssout, v.Ssin, v.Sdout, v.Sdin,
-		v.Ksin, v.Kdout, v.Nd, v.Nb,
-		v.Gsrc, v.Gdst, v.Nf,
-	}
+	n := len(Names)
 	if withFaults {
-		out = append(out, v.Nflt)
+		n++
 	}
+	out := make([]float64, n)
+	v.fill(out, withFaults)
 	return out
+}
+
+// fill writes the feature values in Names order into dst, which must have
+// room for 15 values (16 with faults). Dataset assembly uses it to pack
+// every row into one preallocated block instead of allocating per row.
+func (v *Vector) fill(dst []float64, withFaults bool) {
+	dst[0], dst[1], dst[2], dst[3] = v.Ksout, v.Kdin, v.C, v.P
+	dst[4], dst[5], dst[6], dst[7] = v.Ssout, v.Ssin, v.Sdout, v.Sdin
+	dst[8], dst[9], dst[10], dst[11] = v.Ksin, v.Kdout, v.Nd, v.Nb
+	dst[12], dst[13], dst[14] = v.Gsrc, v.Gdst, v.Nf
+	if withFaults {
+		dst[15] = v.Nflt
+	}
 }
 
 // RelativeExternalLoad implements §3.2's definition: the greater of the
@@ -230,15 +240,22 @@ func instances(recs []logs.Record, list []int, rk *logs.Record, k int, maxDur fl
 // Dataset assembles a modeling dataset from the chosen vectors. When
 // withFaults is true the Nflt column is included (explanation models);
 // prediction models exclude it because faults are unknown in advance.
+// All rows are carved out of one preallocated block (full-capacity
+// subslices, so a row can never grow into its neighbour), which drops the
+// per-row allocation the experiment loops used to pay thousands of times.
 func Dataset(vecs []Vector, withFaults bool) (*dataset.Dataset, error) {
 	names := Names
 	if withFaults {
 		names = NamesWithFaults
 	}
+	w := len(names)
+	block := make([]float64, len(vecs)*w)
 	x := make([][]float64, len(vecs))
 	y := make([]float64, len(vecs))
 	for i := range vecs {
-		x[i] = vecs[i].Values(withFaults)
+		row := block[i*w : (i+1)*w : (i+1)*w]
+		vecs[i].fill(row, withFaults)
+		x[i] = row
 		y[i] = vecs[i].Rate
 	}
 	return dataset.New(append([]string(nil), names...), x, y)
@@ -276,15 +293,20 @@ func ComputeEndpointCaps(l *logs.Log, vecs []Vector) EndpointCaps {
 var GlobalNames = append(append([]string{}, Names...), "ROmaxSrc", "RImaxDst")
 
 // GlobalDataset assembles the §5.4 pooled dataset: every vector is extended
-// with its source endpoint's ROmax and destination endpoint's RImax.
+// with its source endpoint's ROmax and destination endpoint's RImax. Rows
+// share one preallocated block, like Dataset.
 func GlobalDataset(l *logs.Log, vecs []Vector, caps EndpointCaps) (*dataset.Dataset, error) {
+	w := len(GlobalNames)
+	block := make([]float64, len(vecs)*w)
 	x := make([][]float64, len(vecs))
 	y := make([]float64, len(vecs))
 	for i := range vecs {
 		v := &vecs[i]
 		r := &l.Records[v.RecordIdx]
-		row := v.Values(false)
-		row = append(row, caps.ROmax[r.Src], caps.RImax[r.Dst])
+		row := block[i*w : (i+1)*w : (i+1)*w]
+		v.fill(row, false)
+		row[w-2] = caps.ROmax[r.Src]
+		row[w-1] = caps.RImax[r.Dst]
 		x[i] = row
 		y[i] = v.Rate
 	}

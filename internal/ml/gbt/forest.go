@@ -1,0 +1,123 @@
+package gbt
+
+import (
+	"fmt"
+
+	"repro/internal/ml/dataset"
+	"repro/internal/pool"
+)
+
+// forest is the ensemble flattened into structure-of-arrays form for batch
+// inference: every tree's pre-order node array concatenated, with child
+// indices rebased to absolute positions. Splitting the node struct into
+// parallel slices keeps each traversal's working set to exactly the fields
+// it touches (feature/threshold/children on the way down, weight only at
+// the leaf), so PredictAll streams through memory instead of striding over
+// 40-byte node records.
+type forest struct {
+	feature []int32
+	thresh  []float64
+	weight  []float64
+	left    []int32
+	right   []int32
+	roots   []int32 // start of each tree in the flat arrays
+}
+
+// buildFlat constructs the model's SoA forest from its trees. Called once
+// at the end of training and loading; prediction paths treat it as
+// immutable, so a built model is safe for concurrent PredictAll calls.
+func (m *Model) buildFlat() {
+	var total int
+	for ti := range m.trees {
+		total += len(m.trees[ti].nodes)
+	}
+	f := &forest{
+		feature: make([]int32, 0, total),
+		thresh:  make([]float64, 0, total),
+		weight:  make([]float64, 0, total),
+		left:    make([]int32, 0, total),
+		right:   make([]int32, 0, total),
+		roots:   make([]int32, 0, len(m.trees)),
+	}
+	for ti := range m.trees {
+		base := int32(len(f.feature))
+		f.roots = append(f.roots, base)
+		for _, n := range m.trees[ti].nodes {
+			f.feature = append(f.feature, n.feature)
+			f.thresh = append(f.thresh, n.threshold)
+			f.weight = append(f.weight, n.weight)
+			if n.feature < 0 {
+				f.left = append(f.left, 0)
+				f.right = append(f.right, 0)
+			} else {
+				f.left = append(f.left, base+n.left)
+				f.right = append(f.right, base+n.right)
+			}
+		}
+	}
+	m.flat = f
+}
+
+// predictRange fills out[k] with base plus the ensemble output for each
+// row of xs. Trees accumulate in ensemble order — the identical
+// floating-point sequence the per-tree traversal used, so the flat path
+// is bit-identical to it.
+func (f *forest) predictRange(xs [][]float64, out []float64, base float64) {
+	feature, thresh := f.feature, f.thresh
+	left, right, weight := f.left, f.right, f.weight
+	for r, x := range xs {
+		s := base
+		for _, root := range f.roots {
+			i := root
+			for feature[i] >= 0 {
+				if x[feature[i]] <= thresh[i] {
+					i = left[i]
+				} else {
+					i = right[i]
+				}
+			}
+			s += weight[i]
+		}
+		out[r] = s
+	}
+}
+
+// predictBatch is the row granularity of the parallel fan-out: batches
+// are disjoint output ranges, so workers never share a cache line of out
+// for long, and per-batch scheduling overhead stays negligible.
+const predictBatch = 256
+
+// PredictAll returns predictions for every row of d. Rows are independent,
+// so batches run on the worker pool when the job is large enough to pay
+// for the fan-out; results are written into per-batch slots and are
+// identical to the serial traversal's.
+func (m *Model) PredictAll(d *dataset.Dataset) ([]float64, error) {
+	if len(m.trees) == 0 {
+		return nil, ErrNotTrained
+	}
+	if d.NumFeatures() != len(m.Names) {
+		return nil, fmt.Errorf("gbt: dataset has %d features, want %d", d.NumFeatures(), len(m.Names))
+	}
+	if m.flat == nil {
+		m.buildFlat()
+	}
+	out := make([]float64, d.Len())
+	workers := m.params.Workers
+	if workers <= 0 {
+		workers = pool.Workers()
+	}
+	batches := (d.Len() + predictBatch - 1) / predictBatch
+	if workers > 1 && batches > 1 {
+		pool.Do(batches, workers, func(bi int) {
+			lo := bi * predictBatch
+			hi := lo + predictBatch
+			if hi > d.Len() {
+				hi = d.Len()
+			}
+			m.flat.predictRange(d.X[lo:hi], out[lo:hi], m.Base)
+		})
+	} else {
+		m.flat.predictRange(d.X, out, m.Base)
+	}
+	return out, nil
+}

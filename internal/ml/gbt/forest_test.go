@@ -1,0 +1,80 @@
+package gbt
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPredictAllMatchesPredict pins the flat-forest batch path to the
+// per-row traversal: the SoA layout accumulates trees in ensemble order,
+// so the two must agree bit for bit on every row.
+func TestPredictAllMatchesPredict(t *testing.T) {
+	d := makeDataset(t, 1000, 51, func(x []float64) float64 {
+		return x[0]*x[1]/4 + math.Sin(x[2])
+	}, 0.2, 3)
+	for _, bins := range []int{0, 256} {
+		p := DefaultParams()
+		p.Bins = bins
+		m, err := Train(d, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch, err := m.PredictAll(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, row := range d.X {
+			want, err := m.Predict(row)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if batch[i] != want {
+				t.Fatalf("bins=%d row %d: PredictAll %v != Predict %v", bins, i, batch[i], want)
+			}
+		}
+	}
+}
+
+// TestPredictAllWorkerInvariance checks the batch fan-out writes disjoint
+// ranges: any worker count produces the identical output slice.
+func TestPredictAllWorkerInvariance(t *testing.T) {
+	d := makeDataset(t, 1500, 52, func(x []float64) float64 { return 2*x[0] - x[1] }, 0.1, 2)
+	p := DefaultParams()
+	p.Workers = 1
+	m, err := Train(d, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := m.PredictAll(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		m.params.Workers = workers
+		got, err := m.PredictAll(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d row %d: %v != %v", workers, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestPredictAllErrors(t *testing.T) {
+	var m Model
+	d := makeDataset(t, 10, 53, func(x []float64) float64 { return x[0] }, 0, 2)
+	if _, err := m.PredictAll(d); err == nil {
+		t.Error("untrained model must refuse PredictAll")
+	}
+	tm, err := Train(d, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow := makeDataset(t, 5, 54, func(x []float64) float64 { return x[0] }, 0, 1)
+	if _, err := tm.PredictAll(narrow); err == nil {
+		t.Error("feature-count mismatch must error")
+	}
+}

@@ -1,0 +1,467 @@
+package gbt
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/ml/dataset"
+	"repro/internal/obs"
+	"repro/internal/pool"
+)
+
+// Histogram-binned training: the quantized split search real XGBoost-class
+// systems use. Each feature column is mapped once onto at most Params.Bins
+// integer codes (dataset.Bin); tree growth then accumulates one
+// gradient/hessian histogram per feature per node and searches splits over
+// bin boundaries instead of sorted rows. Three properties make it fast:
+//
+//   - split search per node costs O(features · bins), independent of the
+//     node's row count;
+//   - only the smaller child of a split ever has its histogram built by
+//     scanning rows — the larger child's is the parent's minus the smaller
+//     child's, bin by bin (the subtraction trick), so each level of a tree
+//     scans at most half the parent's rows;
+//   - the binned matrix is immutable and row-subsettable, so CV folds and
+//     hyperparameter-grid points share one quantization (see tune.Search).
+//
+// The path is deterministic — row subsampling is seeded, histograms are
+// accumulated feature-serially in row order, and the winning split is
+// reduced in ascending feature order with a strictly-greater rule — so the
+// same inputs always yield the same model regardless of worker count. It
+// is NOT bit-identical to the exact presorted path (Bins = 0): quantile
+// cuts coarsen candidate thresholds and the accumulation order differs, so
+// the two paths are related by the tolerance contract pinned in
+// hist_test.go, not by equality.
+
+// TrainBinned fits a boosted ensemble on the rows of bd listed in view
+// (nil = every row) with parameters p. The binned matrix is read-only and
+// may be shared concurrently by many TrainBinned calls; subsetting by row
+// index never re-bins, which is what makes the shared binning cache in
+// package tune multiplicative across folds and grid points.
+func TrainBinned(bd *dataset.Binned, view []int, p Params) (*Model, error) {
+	if bd.Len() == 0 {
+		return nil, dataset.ErrEmpty
+	}
+	if bd.NumFeatures() == 0 {
+		return nil, fmt.Errorf("gbt: no features")
+	}
+	codes, y := bd.Codes, bd.Y
+	if view != nil {
+		if len(view) == 0 {
+			return nil, dataset.ErrEmpty
+		}
+		// Dense per-view copy: byte-sized codes make this a cheap slice
+		// copy, and every downstream index is then a contiguous position.
+		codes = make([][]uint8, bd.NumFeatures())
+		for f := range codes {
+			col := make([]uint8, len(view))
+			src := bd.Codes[f]
+			for k, i := range view {
+				col[k] = src[i]
+			}
+			codes[f] = col
+		}
+		y = make([]float64, len(view))
+		for k, i := range view {
+			y[k] = bd.Y[i]
+		}
+	}
+	return trainHist(bd, codes, y, p)
+}
+
+// trainHist is the histogram-path boosting loop: the same round structure
+// as the exact path, with tree construction delegated to histBuilder and
+// per-round prediction updates routed through the bin codes (code-space
+// and raw-space traversal agree exactly; see dataset.Binned).
+func trainHist(bd *dataset.Binned, codes [][]uint8, y []float64, p Params) (*Model, error) {
+	n := len(y)
+	p.fillDefaults()
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	base := 0.0
+	for _, v := range y {
+		base += v
+	}
+	base /= float64(n)
+
+	pred := make([]float64, n)
+	for i := range pred {
+		pred[i] = base
+	}
+
+	m := &Model{
+		Base:   base,
+		Names:  append([]string(nil), bd.Names...),
+		params: p,
+		bins:   binsOf(bd),
+		cuts:   bd.Cuts,
+	}
+	grad := make([]float64, n)
+	hess := make([]float64, n)
+
+	hb := newHistBuilder(bd, codes, p)
+
+	var allRows, allCols []int
+	if p.SubsampleRows >= 1 {
+		allRows = identity(n)
+	}
+	if p.SubsampleCols >= 1 {
+		allCols = identity(bd.NumFeatures())
+	}
+
+	measure := p.Metrics != nil
+	treesBuilt := p.Metrics.Counter("gbt.trees_built")
+	splitNS := p.Metrics.Counter("gbt.split_search_ns")
+	treeMS := p.Metrics.Histogram("gbt.tree_build_ms", obs.ExpBuckets(0.25, 2, 14))
+
+	m.trees = make([]tree, 0, p.Rounds)
+	for round := 0; round < p.Rounds; round++ {
+		for i := range grad {
+			grad[i] = pred[i] - y[i] // squared loss gradient
+			hess[i] = 1
+		}
+		rows := allRows
+		if rows == nil {
+			rows = sampleRows(n, p.SubsampleRows, rng)
+		}
+		cols := allCols
+		if cols == nil {
+			cols = sampleCols(bd.NumFeatures(), p.SubsampleCols, rng)
+		}
+		var t0 time.Time
+		if measure {
+			t0 = time.Now()
+		}
+		t := hb.build(rows, cols, grad, hess)
+		if measure {
+			treeMS.Observe(float64(time.Since(t0)) / float64(time.Millisecond))
+			treesBuilt.Inc()
+		}
+		m.trees = append(m.trees, t)
+		// Out-of-sample rows need predictions too, so the update walks
+		// every row — in code space, which needs no raw feature matrix.
+		for i := 0; i < n; i++ {
+			pred[i] += hb.predictCodes(t.nodes, i)
+		}
+	}
+	if measure {
+		splitNS.Add(hb.splitNS)
+	}
+	m.buildFlat()
+	return m, nil
+}
+
+// binsOf recovers the quantization level of a binned matrix: the widest
+// per-feature bin count (what Serialize records as the model's Bins).
+func binsOf(bd *dataset.Binned) int {
+	max := 1
+	for f := 0; f < bd.NumFeatures(); f++ {
+		if nb := bd.NumBins(f); nb > max {
+			max = nb
+		}
+	}
+	return max
+}
+
+// histBuilder holds the per-training-run state of histogram tree growth.
+// Histograms are interleaved (g, h) pairs in one flat buffer covering
+// every feature's bins at per-feature offsets; buffers are pooled, and at
+// most depth+1 are ever live (root plus one small child per level).
+type histBuilder struct {
+	codes   [][]uint8 // column-major bin codes, dense positions 0..n-1
+	cuts    [][]float64
+	los     [][]float64 // per feature: each bin's smallest occupied value
+	his     [][]float64 // per feature: each bin's largest occupied value
+	nbins   []int
+	offsets []int // per-feature bin offset into the flat histogram
+	histLen int   // total bins across all features
+	p       Params
+	n       int
+
+	rows     []int32     // working row array, partitioned in place per node
+	scratch  []int32     // stable-partition spill for the right child
+	histPool [][]float64 // free histogram buffers, each 2·histLen floats
+	splitBin []uint8     // per emitted node: the split's bin (training only)
+
+	measure bool
+	splitNS int64
+}
+
+func newHistBuilder(bd *dataset.Binned, codes [][]uint8, p Params) *histBuilder {
+	nf := bd.NumFeatures()
+	hb := &histBuilder{
+		codes:   codes,
+		cuts:    bd.Cuts,
+		los:     bd.Lo,
+		his:     bd.Hi,
+		nbins:   make([]int, nf),
+		offsets: make([]int, nf),
+		p:       p,
+		n:       len(codes[0]),
+		measure: p.Metrics != nil,
+	}
+	for f := 0; f < nf; f++ {
+		hb.offsets[f] = hb.histLen
+		hb.nbins[f] = bd.NumBins(f)
+		hb.histLen += hb.nbins[f]
+	}
+	hb.rows = make([]int32, hb.n)
+	hb.scratch = make([]int32, 0, hb.n)
+	return hb
+}
+
+func (hb *histBuilder) getHist() []float64 {
+	if k := len(hb.histPool); k > 0 {
+		h := hb.histPool[k-1]
+		hb.histPool = hb.histPool[:k-1]
+		return h
+	}
+	return make([]float64, 2*hb.histLen)
+}
+
+func (hb *histBuilder) putHist(h []float64) { hb.histPool = append(hb.histPool, h) }
+
+// build grows one tree on the given row subset using only the given
+// columns. rows come in ascending; the in-place partitions are stable, so
+// every node's rows stay ascending and histogram accumulation order is a
+// deterministic function of the split structure alone.
+func (hb *histBuilder) build(rows, cols []int, grad, hess []float64) tree {
+	w := &flatWriter{}
+	hb.splitBin = hb.splitBin[:0]
+	work := hb.rows[:0]
+	for _, i := range rows {
+		work = append(work, int32(i))
+	}
+	root := hb.getHist()
+	hb.buildHist(work, cols, root, grad, hess)
+	hb.grow(w, work, cols, root, grad, hess, 0)
+	hb.putHist(root)
+	return tree{nodes: w.nodes}
+}
+
+// leaf emits a leaf keeping splitBin aligned with the writer's node array.
+func (hb *histBuilder) leaf(w *flatWriter, gSum, hSum float64) int32 {
+	idx := w.leaf(-gSum / (hSum + hb.p.Lambda) * hb.p.LearningRate)
+	hb.splitBin = append(hb.splitBin, 0)
+	return idx
+}
+
+// grow emits the subtree over rows (whose histogram is hist, owned by the
+// caller) and returns its pre-order node index.
+func (hb *histBuilder) grow(w *flatWriter, rows []int32, cols []int, hist []float64, grad, hess []float64, depth int) int32 {
+	var gSum, hSum float64
+	for _, i := range rows {
+		gSum += grad[i]
+		hSum += hess[i]
+	}
+	if depth >= hb.p.MaxDepth || len(rows) < 2 {
+		return hb.leaf(w, gSum, hSum)
+	}
+
+	parentScore := gSum * gSum / (hSum + hb.p.Lambda)
+	var t0 time.Time
+	if hb.measure {
+		t0 = time.Now()
+	}
+	bestGain := 0.0
+	bestFeat := -1
+	bestBin := 0
+	for _, f := range cols {
+		c := hb.scanBins(hist, f, gSum, hSum, parentScore)
+		if c.ok && c.gain > bestGain {
+			bestGain, bestFeat, bestBin = c.gain, f, c.bin
+		}
+	}
+	if hb.measure {
+		hb.splitNS += int64(time.Since(t0))
+	}
+	if bestFeat < 0 {
+		return hb.leaf(w, gSum, hSum)
+	}
+	thresh, splitBin := hb.threshold(hist, bestFeat, bestBin)
+
+	// Stable in-place partition on the winning bin boundary: left rows
+	// compact to the front, right rows spill to scratch and copy back.
+	code := hb.codes[bestFeat]
+	bin := uint8(bestBin)
+	sc := hb.scratch[:0]
+	nl := 0
+	for _, i := range rows {
+		if code[i] <= bin {
+			rows[nl] = i
+			nl++
+		} else {
+			sc = append(sc, i)
+		}
+	}
+	if nl == 0 || nl == len(rows) {
+		return hb.leaf(w, gSum, hSum)
+	}
+	copy(rows[nl:], sc)
+	left, right := rows[:nl], rows[nl:]
+
+	// Subtraction trick: scan only the smaller child; the larger child's
+	// histogram is parent − smaller, computed in place into the parent's
+	// buffer (the parent histogram is dead once its children exist).
+	small := left
+	if len(right) < len(left) {
+		small = right
+	}
+	smallHist := hb.getHist()
+	hb.buildHist(small, cols, smallHist, grad, hess)
+	hb.subtract(hist, smallHist, cols)
+
+	leftHist, rightHist := smallHist, hist
+	if len(right) < len(left) {
+		leftHist, rightHist = hist, smallHist
+	}
+
+	idx := w.reserve()
+	hb.splitBin = append(hb.splitBin, uint8(splitBin))
+	leftIdx := hb.grow(w, left, cols, leftHist, grad, hess, depth+1)
+	rightIdx := hb.grow(w, right, cols, rightHist, grad, hess, depth+1)
+	hb.putHist(smallHist)
+	w.nodes[idx] = node{
+		feature:   int32(bestFeat),
+		threshold: thresh,
+		gain:      bestGain,
+		left:      leftIdx,
+		right:     rightIdx,
+	}
+	return idx
+}
+
+// threshold converts the winning bin boundary into a raw-space threshold
+// and the code-space split bin the traversals use.
+//
+// The exact presorted search stores the midpoint between the two values
+// adjacent to its cut; reproducing that here matters because a bin
+// boundary sits at the far-left edge of whatever value gap the node's
+// split straddles, and a test row falling inside the gap would otherwise
+// be routed differently by the two paths. The node's neighbouring values
+// are bracketed by the occupied ranges of bin (its last non-empty left
+// bin — empty bins never win the scan) and of the first non-empty bin to
+// its right, so the midpoint of Hi[bin] and Lo[right] is the exact rule
+// up to bin resolution — and bit-identical to it when every bin holds one
+// distinct value. The split bin is then re-snapped to the last bin whose
+// occupied range lies at or below the threshold, which keeps code-space
+// and raw-space traversal in agreement for every training row, including
+// rows of OTHER nodes whose values land inside this node's gap.
+func (hb *histBuilder) threshold(hist []float64, f, bin int) (float64, int) {
+	off := 2 * hb.offsets[f]
+	right := bin + 1
+	for hist[off+2*right+1] == 0 { // hessians are integer sums: exact zeros
+		right++
+	}
+	lo, hi := hb.los[f], hb.his[f]
+	ideal := (hi[bin] + lo[right]) / 2
+	m := sort.SearchFloat64s(lo, ideal)
+	if m == len(lo) || lo[m] != ideal {
+		m--
+	}
+	t := ideal
+	if t < hi[m] {
+		t = hi[m]
+	}
+	return t, m
+}
+
+// buildHist accumulates the (gradient, hessian) histogram of rows for the
+// given columns. Each feature's region is zeroed and filled independently
+// — regions are disjoint, so the feature fan-out is race-free and the
+// per-feature accumulation order (ascending row position) is identical
+// serial or parallel.
+func (hb *histBuilder) buildHist(rows []int32, cols []int, hist []float64, grad, hess []float64) {
+	fill := func(ci int) {
+		f := cols[ci]
+		off := 2 * hb.offsets[f]
+		region := hist[off : off+2*hb.nbins[f]]
+		for b := range region {
+			region[b] = 0
+		}
+		code := hb.codes[f]
+		for _, i := range rows {
+			k := 2 * int(code[i])
+			region[k] += grad[i]
+			region[k+1] += hess[i]
+		}
+	}
+	// The fan-out only pays off when the node is large; small nodes run
+	// serially. Either way each feature is accumulated identically.
+	if hb.p.Workers > 1 && len(cols) > 1 && len(rows)*len(cols) >= 8192 {
+		pool.Do(len(cols), hb.p.Workers, fill)
+	} else {
+		for ci := range cols {
+			fill(ci)
+		}
+	}
+}
+
+// subtract computes parent−small in place into parent for the given
+// columns' regions. Hessian entries are sums of ones, hence exact
+// integers, so the derived child's row counts are exact too.
+func (hb *histBuilder) subtract(parent, small []float64, cols []int) {
+	for _, f := range cols {
+		off := 2 * hb.offsets[f]
+		end := off + 2*hb.nbins[f]
+		p, s := parent[off:end], small[off:end]
+		for b := range p {
+			p[b] -= s[b]
+		}
+	}
+}
+
+// histSplit is the best split one feature's histogram offers.
+type histSplit struct {
+	gain float64
+	bin  int
+	ok   bool
+}
+
+// scanBins sweeps one feature's bins left to right, accumulating the
+// left-child sums, and returns the maximal-gain boundary (earliest bin on
+// equal gain, strictly-greater updates — mirroring the exact path's rule).
+func (hb *histBuilder) scanBins(hist []float64, f int, gSum, hSum, parentScore float64) histSplit {
+	lambda, gamma, minChild := hb.p.Lambda, hb.p.Gamma, hb.p.MinChildWeight
+	off := 2 * hb.offsets[f]
+	nb := hb.nbins[f]
+	var c histSplit
+	var gl, hl float64
+	for b := 0; b < nb-1; b++ {
+		gl += hist[off+2*b]
+		hl += hist[off+2*b+1]
+		gr := gSum - gl
+		hr := hSum - hl
+		if hl < minChild || hr < minChild {
+			continue
+		}
+		gain := 0.5*(gl*gl/(hl+lambda)+gr*gr/(hr+lambda)-parentScore) - gamma
+		if gain > c.gain {
+			c.gain = gain
+			c.bin = b
+			c.ok = true
+		}
+	}
+	return c
+}
+
+// predictCodes evaluates one tree on row position pos entirely in code
+// space, using the per-node split bins recorded during growth. Because
+// code(v) <= bin ⇔ v <= threshold, this agrees exactly with raw-space
+// traversal for every training row.
+func (hb *histBuilder) predictCodes(nodes []node, pos int) float64 {
+	i := int32(0)
+	for {
+		nd := &nodes[i]
+		if nd.feature < 0 {
+			return nd.weight
+		}
+		if hb.codes[nd.feature][pos] <= hb.splitBin[i] {
+			i = nd.left
+		} else {
+			i = nd.right
+		}
+	}
+}

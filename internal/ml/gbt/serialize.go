@@ -24,11 +24,16 @@ type jsonNode struct {
 	Right     int     `json:"r"`
 }
 
-// jsonModel is the serialized ensemble.
+// jsonModel is the serialized ensemble. Bins and Cuts record histogram
+// training provenance (Params.Bins and the per-feature quantile cut
+// points); both are absent for exact-trained models, so payloads written
+// before histogram training existed load unchanged.
 type jsonModel struct {
 	Version int          `json:"version"`
 	Base    float64      `json:"base"`
 	Names   []string     `json:"names"`
+	Bins    int          `json:"bins,omitempty"`
+	Cuts    [][]float64  `json:"cuts,omitempty"`
 	Trees   [][]jsonNode `json:"trees"`
 }
 
@@ -43,7 +48,13 @@ func (m *Model) Save(w io.Writer) error {
 	if len(m.trees) == 0 {
 		return ErrNotTrained
 	}
-	jm := jsonModel{Version: serializationVersion, Base: m.Base, Names: m.Names}
+	jm := jsonModel{
+		Version: serializationVersion,
+		Base:    m.Base,
+		Names:   m.Names,
+		Bins:    m.bins,
+		Cuts:    m.cuts,
+	}
 	for ti := range m.trees {
 		nodes := m.trees[ti].nodes
 		flat := make([]jsonNode, len(nodes))
@@ -77,7 +88,13 @@ func Load(r io.Reader) (*Model, error) {
 	if len(jm.Names) == 0 || len(jm.Trees) == 0 {
 		return nil, fmt.Errorf("%w: empty model", ErrBadModel)
 	}
-	m := &Model{Base: jm.Base, Names: jm.Names}
+	if jm.Bins < 0 || jm.Bins > 256 {
+		return nil, fmt.Errorf("%w: bins %d out of range", ErrBadModel, jm.Bins)
+	}
+	if jm.Cuts != nil && len(jm.Cuts) != len(jm.Names) {
+		return nil, fmt.Errorf("%w: %d cut-point columns for %d features", ErrBadModel, len(jm.Cuts), len(jm.Names))
+	}
+	m := &Model{Base: jm.Base, Names: jm.Names, bins: jm.Bins, cuts: jm.Cuts}
 	for ti, flat := range jm.Trees {
 		t, err := unflatten(flat, len(jm.Names))
 		if err != nil {
@@ -85,6 +102,7 @@ func Load(r io.Reader) (*Model, error) {
 		}
 		m.trees = append(m.trees, t)
 	}
+	m.buildFlat()
 	return m, nil
 }
 

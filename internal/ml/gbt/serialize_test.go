@@ -61,6 +61,69 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSaveLoadBinnedRoundTrip checks histogram-trained models persist
+// their provenance: Bins and the per-feature cut points survive the trip,
+// and the reloaded forest predicts identically.
+func TestSaveLoadBinnedRoundTrip(t *testing.T) {
+	d := makeDataset(t, 300, 22, func(x []float64) float64 {
+		return x[0]*x[1] + x[2]
+	}, 0.1, 3)
+	p := DefaultParams()
+	p.Bins = 64
+	m, err := Train(d, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Bins() != m.Bins() {
+		t.Errorf("Bins %d after round trip, want %d", back.Bins(), m.Bins())
+	}
+	if len(back.cuts) != len(m.cuts) {
+		t.Fatalf("cut columns %d after round trip, want %d", len(back.cuts), len(m.cuts))
+	}
+	for f := range m.cuts {
+		if len(back.cuts[f]) != len(m.cuts[f]) {
+			t.Fatalf("feature %d: %d cuts after round trip, want %d", f, len(back.cuts[f]), len(m.cuts[f]))
+		}
+		for i := range m.cuts[f] {
+			if back.cuts[f][i] != m.cuts[f][i] {
+				t.Fatalf("feature %d cut %d differs: %v vs %v", f, i, back.cuts[f][i], m.cuts[f][i])
+			}
+		}
+	}
+	for _, row := range d.X {
+		want, _ := m.Predict(row)
+		got, err := back.Predict(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("prediction differs after round trip: %g vs %g", got, want)
+		}
+	}
+}
+
+// TestLoadRejectsBadBins checks the new provenance fields are validated.
+func TestLoadRejectsBadBins(t *testing.T) {
+	cases := []string{
+		`{"version": 1, "base": 1, "names": ["a"], "bins": -1, "trees": [[{"f": -1, "l": -1, "r": -1}]]}`,
+		`{"version": 1, "base": 1, "names": ["a"], "bins": 300, "trees": [[{"f": -1, "l": -1, "r": -1}]]}`,
+		`{"version": 1, "base": 1, "names": ["a"], "cuts": [[1],[2]], "trees": [[{"f": -1, "l": -1, "r": -1}]]}`,
+	}
+	for i, c := range cases {
+		if _, err := Load(strings.NewReader(c)); !errors.Is(err, ErrBadModel) {
+			t.Errorf("case %d: got %v, want ErrBadModel", i, err)
+		}
+	}
+}
+
 func TestSaveUntrained(t *testing.T) {
 	var m Model
 	if err := m.Save(&bytes.Buffer{}); !errors.Is(err, ErrNotTrained) {

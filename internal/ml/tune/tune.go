@@ -21,6 +21,13 @@ var ErrTooFewSamples = errors.New("tune: too few samples for k-fold CV")
 
 // Grid is the hyperparameter search space: the cross product of the
 // listed values. Empty slices fall back to the default parameter value.
+//
+// Bins selects the gbt split-search algorithm per candidate (0 = exact
+// presorted, 2..256 = histogram-binned). It is usually a single value, not
+// a searched dimension: all candidates with the same Bins share one
+// dataset.Binned quantization of the full dataset, built once and
+// row-subset per CV fold, so the binning cost is paid once for the entire
+// folds × grid-points search.
 type Grid struct {
 	Rounds         []int
 	MaxDepth       []int
@@ -28,6 +35,7 @@ type Grid struct {
 	Lambda         []float64
 	SubsampleRows  []float64
 	MinChildWeight []float64
+	Bins           []int
 }
 
 // DefaultGrid is a compact space that covers the regimes that matter for
@@ -63,14 +71,17 @@ func (g Grid) expand() []gbt.Params {
 				for _, lam := range orDefaultF(g.Lambda, base.Lambda) {
 					for _, sub := range orDefaultF(g.SubsampleRows, base.SubsampleRows) {
 						for _, mcw := range orDefaultF(g.MinChildWeight, base.MinChildWeight) {
-							p := base
-							p.Rounds = rounds
-							p.MaxDepth = depth
-							p.LearningRate = lr
-							p.Lambda = lam
-							p.SubsampleRows = sub
-							p.MinChildWeight = mcw
-							out = append(out, p)
+							for _, bins := range orDefaultI(g.Bins, base.Bins) {
+								p := base
+								p.Rounds = rounds
+								p.MaxDepth = depth
+								p.LearningRate = lr
+								p.Lambda = lam
+								p.SubsampleRows = sub
+								p.MinChildWeight = mcw
+								p.Bins = bins
+								out = append(out, p)
+							}
 						}
 					}
 				}
@@ -111,10 +122,18 @@ func Search(d *dataset.Dataset, g Grid, folds int, seed int64) (Result, error) {
 		return res, errors.New("tune: empty grid")
 	}
 
+	// Shared binning cache: one dataset.Binned per distinct quantization
+	// level, built lazily from the full dataset and reused — by row-index
+	// subsetting, never re-binning — across every fold of every candidate.
+	cache := binCache{d: d}
 	res.BestScore = math.Inf(1)
 	for _, params := range candidates {
 		params.Seed = seed
-		score, err := crossValidate(splits, params)
+		bd, err := cache.get(params.Bins)
+		if err != nil {
+			return res, err
+		}
+		score, err := crossValidate(splits, params, bd)
 		if err != nil {
 			return res, err
 		}
@@ -127,9 +146,39 @@ func Search(d *dataset.Dataset, g Grid, folds int, seed int64) (Result, error) {
 	return res, nil
 }
 
-// fold is one train/validation split.
+// binCache memoizes dataset.Bin per quantization level for one search.
+type binCache struct {
+	d      *dataset.Dataset
+	binned map[int]*dataset.Binned
+}
+
+// get returns the shared binned matrix for the given level (nil for the
+// exact path), building it on first use.
+func (c *binCache) get(bins int) (*dataset.Binned, error) {
+	if bins <= 0 {
+		return nil, nil
+	}
+	if bd, ok := c.binned[bins]; ok {
+		return bd, nil
+	}
+	bd, err := dataset.Bin(c.d, bins)
+	if err != nil {
+		return nil, err
+	}
+	if c.binned == nil {
+		c.binned = map[int]*dataset.Binned{}
+	}
+	c.binned[bins] = bd
+	return bd, nil
+}
+
+// fold is one train/validation split. The materialized datasets drive the
+// exact path and validation scoring; trainIdx carries the same training
+// rows as indices into the full dataset, which is all the binned path
+// needs to train against a shared dataset.Binned without copying rows.
 type fold struct {
 	train, valid *dataset.Dataset
+	trainIdx     []int
 }
 
 // kfold deterministically partitions d into k folds.
@@ -150,7 +199,11 @@ func kfold(d *dataset.Dataset, k int, seed int64) []fold {
 				trainIdx = append(trainIdx, p)
 			}
 		}
-		folds = append(folds, fold{train: d.Subset(trainIdx), valid: d.Subset(validIdx)})
+		folds = append(folds, fold{
+			train:    d.Subset(trainIdx),
+			valid:    d.Subset(validIdx),
+			trainIdx: trainIdx,
+		})
 	}
 	return folds
 }
@@ -178,11 +231,20 @@ func permutation(n int, seed int64) []int {
 	return out
 }
 
-// crossValidate returns the mean validation MdAPE over the folds.
-func crossValidate(folds []fold, params gbt.Params) (float64, error) {
+// crossValidate returns the mean validation MdAPE over the folds. With a
+// shared binned matrix (bd non-nil) training subsets it by the fold's row
+// indices; validation always scores against the raw feature rows, which
+// the binned trees evaluate exactly (thresholds are raw-space cut points).
+func crossValidate(folds []fold, params gbt.Params, bd *dataset.Binned) (float64, error) {
 	var sum float64
 	for _, f := range folds {
-		m, err := gbt.Train(f.train, params)
+		var m *gbt.Model
+		var err error
+		if bd != nil {
+			m, err = gbt.TrainBinned(bd, f.trainIdx, params)
+		} else {
+			m, err = gbt.Train(f.train, params)
+		}
 		if err != nil {
 			return 0, err
 		}

@@ -163,6 +163,76 @@ func TestTrainBestUsableModel(t *testing.T) {
 	}
 }
 
+// TestSharedBinningCacheBitIdentical pins the shared-cache contract: a
+// search whose candidates reuse one dataset.Binned (built once from the
+// full dataset, row-subset per fold) must score every candidate exactly
+// as if each fold of each grid point had re-binned from scratch.
+func TestSharedBinningCacheBitIdentical(t *testing.T) {
+	d := makeData(t, 240, 8)
+	g := Grid{Rounds: []int{40, 80}, MaxDepth: []int{3, 4}, Bins: []int{64}}
+	const folds, seed = 3, 21
+
+	res, err := Search(d, g, folds, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: the same folds and candidates, but a fresh Bin call per
+	// (candidate, fold) pair — the quadratic-cost layout the cache avoids.
+	splits := kfold(d, folds, seed)
+	for ci, cand := range g.expand() {
+		cand.Seed = seed
+		var sum float64
+		for _, f := range splits {
+			bd, err := dataset.Bin(d, cand.Bins)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := gbt.TrainBinned(bd, f.trainIdx, cand)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pred, err := m.PredictAll(f.valid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			md, err := stats.MdAPE(f.valid.Y, pred)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += md
+		}
+		want := sum / folds
+		if got := res.Scores[ci].MdAPE; got != want {
+			t.Errorf("candidate %d: cached score %v != per-point binning %v", ci, got, want)
+		}
+	}
+}
+
+// TestTrainBestBinnedGrid checks a Bins-constrained grid flows through to
+// the final full-dataset fit: the returned model is histogram-trained.
+func TestTrainBestBinnedGrid(t *testing.T) {
+	d := makeData(t, 200, 9)
+	g := Grid{Rounds: []int{60}, MaxDepth: []int{3, 4}, Bins: []int{128}}
+	m, res, err := TrainBest(d, g, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Bins != 128 {
+		t.Errorf("winning candidate Bins = %d, want 128", res.Best.Bins)
+	}
+	if m.Bins() == 0 {
+		t.Error("TrainBest final fit did not use histogram training")
+	}
+	pred, err := m.PredictAll(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if md, _ := stats.MdAPE(d.Y, pred); md > res.BestScore*2 {
+		t.Errorf("binned full fit MdAPE %.2f far above CV score %.2f", md, res.BestScore)
+	}
+}
+
 func TestTunedAtLeastCloseToDefault(t *testing.T) {
 	// On held-out data, the tuned model should be at least comparable to
 	// the default configuration (allow a small margin for CV noise).

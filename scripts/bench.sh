@@ -27,7 +27,7 @@ if [ -z "$label" ]; then
     fi
 fi
 
-pattern="${BENCH_PATTERN:-GBTTrain|Fig11Headline|FeatureEngineering|LinregFit|SimulateSmall|Predict\$|MIC|EngineRun}"
+pattern="${BENCH_PATTERN:-GBTTrain|GBTTrainHist|Fig11Headline|FeatureEngineering|LinregFit|SimulateSmall|Predict\$|PredictAll|MIC|EngineRun}"
 count="${BENCH_COUNT:-5}"
 benchtime="${BENCH_TIME:-1x}"
 
