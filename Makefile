@@ -2,7 +2,7 @@ GO ?= go
 
 EXAMPLES := $(wildcard examples/*)
 
-.PHONY: check build vet test race fuzz bench examples coverage
+.PHONY: check build vet test race fuzz bench examples coverage serve serve-smoke loadtest
 
 # The full gate: what CI (and a careful human) runs before merging.
 check: build vet test race examples
@@ -27,13 +27,34 @@ bench:
 
 # Short fuzz passes: the CSV ingestion round-trip properties, the
 # world-spec parser (malformed JSON / non-finite numbers must error,
-# never panic), and the engine-schedule differential fuzzer (optimized
+# never panic), the engine-schedule differential fuzzer (optimized
 # event core must stay byte-identical to the reference core under
-# adversarial deadline ties).
+# adversarial deadline ties), and the serve daemon's request decoder
+# (malformed bodies must 400, never panic).
 fuzz:
 	$(GO) test ./internal/logs -run '^$$' -fuzz FuzzReadCSV -fuzztime 30s
 	$(GO) test ./internal/simulate -run '^$$' -fuzz FuzzParseWorld -fuzztime 30s
 	$(GO) test ./internal/simulate -run '^$$' -fuzz FuzzEngineSchedules -fuzztime 30s
+	$(GO) test ./internal/serve -run '^$$' -fuzz FuzzPredictRequest -fuzztime 30s
+
+# Train a serving registry on the small workload and run the prediction
+# daemon on it (foreground; SIGHUP reloads, SIGTERM drains). Override
+# SERVE_ADDR / SERVE_REGISTRY to taste.
+SERVE_ADDR ?= 127.0.0.1:8723
+SERVE_REGISTRY ?= /tmp/wanperf-registry.json
+serve:
+	$(GO) run ./cmd/wanperf registry -small -out $(SERVE_REGISTRY)
+	$(GO) run ./cmd/wanperf serve -registry $(SERVE_REGISTRY) -addr $(SERVE_ADDR)
+
+# End-to-end daemon lifecycle smoke: build, train, boot, predict, reject
+# a corrupt reload, hot-reload on SIGHUP, drain on SIGTERM.
+serve-smoke:
+	./scripts/serve-smoke.sh
+
+# Concurrent load generation with latency percentiles against a running
+# daemon (start one with `make serve`).
+loadtest:
+	./scripts/loadtest.sh
 
 # Vet and compile every example program. They are plain main packages, so
 # `go build ./...` already type-checks them; this target keeps them honest

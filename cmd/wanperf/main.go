@@ -1,47 +1,41 @@
 // Command wanperf drives the reproduction of "Explaining Wide Area Data
 // Transfer Performance" (HPDC'17): it simulates a Globus-like transfer
-// fabric, engineers the paper's features, trains the models, and
-// regenerates every table and figure of the evaluation.
+// fabric, engineers the paper's features, trains the models, regenerates
+// every table and figure of the evaluation, and serves trained models as
+// a long-running prediction daemon.
 //
 // Usage:
 //
 //	wanperf <command> [flags]
 //
-// Commands:
-//
-//	simulate   generate a transfer log and write it as CSV
-//	edges      list the heavily used edges the study selects
-//	models     train per-edge linear and nonlinear models (Figs 10, 11)
-//	table1     ESnet-testbed subsystem measurements and the Eq. 1 min rule
-//	table3     edge great-circle length percentiles
-//	table4     edge type shares
-//	table5     Pearson CC vs MIC per feature on the busiest edges
-//	fig3       rate vs relative load on the controlled testbed
-//	fig4       aggregate rate vs concurrency with Weibull fits
-//	fig5       rate vs total size × average file size
-//	fig6       size vs distance scatter summary
-//	fig8       rate vs relative load on production edges
-//	fig9       linear-model coefficient map
-//	fig12      nonlinear-model importance map
-//	fig13      accuracy vs load threshold
-//	eq1        the §3.2 production-edge analytical study
-//	global     the single model for all edges (§5.4)
-//	lmt        the storage-monitoring experiment (§5.5.2)
-//	ablation   feature-group ablation study (which features carry accuracy)
-//	chaos      fault-intensity sweep: model accuracy vs injected disruption
-//	all        everything above, in paper order
+// Run `wanperf help` for the command table. Commands fall into three
+// groups: paper experiments (table1..fig13, eq1, global, lmt, models,
+// ablation, tuned, chaos, all), data tooling (simulate, edges, worldspec,
+// registry), and serving (serve — the production prediction daemon with
+// hot reload, backpressure, and graceful drain; see internal/serve).
 //
 // Flags (shared):
 //
 //	-seed N           RNG seed (default 42)
 //	-small            use the reduced workload (fast, for exploration)
-//	-out FILE         for simulate: CSV output path (default stdout)
+//	-out FILE         output path for simulate/worldspec/registry (default stdout)
 //	-intensities LIST for chaos: comma-separated fault intensities
 //	-gbt-bins N       histogram bins for boosted-tree training (default 256;
 //	                  0 = exact presorted split search)
 //	-metrics FILE     write engine/model/pool metrics as JSON
 //	-trace FILE       write hierarchical phase spans as JSON
 //	-pprof ADDR       serve net/http/pprof on ADDR (e.g. localhost:6060)
+//
+// Flags (serve):
+//
+//	-addr ADDR            listen address (default :8723)
+//	-registry FILE        registry file to serve (required; watched for changes)
+//	-queue N              admission-queue depth
+//	-batch N              max rows coalesced per inference batch
+//	-queue-timeout DUR    max queue wait before a request is shed
+//	-request-timeout DUR  server-side end-to-end deadline
+//	-drain-timeout DUR    hard deadline for SIGTERM drain
+//	-watch DUR            registry-file poll period (negative disables)
 //
 // With -metrics or -trace a human-readable run summary is also printed to
 // stderr at exit. Observability never perturbs results: instruments are
@@ -66,11 +60,13 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/pool"
+	"repro/internal/serve"
 	"repro/internal/simulate"
 )
 
@@ -79,7 +75,8 @@ var errUsage = errors.New("usage error")
 
 // main is the only place the process exits, so deferred cleanup anywhere
 // below it always runs; SIGINT/SIGTERM cancel ctx and the simulation
-// returns promptly instead of being killed mid-write.
+// returns promptly instead of being killed mid-write (for `serve`,
+// cancellation triggers the graceful drain).
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	code := realMain(ctx, os.Args[1:])
@@ -121,6 +118,140 @@ func realMain(ctx context.Context, args []string) int {
 	}
 	return 0
 }
+
+// ---- subcommand table ----
+
+// cmdContext carries everything a subcommand can use: the cancellation
+// context, the simulated pipeline (nil for commands that don't need one),
+// its study edges, and the parsed configuration.
+type cmdContext struct {
+	ctx   context.Context
+	pl    *core.Pipeline
+	edges []core.EdgeData
+	cfg   simulate.Config
+	opts  options
+	o     *obs.Obs
+}
+
+// cmdSpec is one subcommand: its usage summary, whether the dispatcher
+// must simulate a pipeline first, and the implementation.
+type cmdSpec struct {
+	summary  string
+	pipeline bool
+	run      func(c cmdContext) error
+}
+
+// commandOrder fixes the usage listing (paper order, then tooling, then
+// serving); commands holds the table itself. Every entry in one appears
+// in the other — TestCommandTable pins this.
+var commandOrder = []string{
+	"simulate", "edges", "models",
+	"table1", "table3", "table4", "table5",
+	"fig3", "fig4", "fig5", "fig6", "fig8", "fig9", "fig12", "fig13",
+	"eq1", "global", "lmt", "ablation", "tuned", "worldspec", "chaos", "all",
+	"registry", "serve",
+}
+
+var commands = map[string]*cmdSpec{
+	"simulate": {summary: "generate a transfer log and write it as CSV", pipeline: true,
+		run: func(c cmdContext) error { return withOutput(c.opts.out, c.pl.Log.WriteCSV) }},
+	"edges": {summary: "list the heavily used edges the study selects", pipeline: true,
+		run: cmdEdges},
+	"models": {summary: "train per-edge linear and nonlinear models (Figs 10, 11)", pipeline: true,
+		run: cmdModels},
+	"table1": {summary: "ESnet-testbed subsystem measurements and the Eq. 1 min rule",
+		run: cmdTable1},
+	"table3": {summary: "edge great-circle length percentiles", pipeline: true,
+		run: cmdTable3},
+	"table4": {summary: "edge type shares", pipeline: true,
+		run: func(c cmdContext) error { fmt.Print(core.RenderTable4(c.pl.Table4(c.edges))); return nil }},
+	"table5": {summary: "Pearson CC vs MIC per feature on the busiest edges", pipeline: true,
+		run: cmdTable5},
+	"fig3": {summary: "rate vs relative load on the controlled testbed",
+		run: cmdFig3},
+	"fig4": {summary: "aggregate rate vs concurrency with Weibull fits", pipeline: true,
+		run: cmdFig4},
+	"fig5": {summary: "rate vs total size × average file size", pipeline: true,
+		run: cmdFig5},
+	"fig6": {summary: "size vs distance scatter summary", pipeline: true,
+		run: func(c cmdContext) error { _, s := c.pl.Fig6(); fmt.Print(core.RenderFig6(s)); return nil }},
+	"fig8": {summary: "rate vs relative load on production edges", pipeline: true,
+		run: func(c cmdContext) error { fmt.Print(core.RenderLoadCurves(c.pl.Fig8(c.edges, 4))); return nil }},
+	"fig9": {summary: "linear-model coefficient map", pipeline: true,
+		run: cmdFig9},
+	"fig12": {summary: "nonlinear-model importance map", pipeline: true,
+		run: cmdFig12},
+	"fig13": {summary: "accuracy vs load threshold", pipeline: true,
+		run: cmdFig13},
+	"eq1": {summary: "the §3.2 production-edge analytical study", pipeline: true,
+		run: cmdEq1},
+	"global": {summary: "the single model for all edges (§5.4)", pipeline: true,
+		run: cmdGlobal},
+	"lmt": {summary: "the storage-monitoring experiment (§5.5.2)",
+		run: cmdLMT},
+	"ablation": {summary: "feature-group ablation study (which features carry accuracy)", pipeline: true,
+		run: cmdAblation},
+	"tuned": {summary: "what-if tuning of C and P on the busiest edges", pipeline: true,
+		run: cmdTuned},
+	"worldspec": {summary: "write the simulated world as a reusable spec", pipeline: true,
+		run: cmdWorldspec},
+	"chaos": {summary: "fault-intensity sweep: model accuracy vs injected disruption",
+		run: cmdChaos},
+	"all": {summary: "everything above, in paper order", pipeline: true,
+		run: func(c cmdContext) error { return runAll(c.ctx, c.pl, c.edges, c.cfg) }},
+	"registry": {summary: "train the serving registry (per-edge + global models) and write it", pipeline: true,
+		run: cmdRegistry},
+	"serve": {summary: "run the prediction daemon on a registry file",
+		run: cmdServe},
+}
+
+// needsPipeline reports whether the command requires a simulated log.
+// The chaos sweep simulates internally, once per intensity; serve loads a
+// prebuilt registry instead. Unknown commands take the default (pipeline)
+// path and fail with a usage error at dispatch.
+func needsPipeline(cmd string) bool {
+	if c, ok := commands[cmd]; ok {
+		return c.pipeline
+	}
+	return true
+}
+
+func run(ctx context.Context, cmd string, cfg simulate.Config, opts options, o *obs.Obs) error {
+	var pl *core.Pipeline
+	var edges []core.EdgeData
+	if needsPipeline(cmd) {
+		fmt.Fprintln(os.Stderr, "simulating...")
+		var err error
+		pl, err = core.RunObs(ctx, cfg, o)
+		if err != nil {
+			return err
+		}
+		pl.GBTBins = opts.gbtBins
+		edges = pl.StudyEdges()
+		fmt.Fprintf(os.Stderr, "%d transfers logged, %d study edges\n", len(pl.Log.Records), len(edges))
+	}
+	c, ok := commands[cmd]
+	if !ok {
+		return fmt.Errorf("%w: unknown command %q", errUsage, cmd)
+	}
+	return c.run(cmdContext{ctx: ctx, pl: pl, edges: edges, cfg: cfg, opts: opts, o: o})
+}
+
+func usage() {
+	var b strings.Builder
+	b.WriteString("usage: wanperf <command> [-seed N] [-small] [-out FILE] [-intensities LIST]\n")
+	b.WriteString("                         [-gbt-bins N] [-metrics FILE] [-trace FILE] [-pprof ADDR]\n")
+	b.WriteString("       wanperf serve -registry FILE [-addr ADDR] [-queue N] [-batch N]\n")
+	b.WriteString("                     [-queue-timeout DUR] [-request-timeout DUR]\n")
+	b.WriteString("                     [-drain-timeout DUR] [-watch DUR]\n")
+	b.WriteString("commands:\n")
+	for _, name := range commandOrder {
+		fmt.Fprintf(&b, "  %-10s %s\n", name, commands[name].summary)
+	}
+	fmt.Fprint(os.Stderr, strings.TrimRight(b.String(), "\n")+"\n")
+}
+
+// ---- flag parsing ----
 
 // buildObs assembles the observability bundle the run feeds. Metrics and
 // tracing are independent: either flag alone enables just that half, and
@@ -171,6 +302,16 @@ type options struct {
 	metrics     string // JSON metrics output path ("" = disabled)
 	trace       string // JSON trace output path ("" = disabled)
 	pprofAddr   string // pprof listen address ("" = disabled)
+
+	// serve flags.
+	addr           string
+	registry       string
+	queueDepth     int
+	batchMax       int
+	queueTimeout   time.Duration
+	requestTimeout time.Duration
+	drainTimeout   time.Duration
+	watch          time.Duration
 }
 
 func parseArgs(args []string) (cmd string, cfg simulate.Config, opts options, err error) {
@@ -185,7 +326,7 @@ func parseArgs(args []string) (cmd string, cfg simulate.Config, opts options, er
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	seed := fs.Int64("seed", 42, "RNG seed")
 	small := fs.Bool("small", false, "use the reduced workload")
-	out := fs.String("out", "", "output path for simulate (default stdout)")
+	out := fs.String("out", "", "output path for simulate/worldspec/registry (default stdout)")
 	intensities := fs.String("intensities", "0,0.5,1,2,4",
 		"comma-separated fault intensities for the chaos sweep")
 	gbtBins := fs.Int("gbt-bins", 256,
@@ -193,6 +334,14 @@ func parseArgs(args []string) (cmd string, cfg simulate.Config, opts options, er
 	metrics := fs.String("metrics", "", "write metrics JSON to this path")
 	trace := fs.String("trace", "", "write trace-span JSON to this path")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address")
+	addr := fs.String("addr", ":8723", "serve: listen address")
+	registry := fs.String("registry", "", "serve: registry file (required)")
+	queueDepth := fs.Int("queue", 0, "serve: admission-queue depth (0 = default)")
+	batchMax := fs.Int("batch", 0, "serve: max rows per inference batch (0 = default)")
+	queueTimeout := fs.Duration("queue-timeout", 0, "serve: max queue wait before shedding (0 = default)")
+	requestTimeout := fs.Duration("request-timeout", 0, "serve: end-to-end request deadline (0 = default)")
+	drainTimeout := fs.Duration("drain-timeout", 0, "serve: hard deadline for graceful drain (0 = default)")
+	watch := fs.Duration("watch", 0, "serve: registry poll period (0 = default, negative disables)")
 	if err := fs.Parse(args[1:]); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return "", cfg, opts, flag.ErrHelp
@@ -211,6 +360,14 @@ func parseArgs(args []string) (cmd string, cfg simulate.Config, opts options, er
 	opts.metrics = *metrics
 	opts.trace = *trace
 	opts.pprofAddr = *pprofAddr
+	opts.addr = *addr
+	opts.registry = *registry
+	opts.queueDepth = *queueDepth
+	opts.batchMax = *batchMax
+	opts.queueTimeout = *queueTimeout
+	opts.requestTimeout = *requestTimeout
+	opts.drainTimeout = *drainTimeout
+	opts.watch = *watch
 	if opts.intensities, err = parseIntensities(*intensities); err != nil {
 		return "", cfg, opts, fmt.Errorf("%w: %v", errUsage, err)
 	}
@@ -241,25 +398,6 @@ func parseIntensities(s string) ([]float64, error) {
 	return out, nil
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, strings.TrimSpace(`
-usage: wanperf <command> [-seed N] [-small] [-out FILE] [-intensities LIST]
-                         [-gbt-bins N] [-metrics FILE] [-trace FILE] [-pprof ADDR]
-commands: simulate edges models table1 table3 table4 table5
-          fig3 fig4 fig5 fig6 fig8 fig9 fig12 fig13
-          eq1 global lmt ablation tuned worldspec chaos all`))
-}
-
-// needsPipeline reports whether the command requires a simulated log.
-// The chaos sweep simulates internally, once per intensity.
-func needsPipeline(cmd string) bool {
-	switch cmd {
-	case "table1", "fig3", "lmt", "chaos":
-		return false
-	}
-	return true
-}
-
 // withOutput runs fn against the -out file (or stdout when unset) and
 // surfaces both fn's and Close's error — a short write that only fails at
 // close is still reported, and the single exit point in main guarantees
@@ -279,196 +417,236 @@ func withOutput(out string, fn func(io.Writer) error) error {
 	return werr
 }
 
-func run(ctx context.Context, cmd string, cfg simulate.Config, opts options, o *obs.Obs) error {
-	var pl *core.Pipeline
-	var edges []core.EdgeData
-	if needsPipeline(cmd) {
-		fmt.Fprintln(os.Stderr, "simulating...")
-		var err error
-		pl, err = core.RunObs(ctx, cfg, o)
-		if err != nil {
-			return err
-		}
-		pl.GBTBins = opts.gbtBins
-		edges = pl.StudyEdges()
-		fmt.Fprintf(os.Stderr, "%d transfers logged, %d study edges\n", len(pl.Log.Records), len(edges))
-	}
+// ---- subcommand implementations ----
 
-	switch cmd {
-	case "simulate":
-		return withOutput(opts.out, pl.Log.WriteCSV)
-
-	case "worldspec":
-		return withOutput(opts.out, func(w io.Writer) error {
-			return simulate.WriteWorldSpec(w, simulate.SpecFromWorld(pl.Gen.World))
-		})
-
-	case "chaos":
-		ccfg := chaos.DefaultConfig(cfg.Seed, cfg.Horizon)
-		fmt.Fprintf(os.Stderr, "chaos sweep over intensities %v...\n", opts.intensities)
-		points, err := core.ChaosSweep(ctx, cfg, ccfg, opts.intensities,
-			core.MinEdgeTransfers, core.NumEdges)
-		if err != nil {
-			return err
-		}
-		fmt.Println("== model accuracy vs injected fault intensity ==")
-		fmt.Print(core.RenderChaos(points))
-
-	case "edges":
-		for _, ed := range edges {
-			fmt.Printf("%-30s transfers=%d qualifying=%d Rmax=%.1f MB/s\n",
-				ed.Edge, len(ed.All), len(ed.Qualifying), ed.Rmax)
-		}
-
-	case "models":
-		results, err := pl.EvaluateEdgesContext(ctx, edges)
-		if err != nil {
-			return err
-		}
-		fmt.Println("== Figure 10: per-edge APE distributions ==")
-		fmt.Print(core.RenderFig10(results))
-		fmt.Println("== Figure 11: per-edge MdAPE ==")
-		fmt.Print(core.RenderFig11(results))
-
-	case "table1":
-		rows, err := core.Table1()
-		if err != nil {
-			return err
-		}
-		fmt.Print(core.RenderTable1(rows))
-
-	case "table3":
-		rows, err := pl.Table3(edges)
-		if err != nil {
-			return err
-		}
-		fmt.Print(core.RenderTable3(rows))
-
-	case "table4":
-		fmt.Print(core.RenderTable4(pl.Table4(edges)))
-
-	case "table5":
-		n := 4
-		if len(edges) < n {
-			n = len(edges)
-		}
-		rows, err := pl.Table5(edges[:n])
-		if err != nil {
-			return err
-		}
-		fmt.Print(core.RenderTable5(rows))
-
-	case "fig3":
-		curves, err := core.Fig3(120, cfg.Seed)
-		if err != nil {
-			return err
-		}
-		fmt.Print(core.RenderLoadCurves(curves))
-
-	case "fig4":
-		curves, err := pl.Fig4(pl.BusiestEndpoints(4))
-		if err != nil {
-			return err
-		}
-		fmt.Print(core.RenderFig4(curves))
-
-	case "fig5":
-		ed, err := fig5Edge(pl, edges)
-		if err != nil {
-			return err
-		}
-		buckets, err := pl.Fig5(ed, 20)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("edge: %s\n", ed.Edge)
-		fmt.Print(core.RenderFig5(buckets))
-
-	case "fig6":
-		_, summary := pl.Fig6()
-		fmt.Print(core.RenderFig6(summary))
-
-	case "fig8":
-		fmt.Print(core.RenderLoadCurves(pl.Fig8(edges, 4)))
-
-	case "fig9":
-		results, err := pl.EvaluateEdgesContext(ctx, edges)
-		if err != nil {
-			return err
-		}
-		fmt.Print(core.RenderFig9(results))
-
-	case "fig12":
-		results, err := pl.EvaluateEdgesContext(ctx, edges)
-		if err != nil {
-			return err
-		}
-		fmt.Print(core.RenderFig12(results))
-
-	case "fig13":
-		rows, err := pl.Fig13(core.MinEdgeTransfers, 8)
-		if err != nil {
-			return err
-		}
-		fmt.Print(core.RenderFig13(rows))
-
-	case "eq1":
-		rows, summary, err := pl.Section32(edges)
-		if err != nil {
-			return err
-		}
-		fmt.Print(core.RenderSection32(rows, summary))
-
-	case "ablation":
-		n := 6
-		if len(edges) < n {
-			n = len(edges)
-		}
-		rows, err := pl.AblateContext(ctx, edges, n)
-		if err != nil {
-			return err
-		}
-		fmt.Print(core.RenderAblation(rows))
-		fmt.Println("\nmean MdAPE increase when a group is removed:")
-		summary := core.SummarizeAblation(rows)
-		for _, g := range []string{"K (contending rates)", "S (contending streams)", "G (contending procs)", "all load (K+S+G)", "shape (Nb, Nf, Nd)", "tunables (C, P)"} {
-			if v, ok := summary[g]; ok {
-				fmt.Printf("  %-24s %+6.2f pp\n", g, v)
-			}
-		}
-
-	case "tuned":
-		n := 4
-		if len(edges) < n {
-			n = len(edges)
-		}
-		rows, err := pl.TunedModels(edges, n)
-		if err != nil {
-			return err
-		}
-		fmt.Print(core.RenderTuned(rows))
-
-	case "global":
-		res, err := pl.GlobalModelContext(ctx, edges)
-		if err != nil {
-			return err
-		}
-		fmt.Print(core.RenderGlobal(res))
-
-	case "lmt":
-		res, err := core.LMTExperiment(666, cfg.Seed)
-		if err != nil {
-			return err
-		}
-		fmt.Print(core.RenderLMT(res))
-
-	case "all":
-		return runAll(ctx, pl, edges, cfg)
-
-	default:
-		return fmt.Errorf("%w: unknown command %q", errUsage, cmd)
+func cmdEdges(c cmdContext) error {
+	for _, ed := range c.edges {
+		fmt.Printf("%-30s transfers=%d qualifying=%d Rmax=%.1f MB/s\n",
+			ed.Edge, len(ed.All), len(ed.Qualifying), ed.Rmax)
 	}
 	return nil
+}
+
+func cmdModels(c cmdContext) error {
+	results, err := c.pl.EvaluateEdgesContext(c.ctx, c.edges)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Figure 10: per-edge APE distributions ==")
+	fmt.Print(core.RenderFig10(results))
+	fmt.Println("== Figure 11: per-edge MdAPE ==")
+	fmt.Print(core.RenderFig11(results))
+	return nil
+}
+
+func cmdTable1(c cmdContext) error {
+	rows, err := core.Table1()
+	if err != nil {
+		return err
+	}
+	fmt.Print(core.RenderTable1(rows))
+	return nil
+}
+
+func cmdTable3(c cmdContext) error {
+	rows, err := c.pl.Table3(c.edges)
+	if err != nil {
+		return err
+	}
+	fmt.Print(core.RenderTable3(rows))
+	return nil
+}
+
+func cmdTable5(c cmdContext) error {
+	n := 4
+	if len(c.edges) < n {
+		n = len(c.edges)
+	}
+	rows, err := c.pl.Table5(c.edges[:n])
+	if err != nil {
+		return err
+	}
+	fmt.Print(core.RenderTable5(rows))
+	return nil
+}
+
+func cmdFig3(c cmdContext) error {
+	curves, err := core.Fig3(120, c.cfg.Seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(core.RenderLoadCurves(curves))
+	return nil
+}
+
+func cmdFig4(c cmdContext) error {
+	curves, err := c.pl.Fig4(c.pl.BusiestEndpoints(4))
+	if err != nil {
+		return err
+	}
+	fmt.Print(core.RenderFig4(curves))
+	return nil
+}
+
+func cmdFig5(c cmdContext) error {
+	ed, err := fig5Edge(c.pl, c.edges)
+	if err != nil {
+		return err
+	}
+	buckets, err := c.pl.Fig5(ed, 20)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("edge: %s\n", ed.Edge)
+	fmt.Print(core.RenderFig5(buckets))
+	return nil
+}
+
+func cmdFig9(c cmdContext) error {
+	results, err := c.pl.EvaluateEdgesContext(c.ctx, c.edges)
+	if err != nil {
+		return err
+	}
+	fmt.Print(core.RenderFig9(results))
+	return nil
+}
+
+func cmdFig12(c cmdContext) error {
+	results, err := c.pl.EvaluateEdgesContext(c.ctx, c.edges)
+	if err != nil {
+		return err
+	}
+	fmt.Print(core.RenderFig12(results))
+	return nil
+}
+
+func cmdFig13(c cmdContext) error {
+	rows, err := c.pl.Fig13(core.MinEdgeTransfers, 8)
+	if err != nil {
+		return err
+	}
+	fmt.Print(core.RenderFig13(rows))
+	return nil
+}
+
+func cmdEq1(c cmdContext) error {
+	rows, summary, err := c.pl.Section32(c.edges)
+	if err != nil {
+		return err
+	}
+	fmt.Print(core.RenderSection32(rows, summary))
+	return nil
+}
+
+func cmdGlobal(c cmdContext) error {
+	res, err := c.pl.GlobalModelContext(c.ctx, c.edges)
+	if err != nil {
+		return err
+	}
+	fmt.Print(core.RenderGlobal(res))
+	return nil
+}
+
+func cmdLMT(c cmdContext) error {
+	res, err := core.LMTExperiment(666, c.cfg.Seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(core.RenderLMT(res))
+	return nil
+}
+
+func cmdAblation(c cmdContext) error {
+	n := 6
+	if len(c.edges) < n {
+		n = len(c.edges)
+	}
+	rows, err := c.pl.AblateContext(c.ctx, c.edges, n)
+	if err != nil {
+		return err
+	}
+	fmt.Print(core.RenderAblation(rows))
+	fmt.Println("\nmean MdAPE increase when a group is removed:")
+	summary := core.SummarizeAblation(rows)
+	for _, g := range []string{"K (contending rates)", "S (contending streams)", "G (contending procs)", "all load (K+S+G)", "shape (Nb, Nf, Nd)", "tunables (C, P)"} {
+		if v, ok := summary[g]; ok {
+			fmt.Printf("  %-24s %+6.2f pp\n", g, v)
+		}
+	}
+	return nil
+}
+
+func cmdTuned(c cmdContext) error {
+	n := 4
+	if len(c.edges) < n {
+		n = len(c.edges)
+	}
+	rows, err := c.pl.TunedModels(c.edges, n)
+	if err != nil {
+		return err
+	}
+	fmt.Print(core.RenderTuned(rows))
+	return nil
+}
+
+func cmdWorldspec(c cmdContext) error {
+	return withOutput(c.opts.out, func(w io.Writer) error {
+		return simulate.WriteWorldSpec(w, simulate.SpecFromWorld(c.pl.Gen.World))
+	})
+}
+
+func cmdChaos(c cmdContext) error {
+	ccfg := chaos.DefaultConfig(c.cfg.Seed, c.cfg.Horizon)
+	fmt.Fprintf(os.Stderr, "chaos sweep over intensities %v...\n", c.opts.intensities)
+	points, err := core.ChaosSweep(c.ctx, c.cfg, ccfg, c.opts.intensities,
+		core.MinEdgeTransfers, core.NumEdges)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== model accuracy vs injected fault intensity ==")
+	fmt.Print(core.RenderChaos(points))
+	return nil
+}
+
+// cmdRegistry trains the serving registry from the simulated pipeline and
+// writes it to -out (stdout by default) — the artifact `wanperf serve`
+// loads.
+func cmdRegistry(c cmdContext) error {
+	fmt.Fprintf(os.Stderr, "training registry: %d edge models + global...\n", len(c.edges))
+	reg, err := serve.Build(c.ctx, c.pl, c.edges)
+	if err != nil {
+		return err
+	}
+	return withOutput(c.opts.out, func(w io.Writer) error {
+		return serve.WriteRegistry(w, reg)
+	})
+}
+
+// cmdServe runs the prediction daemon until the signal context cancels,
+// then drains gracefully. SIGHUP and registry-file changes hot-reload the
+// models; see internal/serve for the full contract.
+func cmdServe(c cmdContext) error {
+	if c.opts.registry == "" {
+		return fmt.Errorf("%w: serve requires -registry FILE", errUsage)
+	}
+	scfg := serve.Config{
+		Addr:           c.opts.addr,
+		RegistryPath:   c.opts.registry,
+		QueueDepth:     c.opts.queueDepth,
+		BatchMax:       c.opts.batchMax,
+		QueueTimeout:   c.opts.queueTimeout,
+		RequestTimeout: c.opts.requestTimeout,
+		DrainTimeout:   c.opts.drainTimeout,
+		WatchInterval:  c.opts.watch,
+	}
+	if c.o != nil && c.o.Metrics != nil {
+		scfg.Metrics = c.o.Metrics
+	}
+	s, err := serve.New(scfg)
+	if err != nil {
+		return err
+	}
+	return s.Run(c.ctx)
 }
 
 // fig5Edge picks the edge where file-size effects are most visible: among

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/simulate"
+)
+
+func simulateConfigForTest() simulate.Config { return simulate.SmallConfig() }
+
+// TestCommandTable pins the subcommand table's integrity: the usage order
+// and the dispatch map list exactly the same commands, and every entry
+// has a summary and an implementation.
+func TestCommandTable(t *testing.T) {
+	if len(commandOrder) != len(commands) {
+		t.Errorf("commandOrder lists %d commands, table has %d", len(commandOrder), len(commands))
+	}
+	seen := map[string]bool{}
+	for _, name := range commandOrder {
+		if seen[name] {
+			t.Errorf("command %q listed twice", name)
+		}
+		seen[name] = true
+		c := commands[name]
+		if c == nil {
+			t.Errorf("command %q in order but not in table", name)
+			continue
+		}
+		if c.summary == "" || c.run == nil {
+			t.Errorf("command %q missing summary or implementation", name)
+		}
+	}
+	for name := range commands {
+		if !seen[name] {
+			t.Errorf("command %q in table but not in usage order", name)
+		}
+	}
+}
+
+// TestServeCommandFlags pins the serve flag plumbing and its usage-error
+// contract.
+func TestServeCommandFlags(t *testing.T) {
+	cmd, _, opts, err := parseArgs([]string{"serve",
+		"-registry", "r.json", "-addr", ":9999", "-queue", "64", "-batch", "16",
+		"-queue-timeout", "50ms", "-watch", "-1s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmd != "serve" || opts.registry != "r.json" || opts.addr != ":9999" ||
+		opts.queueDepth != 64 || opts.batchMax != 16 ||
+		opts.queueTimeout.Milliseconds() != 50 || opts.watch >= 0 {
+		t.Errorf("serve flags not parsed: %+v", opts)
+	}
+	if needsPipeline("serve") {
+		t.Error("serve must not simulate a pipeline")
+	}
+	if !needsPipeline("registry") {
+		t.Error("registry needs a pipeline to train from")
+	}
+
+	// Missing -registry is a usage error (exit 2), not a runtime error.
+	err = run(context.Background(), "serve", simulateConfigForTest(), options{}, nil)
+	if !errors.Is(err, errUsage) {
+		t.Errorf("serve without -registry: %v, want usage error", err)
+	}
+	// A nonexistent registry file is a runtime error (exit 1).
+	err = run(context.Background(), "serve", simulateConfigForTest(),
+		options{registry: "/nonexistent/registry.json"}, nil)
+	if err == nil || errors.Is(err, errUsage) {
+		t.Errorf("serve with missing registry file: %v, want runtime error", err)
+	}
+}

@@ -1,0 +1,128 @@
+package chaos
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Serve-side chaos: a seeded, deterministic disruption schedule for
+// soaking the prediction daemon. Where the simulator-side regimes above
+// disrupt the modeled fabric, a SoakPlan disrupts the *serving* machinery
+// — hot reloads (including deliberately corrupt registries) and load
+// spikes — so the soak test can assert the daemon's robustness contract:
+// zero 5xx, shedding only via 429 + Retry-After, and the last good
+// registry serving through every corrupt reload.
+
+// SoakOpKind identifies one kind of serve-side disruption.
+type SoakOpKind string
+
+const (
+	// SoakReloadGood swaps in a freshly written valid registry.
+	SoakReloadGood SoakOpKind = "reload_good"
+	// SoakReloadCorrupt swaps in a deliberately corrupt registry file;
+	// the daemon must reject it and keep serving the last good one.
+	SoakReloadCorrupt SoakOpKind = "reload_corrupt"
+	// SoakSpike adds a burst of extra concurrent clients.
+	SoakSpike SoakOpKind = "spike"
+)
+
+// SoakOp is one scheduled disruption, At after soak start.
+type SoakOp struct {
+	Kind  SoakOpKind
+	At    time.Duration
+	Extra int           // spike: extra concurrent clients
+	For   time.Duration // spike: burst duration
+}
+
+// SoakPlan is a complete serve-soak schedule: sustained base load plus
+// ordered disruptions. Fully determined by its SoakConfig.
+type SoakPlan struct {
+	Duration    time.Duration
+	BaseClients int
+	Ops         []SoakOp
+}
+
+// Reloads counts the plan's reload ops, corrupt ones separately.
+func (p *SoakPlan) Reloads() (good, corrupt int) {
+	for _, op := range p.Ops {
+		switch op.Kind {
+		case SoakReloadGood:
+			good++
+		case SoakReloadCorrupt:
+			corrupt++
+		}
+	}
+	return good, corrupt
+}
+
+// SoakConfig parameterizes a serve soak. The zero value of each field
+// selects a default sized for a CI-friendly soak (a few seconds of wall
+// clock, enough disruption to exercise every failure path).
+type SoakConfig struct {
+	Seed        int64
+	Duration    time.Duration // default 3s
+	BaseClients int           // sustained concurrent clients (default 6)
+	Reloads     int           // total reload ops (default 6)
+	CorruptNth  int           // every n-th reload is corrupt (default 3)
+	Spikes      int           // load-spike bursts (default 2)
+	SpikeExtra  int           // extra clients per spike (default 12)
+}
+
+func (c *SoakConfig) fillDefaults() {
+	if c.Duration <= 0 {
+		c.Duration = 3 * time.Second
+	}
+	if c.BaseClients <= 0 {
+		c.BaseClients = 6
+	}
+	if c.Reloads <= 0 {
+		c.Reloads = 6
+	}
+	if c.CorruptNth <= 0 {
+		c.CorruptNth = 3
+	}
+	if c.Spikes < 0 {
+		c.Spikes = 0
+	}
+	if c.Spikes == 0 {
+		c.Spikes = 2
+	}
+	if c.SpikeExtra <= 0 {
+		c.SpikeExtra = 12
+	}
+}
+
+// SoakSchedule expands a config into a concrete, time-ordered plan.
+// Reloads are spread evenly across the middle 80% of the soak with seeded
+// jitter, so they land while load is in flight rather than at the quiet
+// edges; every CorruptNth-th reload is corrupt (at least one when
+// Reloads >= CorruptNth). Deterministic in Seed.
+func SoakSchedule(c SoakConfig) *SoakPlan {
+	c.fillDefaults()
+	rng := rand.New(rand.NewSource(c.Seed))
+	p := &SoakPlan{Duration: c.Duration, BaseClients: c.BaseClients}
+
+	span := c.Duration * 8 / 10
+	lead := c.Duration / 10
+	slot := span / time.Duration(c.Reloads)
+	for i := 0; i < c.Reloads; i++ {
+		kind := SoakReloadGood
+		if (i+1)%c.CorruptNth == 0 {
+			kind = SoakReloadCorrupt
+		}
+		jitter := time.Duration(rng.Float64() * float64(slot) * 0.8)
+		p.Ops = append(p.Ops, SoakOp{Kind: kind, At: lead + time.Duration(i)*slot + jitter})
+	}
+	for i := 0; i < c.Spikes; i++ {
+		at := lead + time.Duration(rng.Float64()*float64(span))
+		p.Ops = append(p.Ops, SoakOp{
+			Kind:  SoakSpike,
+			At:    at,
+			Extra: c.SpikeExtra,
+			For:   c.Duration / 6,
+		})
+	}
+	sort.Slice(p.Ops, func(i, j int) bool { return p.Ops[i].At < p.Ops[j].At })
+	return p
+}

@@ -1,0 +1,64 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestSoakScheduleDeterministic(t *testing.T) {
+	a := SoakSchedule(SoakConfig{Seed: 42})
+	b := SoakSchedule(SoakConfig{Seed: 42})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different plans")
+	}
+	c := SoakSchedule(SoakConfig{Seed: 43})
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical plans")
+	}
+}
+
+func TestSoakScheduleShape(t *testing.T) {
+	p := SoakSchedule(SoakConfig{Seed: 1})
+	good, corrupt := p.Reloads()
+	if good+corrupt < 5 {
+		t.Errorf("default plan has %d reloads, want >= 5", good+corrupt)
+	}
+	if corrupt < 1 {
+		t.Error("default plan has no corrupt reload")
+	}
+	if good < 1 {
+		t.Error("default plan has no good reload")
+	}
+	spikes := 0
+	var last time.Duration
+	for _, op := range p.Ops {
+		if op.At < last {
+			t.Fatalf("ops out of order: %v after %v", op.At, last)
+		}
+		last = op.At
+		if op.At < 0 || op.At > p.Duration {
+			t.Errorf("op at %v outside soak duration %v", op.At, p.Duration)
+		}
+		if op.Kind == SoakSpike {
+			spikes++
+			if op.Extra <= 0 || op.For <= 0 {
+				t.Errorf("spike with no extra load: %+v", op)
+			}
+		}
+	}
+	if spikes == 0 {
+		t.Error("default plan has no load spikes")
+	}
+	if p.BaseClients <= 0 || p.Duration <= 0 {
+		t.Errorf("degenerate plan: %+v", p)
+	}
+}
+
+func TestSoakScheduleCustom(t *testing.T) {
+	p := SoakSchedule(SoakConfig{Seed: 9, Reloads: 10, CorruptNth: 2, Duration: time.Second})
+	good, corrupt := p.Reloads()
+	if good != 5 || corrupt != 5 {
+		t.Errorf("10 reloads with CorruptNth=2: %d good %d corrupt, want 5/5", good, corrupt)
+	}
+}

@@ -98,26 +98,51 @@ func (m *Model) PredictAll(d *dataset.Dataset) ([]float64, error) {
 	if d.NumFeatures() != len(m.Names) {
 		return nil, fmt.Errorf("gbt: dataset has %d features, want %d", d.NumFeatures(), len(m.Names))
 	}
+	out := make([]float64, d.Len())
+	if err := m.PredictBatch(d.X, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PredictBatch fills out[i] with the prediction for row xs[i], writing
+// into caller-owned storage — the zero-extra-allocation batch entry point
+// the serve daemon's batcher coalesces requests into. Every row must have
+// exactly len(Names) values and out must have len(xs) slots. Large
+// batches fan out on the worker pool exactly like PredictAll; results are
+// identical to per-row Predict.
+func (m *Model) PredictBatch(xs [][]float64, out []float64) error {
+	if len(m.trees) == 0 {
+		return ErrNotTrained
+	}
+	if len(out) != len(xs) {
+		return fmt.Errorf("gbt: out has %d slots for %d rows", len(out), len(xs))
+	}
+	for i, x := range xs {
+		if len(x) != len(m.Names) {
+			return fmt.Errorf("gbt: row %d has %d features, want %d", i, len(x), len(m.Names))
+		}
+	}
 	if m.flat == nil {
 		m.buildFlat()
 	}
-	out := make([]float64, d.Len())
+	n := len(xs)
 	workers := m.params.Workers
 	if workers <= 0 {
 		workers = pool.Workers()
 	}
-	batches := (d.Len() + predictBatch - 1) / predictBatch
+	batches := (n + predictBatch - 1) / predictBatch
 	if workers > 1 && batches > 1 {
 		pool.Do(batches, workers, func(bi int) {
 			lo := bi * predictBatch
 			hi := lo + predictBatch
-			if hi > d.Len() {
-				hi = d.Len()
+			if hi > n {
+				hi = n
 			}
-			m.flat.predictRange(d.X[lo:hi], out[lo:hi], m.Base)
+			m.flat.predictRange(xs[lo:hi], out[lo:hi], m.Base)
 		})
 	} else {
-		m.flat.predictRange(d.X, out, m.Base)
+		m.flat.predictRange(xs, out, m.Base)
 	}
-	return out, nil
+	return nil
 }

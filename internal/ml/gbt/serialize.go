@@ -45,10 +45,30 @@ var ErrBadModel = errors.New("gbt: malformed model payload")
 
 // Save writes the model as JSON.
 func (m *Model) Save(w io.Writer) error {
-	if len(m.trees) == 0 {
-		return ErrNotTrained
+	jm, err := m.toJSON()
+	if err != nil {
+		return err
 	}
-	jm := jsonModel{
+	return json.NewEncoder(w).Encode(jm)
+}
+
+// MarshalJSON implements json.Marshaler with the same payload Save
+// writes, so a *Model embeds directly in larger documents — the serve
+// registry stores its per-edge and global models this way.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	jm, err := m.toJSON()
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(jm)
+}
+
+// toJSON converts the ensemble to its wire form.
+func (m *Model) toJSON() (*jsonModel, error) {
+	if len(m.trees) == 0 {
+		return nil, ErrNotTrained
+	}
+	jm := &jsonModel{
 		Version: serializationVersion,
 		Base:    m.Base,
 		Names:   m.Names,
@@ -73,7 +93,7 @@ func (m *Model) Save(w io.Writer) error {
 		}
 		jm.Trees = append(jm.Trees, flat)
 	}
-	return json.NewEncoder(w).Encode(&jm)
+	return jm, nil
 }
 
 // Load reads a model previously written by Save.
@@ -82,6 +102,26 @@ func Load(r io.Reader) (*Model, error) {
 	if err := json.NewDecoder(r).Decode(&jm); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadModel, err)
 	}
+	return fromJSON(&jm)
+}
+
+// UnmarshalJSON implements json.Unmarshaler for payloads written by Save
+// or MarshalJSON, with the full structural validation Load applies.
+func (m *Model) UnmarshalJSON(data []byte) error {
+	var jm jsonModel
+	if err := json.Unmarshal(data, &jm); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadModel, err)
+	}
+	loaded, err := fromJSON(&jm)
+	if err != nil {
+		return err
+	}
+	*m = *loaded
+	return nil
+}
+
+// fromJSON validates the wire form and builds the in-memory model.
+func fromJSON(jm *jsonModel) (*Model, error) {
 	if jm.Version != serializationVersion {
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadModel, jm.Version)
 	}

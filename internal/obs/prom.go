@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Prometheus text-format exposition. The registry's flat instrument names
+// map onto the Prometheus data model with one convention: an optional
+// `{label="value",...}` suffix on an instrument name becomes the sample's
+// label set, so families like per-edge latency histograms are ordinary
+// registry entries:
+//
+//	reg.Histogram(`serve.latency_ms{edge="A->B"}`, buckets)
+//
+// renders as
+//
+//	serve_latency_ms_bucket{edge="A->B",le="1"} 4
+//	...
+//
+// Everything before the suffix is sanitized into a metric name ([a-zA-Z0-9_:],
+// dots become underscores); entries sharing a base name form one family and
+// get a single # TYPE line. Output is sorted, so it is deterministic and
+// diff-friendly in tests.
+
+// promSample is one parsed instrument: family name, label block (without
+// braces, "" when unlabeled), and the original registry key.
+type promSample struct {
+	family string
+	labels string
+}
+
+// promName splits a registry key into its sanitized family name and label
+// block. A malformed suffix (no closing brace) is treated as part of the
+// name and sanitized away rather than rejected: exposition must never fail
+// because of one odd instrument.
+func promName(key string) promSample {
+	name := key
+	labels := ""
+	if i := strings.IndexByte(key, '{'); i >= 0 && strings.HasSuffix(key, "}") {
+		name = key[:i]
+		labels = key[i+1 : len(key)-1]
+	}
+	return promSample{family: sanitizeMetricName(name), labels: labels}
+}
+
+func sanitizeMetricName(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// mergeLabels joins an instrument's label block with one extra pair (used
+// for histogram `le` labels).
+func mergeLabels(labels, extra string) string {
+	switch {
+	case labels == "":
+		return extra
+	case extra == "":
+		return labels
+	default:
+		return labels + "," + extra
+	}
+}
+
+func writeSample(w io.Writer, family, labels string, value string) error {
+	if labels != "" {
+		_, err := fmt.Fprintf(w, "%s{%s} %s\n", family, labels, value)
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %s\n", family, value)
+	return err
+}
+
+// formatFloat renders a float the way Prometheus expects ('+Inf' never
+// appears in values here; histogram bounds use it explicitly).
+func formatFloat(v float64) string {
+	return strings.TrimSuffix(fmt.Sprintf("%g", v), ".0")
+}
+
+// WritePrometheus renders a metrics snapshot in the Prometheus text
+// exposition format (version 0.0.4): counters and gauges as single
+// samples, histograms as cumulative `_bucket{le=...}` series plus `_sum`
+// and `_count`. Families are emitted in sorted order with one # TYPE line
+// each.
+func WritePrometheus(w io.Writer, s MetricsSnapshot) error {
+	type entry struct {
+		typ    string // counter | gauge | histogram
+		labels string
+		write  func(family, labels string) error
+	}
+	families := map[string][]entry{}
+	add := func(key, typ string, write func(family, labels string) error) {
+		ps := promName(key)
+		families[ps.family] = append(families[ps.family], entry{typ: typ, labels: ps.labels, write: func(f, l string) error { return write(f, l) }})
+	}
+
+	for key, v := range s.Counters {
+		v := v
+		add(key, "counter", func(family, labels string) error {
+			return writeSample(w, family, labels, fmt.Sprintf("%d", v))
+		})
+	}
+	for key, v := range s.Gauges {
+		v := v
+		add(key, "gauge", func(family, labels string) error {
+			return writeSample(w, family, labels, formatFloat(v))
+		})
+	}
+	for key, h := range s.Histograms {
+		h := h
+		add(key, "histogram", func(family, labels string) error {
+			cum := int64(0)
+			for i, bound := range h.Bounds {
+				cum += h.Counts[i]
+				le := fmt.Sprintf(`le="%s"`, formatFloat(bound))
+				if err := writeSample(w, family+"_bucket", mergeLabels(labels, le), fmt.Sprintf("%d", cum)); err != nil {
+					return err
+				}
+			}
+			if err := writeSample(w, family+"_bucket", mergeLabels(labels, `le="+Inf"`), fmt.Sprintf("%d", h.Count)); err != nil {
+				return err
+			}
+			if err := writeSample(w, family+"_sum", labels, formatFloat(h.Sum)); err != nil {
+				return err
+			}
+			return writeSample(w, family+"_count", labels, fmt.Sprintf("%d", h.Count))
+		})
+	}
+
+	names := make([]string, 0, len(families))
+	for name := range families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		entries := families[name]
+		sort.Slice(entries, func(i, j int) bool { return entries[i].labels < entries[j].labels })
+		// One TYPE line per family; if a name collision mixes types (it
+		// should not), the first entry's type wins — exposition still parses.
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, entries[0].typ); err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if err := e.write(name, e.labels); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

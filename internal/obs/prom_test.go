@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheusBasic(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("serve.requests").Add(7)
+	reg.Gauge("serve.queue_depth").Set(3)
+	h := reg.Histogram("serve.latency_ms", []float64{1, 5})
+	h.Observe(0.5)
+	h.Observe(2)
+	h.Observe(100)
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE serve_requests counter\nserve_requests 7\n",
+		"# TYPE serve_queue_depth gauge\nserve_queue_depth 3\n",
+		"# TYPE serve_latency_ms histogram\n",
+		`serve_latency_ms_bucket{le="1"} 1`,
+		`serve_latency_ms_bucket{le="5"} 2`,
+		`serve_latency_ms_bucket{le="+Inf"} 3`,
+		"serve_latency_ms_sum 102.5",
+		"serve_latency_ms_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestWritePrometheusLabels pins the label-suffix convention: a
+// `{k="v"}` suffix on the instrument name becomes the sample's label set,
+// several labeled entries form one family with a single TYPE line, and
+// histogram buckets merge the family labels with `le`.
+func TestWritePrometheusLabels(t *testing.T) {
+	reg := NewRegistry()
+	reg.Histogram(`serve.latency_ms{edge="A->B"}`, []float64{1}).Observe(0.5)
+	reg.Histogram(`serve.latency_ms{edge="C->D"}`, []float64{1}).Observe(3)
+	reg.Counter(`serve.shed{reason="queue_full"}`).Inc()
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Count(out, "# TYPE serve_latency_ms histogram") != 1 {
+		t.Errorf("want exactly one TYPE line for the labeled family:\n%s", out)
+	}
+	for _, want := range []string{
+		`serve_latency_ms_bucket{edge="A->B",le="1"} 1`,
+		`serve_latency_ms_bucket{edge="C->D",le="1"} 0`,
+		`serve_latency_ms_bucket{edge="C->D",le="+Inf"} 1`,
+		`serve_latency_ms_sum{edge="A->B"} 0.5`,
+		`serve_latency_ms_count{edge="C->D"} 1`,
+		`serve_shed{reason="queue_full"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestWritePrometheusDeterministic: two renders of the same snapshot are
+// byte-identical (families and labels are sorted).
+func TestWritePrometheusDeterministic(t *testing.T) {
+	reg := NewRegistry()
+	for _, name := range []string{"b.two", "a.one", `c{edge="x"}`, `c{edge="a"}`} {
+		reg.Counter(name).Inc()
+	}
+	var b1, b2 strings.Builder
+	if err := WritePrometheus(&b1, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePrometheus(&b2, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Errorf("non-deterministic exposition:\n%s\nvs\n%s", b1.String(), b2.String())
+	}
+	if !strings.Contains(b1.String(), "# TYPE a_one counter") {
+		t.Errorf("missing sanitized family:\n%s", b1.String())
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"serve.latency_ms": "serve_latency_ms",
+		"9lives":           "_9lives",
+		"":                 "_",
+		"a-b/c d":          "a_b_c_d",
+		"ok:subsystem":     "ok:subsystem",
+	}
+	for in, want := range cases {
+		if got := sanitizeMetricName(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -12,12 +12,42 @@ package pool
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/obs"
 )
+
+// PanicError reports a work item that panicked. The pool recovers the
+// panic on the worker goroutine — where it would otherwise kill the whole
+// process, with no opportunity for any caller to intervene — and rethrows
+// it where the caller can handle it: ForEach returns it as the batch
+// error, Do panics with it on the calling goroutine. Index identifies the
+// first (lowest-index) panicking item, Value is what was passed to
+// panic, and Stack is the worker's stack at the point of the panic.
+type PanicError struct {
+	Index int
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("pool: task %d panicked: %v\n%s", e.Index, e.Value, e.Stack)
+}
+
+// protect runs fn(i), converting a panic into a *PanicError.
+func protect(i int, fn func(i int)) (pe *PanicError) {
+	defer func() {
+		if v := recover(); v != nil {
+			pe = &PanicError{Index: i, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	fn(i)
+	return nil
+}
 
 // Workers returns the default pool size: one worker per available CPU.
 func Workers() int { return runtime.GOMAXPROCS(0) }
@@ -82,6 +112,15 @@ func (m *poolMetrics) taskEnd() {
 // and returns when all calls have finished. With workers <= 1 (or n <= 1)
 // it degrades to a plain loop on the calling goroutine, which the
 // equivalence tests use as the serial reference.
+//
+// A panicking task does not kill the process: the panic is recovered on
+// the worker goroutine (where it would be fatal and unhandleable), no new
+// items are started, and once every in-flight item has finished Do
+// panics on the calling goroutine with a *PanicError carrying the first
+// panicking item's index, value, and stack. Callers that must survive —
+// like a server's per-request isolation — recover it like any ordinary
+// panic; callers that don't crash with a precise diagnosis instead of a
+// runtime-killed process.
 func Do(n, workers int, fn func(i int)) {
 	if n <= 0 {
 		return
@@ -94,29 +133,58 @@ func Do(n, workers int, fn func(i int)) {
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			m.taskStart()
-			fn(i)
+			pe := protect(i, fn)
 			m.taskEnd()
+			if pe != nil {
+				panic(pe)
+			}
 		}
 		return
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var first *PanicError
+	var panicked atomic.Bool
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= n {
+				if i >= n || panicked.Load() {
 					return
 				}
 				m.taskStart()
-				fn(i)
+				pe := protect(i, fn)
 				m.taskEnd()
+				if pe != nil {
+					panicked.Store(true)
+					mu.Lock()
+					if first == nil || pe.Index < first.Index {
+						first = pe
+					}
+					mu.Unlock()
+					return
+				}
 			}
 		}()
 	}
 	wg.Wait()
+	if first != nil {
+		panic(first)
+	}
+}
+
+// protectErr runs fn(ctx, i), converting a panic into a *PanicError and
+// any ordinary failure into its returned error.
+func protectErr(ctx context.Context, i int, fn func(ctx context.Context, i int) error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Index: i, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return fn(ctx, i)
 }
 
 // ForEach runs fn(ctx, i) for every i in [0, n) using at most workers
@@ -128,6 +196,11 @@ func Do(n, workers int, fn func(i int)) {
 // failure (the one with the lowest item index) over the cancellation
 // errors it triggered; if the parent context was cancelled, ctx.Err()
 // wins.
+//
+// A panicking task is recovered on its worker goroutine and reported as
+// an ordinary failure: a *PanicError with the item's index, panic value,
+// and stack, subject to the same lowest-index preference. The pool and
+// its callers survive; nothing re-panics.
 func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
 	if err := ctx.Err(); err != nil {
 		return err
@@ -146,7 +219,7 @@ func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i
 				return err
 			}
 			m.taskStart()
-			err := fn(ctx, i)
+			err := protectErr(ctx, i, fn)
 			m.taskEnd()
 			if err != nil {
 				return err
@@ -174,7 +247,7 @@ func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i
 					return
 				}
 				m.taskStart()
-				err := fn(cctx, i)
+				err := protectErr(cctx, i, fn)
 				m.taskEnd()
 				if err != nil {
 					errs[i] = err

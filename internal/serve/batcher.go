@@ -1,0 +1,247 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/ml/gbt"
+)
+
+// pendingPool recycles pending slots (and their reply channels) across
+// requests. A pending is returned to the pool only by the consumer that
+// received its result — an abandoned request (deadline, drain) is left to
+// the garbage collector, because the batcher may still be about to reply
+// into it.
+var pendingPool = sync.Pool{
+	New: func() any { return &pending{resp: make(chan result, 1)} },
+}
+
+// newPending checks a pending out of the pool, vectorizing the request
+// against snap. Returns an error for unknown feature names.
+func newPending(snap *Registry, req *PredictRequest) (*pending, error) {
+	p := pendingPool.Get().(*pending)
+	p.req = req
+	if cap(p.x) >= len(snap.Features) {
+		p.x = p.x[:len(snap.Features)]
+	} else {
+		p.x = make([]float64, len(snap.Features))
+	}
+	if err := snap.Vectorize(req.Features, p.x); err != nil {
+		pendingPool.Put(p)
+		return nil, err
+	}
+	p.vgen = snap.Generation
+	p.enq = time.Now()
+	return p, nil
+}
+
+// recycle returns a pending whose result has been consumed.
+func (p *pending) recycle() {
+	p.req = nil
+	pendingPool.Put(p)
+}
+
+// batchScratch is one batcher's reusable working storage, so a steady
+// request flow batches with zero per-batch allocation.
+type batchScratch struct {
+	batch    []*pending
+	models   []*gbt.Model
+	labels   []string
+	answered []bool
+	xs       [][]float64
+	out      []float64
+}
+
+// batcherLoop pulls admitted requests off the queue and coalesces them
+// into batches. The first item of a batch is taken blocking; the rest are
+// whatever is already queued, up to BatchMax — under load batches fill to
+// capacity and amortize inference across the flat SoA forest, while an
+// idle daemon answers a lone request immediately instead of waiting for
+// company.
+func (s *Server) batcherLoop() {
+	sc := &batchScratch{
+		batch:    make([]*pending, 0, s.cfg.BatchMax),
+		models:   make([]*gbt.Model, s.cfg.BatchMax),
+		labels:   make([]string, s.cfg.BatchMax),
+		answered: make([]bool, s.cfg.BatchMax),
+		xs:       make([][]float64, 0, s.cfg.BatchMax),
+		out:      make([]float64, s.cfg.BatchMax),
+	}
+	for {
+		var p *pending
+		select {
+		case <-s.stop:
+			return
+		case p = <-s.queue:
+		}
+		sc.batch = append(sc.batch[:0], p)
+		for len(sc.batch) < s.cfg.BatchMax {
+			select {
+			case q := <-s.queue:
+				sc.batch = append(sc.batch, q)
+			default:
+				goto full
+			}
+		}
+	full:
+		s.mQueueDepth.Set(float64(len(s.queue)))
+		s.runBatch(sc)
+	}
+}
+
+// runBatch answers every request in the batch exactly once. The whole
+// batch runs against one registry snapshot taken here: a reload promoted
+// after this line is picked up by the next batch, and the old snapshot
+// stays valid (immutable, atomically swapped) for as long as this batch
+// needs it — the mechanism behind zero dropped requests across reloads.
+//
+// Panic isolation: a panicking model (or a pool.PanicError rethrown by
+// the parallel predictor) is recovered here and converted into an error
+// answer for the requests still unanswered; the batcher survives.
+func (s *Server) runBatch(sc *batchScratch) {
+	batch := sc.batch
+	answered := sc.answered[:len(batch)]
+	for i := range answered {
+		answered[i] = false
+	}
+	defer func() {
+		if v := recover(); v != nil {
+			s.cfg.Logf("serve: batch panic: %v", v)
+			for i, p := range batch {
+				if !answered[i] {
+					p.resp <- result{err: fmt.Errorf("batch panic: %v", v)}
+				}
+			}
+		}
+	}()
+
+	snap := s.reg.Load()
+	now := time.Now()
+	s.mBatches.Inc()
+	s.mBatchSize.Observe(float64(len(batch)))
+
+	// Resolve each request: shed the stale, re-vectorize across reloads,
+	// look up the serving model.
+	for i, p := range batch {
+		wait := now.Sub(p.enq)
+		s.mQueueWait.Observe(float64(wait) / float64(time.Millisecond))
+		if wait > s.cfg.QueueTimeout {
+			p.resp <- result{shed: true}
+			answered[i] = true
+			sc.models[i] = nil
+			continue
+		}
+		// A reload between admission and batching may have changed the
+		// feature layout; re-vectorize leniently against this batch's
+		// snapshot (unknown names drop out rather than fail — the request
+		// was validated at admission).
+		if len(p.x) != len(snap.Features) {
+			p.x = make([]float64, len(snap.Features))
+			revectorize(snap, p)
+		} else if p.vgen != snap.Generation {
+			revectorize(snap, p)
+		}
+		sc.models[i], sc.labels[i] = snap.Lookup(p.req.Src, p.req.Dst)
+	}
+
+	// Fast path: every live request resolved to the same model (the
+	// common shape — one hot edge, or global fallback) is one PredictBatch
+	// with no grouping structures.
+	var first *gbt.Model
+	single := true
+	for i := range batch {
+		if answered[i] {
+			continue
+		}
+		if first == nil {
+			first = sc.models[i]
+		} else if sc.models[i] != first {
+			single = false
+			break
+		}
+	}
+	if first == nil {
+		return // everything shed
+	}
+	if single {
+		xs := sc.xs[:0]
+		for i, p := range batch {
+			if !answered[i] {
+				xs = append(xs, p.x)
+			}
+		}
+		out := sc.out[:len(xs)]
+		err := first.PredictBatch(xs, out)
+		k := 0
+		for i, p := range batch {
+			if answered[i] {
+				continue
+			}
+			s.reply(p, snap, sc.labels[i], out[k], err, now)
+			answered[i] = true
+			k++
+		}
+		return
+	}
+
+	// General path: group rows by resolved model, one PredictBatch per
+	// group.
+	type group struct {
+		label string
+		idx   []int
+	}
+	groups := map[*gbt.Model]*group{}
+	for i := range batch {
+		if answered[i] {
+			continue
+		}
+		g := groups[sc.models[i]]
+		if g == nil {
+			g = &group{label: sc.labels[i]}
+			groups[sc.models[i]] = g
+		}
+		g.idx = append(g.idx, i)
+	}
+	for m, g := range groups {
+		xs := make([][]float64, len(g.idx))
+		for k, i := range g.idx {
+			xs[k] = batch[i].x
+		}
+		out := make([]float64, len(xs))
+		err := m.PredictBatch(xs, out)
+		for k, i := range g.idx {
+			s.reply(batch[i], snap, g.label, out[k], err, now)
+			answered[i] = true
+		}
+	}
+}
+
+// reply sends one request's answer.
+func (s *Server) reply(p *pending, snap *Registry, label string, rate float64, err error, now time.Time) {
+	res := result{
+		model:      label,
+		generation: snap.Generation,
+		queueMS:    float64(now.Sub(p.enq)) / float64(time.Millisecond),
+	}
+	if err != nil {
+		res.err = err
+	} else {
+		res.rate = rate
+	}
+	p.resp <- res
+}
+
+// revectorize refills p.x from the request's feature map using snap's
+// layout, ignoring names snap does not know.
+func revectorize(snap *Registry, p *pending) {
+	for i := range p.x {
+		p.x[i] = 0
+	}
+	for name, v := range p.req.Features {
+		if j, ok := snap.nameIdx[name]; ok {
+			p.x[j] = v
+		}
+	}
+	p.vgen = snap.Generation
+}

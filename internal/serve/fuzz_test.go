@@ -1,0 +1,46 @@
+package serve
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzPredictRequest pins the request decoder's contract: any byte
+// sequence either parses into a request satisfying every invariant the
+// batcher relies on, or returns an error — it never panics, and it never
+// accepts a request with no features or a negative deadline.
+func FuzzPredictRequest(f *testing.F) {
+	f.Add([]byte(goodBody))
+	f.Add([]byte(`{"src":"A","dst":"B","features":{"Ksout":1.5},"deadline_ms":50}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"features":{}}`))
+	f.Add([]byte(`{"features":{"a":1}} trailing`))
+	f.Add([]byte(`{"features":{"a":1},"deadline_ms":-1}`))
+	f.Add([]byte(`{"features":{"a":"not a number"}}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"src":`))
+	f.Add([]byte("\x00\xff\xfe"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := ParseRequest(data)
+		if err != nil {
+			if req != nil {
+				t.Fatal("error with non-nil request")
+			}
+			return
+		}
+		if len(req.Features) == 0 {
+			t.Fatal("accepted request with no features")
+		}
+		if req.DeadlineMS < 0 {
+			t.Fatal("accepted negative deadline")
+		}
+		for name, v := range req.Features {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("accepted non-finite feature %q=%v", name, v)
+			}
+		}
+	})
+}

@@ -1,0 +1,266 @@
+// Package serve is the prediction daemon behind `wanperf serve`: a
+// long-running HTTP/JSON service that loads the per-edge + global model
+// registry and answers "how fast will this transfer go?" at production
+// throughput. It is engineered for failure first:
+//
+//   - Hot model reload. The registry lives behind an atomic pointer; a
+//     SIGHUP or a registry-file change loads and *validates* the new file
+//     off to the side, then promotes it with one atomic swap. In-flight
+//     requests finish on the snapshot they started with, so zero requests
+//     are dropped across a reload, and a corrupt file fails validation
+//     and leaves the last good registry serving.
+//
+//   - Backpressure. Requests pass through a bounded admission queue into
+//     a batcher that coalesces them into the flat SoA forest's batch
+//     inference. When the queue is full, or a request has waited past its
+//     deadline, the daemon sheds it with 429 + Retry-After instead of
+//     letting latency collapse for everyone.
+//
+//   - Graceful lifecycle. /healthz liveness, /readyz readiness that flips
+//     during startup and drain, SIGTERM drain with a hard deadline, and
+//     per-request panic isolation.
+//
+//   - Observability. Every decision above is counted in an obs.Registry
+//     exposed in Prometheus text format on /metrics, including per-edge
+//     latency histograms.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/ml/gbt"
+)
+
+// registryVersion is the registry file format version.
+const registryVersion = 1
+
+// defaultTolerance bounds the relative error a probe may show before the
+// registry is rejected. Predictions are deterministic and JSON round-trips
+// float64 exactly, so a healthy file reproduces probes bit-for-bit; any
+// slack here only exists to keep the gate robust if a future trainer
+// writes probes from a slightly different code path.
+const defaultTolerance = 1e-9
+
+// ErrBadRegistry is returned when a registry file is malformed, fails
+// structural validation, or fails its sanity probes.
+var ErrBadRegistry = errors.New("serve: bad registry")
+
+// Probe is one golden-tolerance sanity prediction embedded in the
+// registry: model input X must predict Want (within the registry's
+// tolerance) or the file is rejected at load. Probes are the promotion
+// gate that keeps a corrupt or truncated model file from ever serving.
+type Probe struct {
+	Edge string    `json:"edge,omitempty"` // "" probes the global model
+	X    []float64 `json:"x"`
+	Want float64   `json:"want"`
+}
+
+// Registry is one immutable serving snapshot: the per-edge models, the
+// global fallback, and the feature layout every request is vectorized
+// against. The server swaps whole registries atomically and never mutates
+// a published one, so any number of batches may read it concurrently.
+type Registry struct {
+	Features  []string              // request feature layout, in column order
+	Global    *gbt.Model            // fallback for edges without their own model
+	Edges     map[string]*gbt.Model // keyed "SRC->DST"
+	Probes    []Probe
+	Tolerance float64
+
+	// Generation is stamped by the server when the registry is promoted
+	// (1 for the boot registry, +1 per successful reload). It is not part
+	// of the file: a registry file does not know when it will be adopted.
+	Generation int64 `json:"-"`
+
+	nameIdx map[string]int // feature name -> column, built at load
+}
+
+// registryFile is the on-disk form. gbt.Model marshals through the same
+// validated payload gbt.Save/Load use, so every structural guarantee of
+// the model format (forward child indices, in-range features) holds for
+// registry-embedded models too.
+type registryFile struct {
+	Version   int                   `json:"version"`
+	Features  []string              `json:"features"`
+	Tolerance float64               `json:"tolerance,omitempty"`
+	Global    *gbt.Model            `json:"global"`
+	Edges     map[string]*gbt.Model `json:"edges,omitempty"`
+	Probes    []Probe               `json:"probes,omitempty"`
+}
+
+// WriteRegistry writes the registry in the versioned file format.
+func WriteRegistry(w io.Writer, r *Registry) error {
+	if err := r.init(); err != nil {
+		return err
+	}
+	return json.NewEncoder(w).Encode(&registryFile{
+		Version:   registryVersion,
+		Features:  r.Features,
+		Tolerance: r.Tolerance,
+		Global:    r.Global,
+		Edges:     r.Edges,
+		Probes:    r.Probes,
+	})
+}
+
+// ReadRegistry parses and fully validates a registry: structure, feature
+// layouts, and every sanity probe. It never returns a registry that is
+// unsafe to promote.
+func ReadRegistry(rd io.Reader) (*Registry, error) {
+	var f registryFile
+	dec := json.NewDecoder(rd)
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRegistry, err)
+	}
+	if f.Version != registryVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadRegistry, f.Version)
+	}
+	r := &Registry{
+		Features:  f.Features,
+		Global:    f.Global,
+		Edges:     f.Edges,
+		Probes:    f.Probes,
+		Tolerance: f.Tolerance,
+	}
+	if err := r.init(); err != nil {
+		return nil, err
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// LoadRegistryFile reads and validates the registry at path.
+func LoadRegistryFile(path string) (*Registry, error) {
+	file, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer file.Close()
+	r, err := ReadRegistry(file)
+	if err != nil {
+		return nil, fmt.Errorf("registry %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// init checks the registry's structure and builds the feature index.
+func (r *Registry) init() error {
+	if len(r.Features) == 0 {
+		return fmt.Errorf("%w: no features", ErrBadRegistry)
+	}
+	if r.Global == nil {
+		return fmt.Errorf("%w: no global model", ErrBadRegistry)
+	}
+	if r.Tolerance < 0 {
+		return fmt.Errorf("%w: negative tolerance", ErrBadRegistry)
+	}
+	r.nameIdx = make(map[string]int, len(r.Features))
+	for i, name := range r.Features {
+		if name == "" {
+			return fmt.Errorf("%w: empty feature name at column %d", ErrBadRegistry, i)
+		}
+		if _, dup := r.nameIdx[name]; dup {
+			return fmt.Errorf("%w: duplicate feature %q", ErrBadRegistry, name)
+		}
+		r.nameIdx[name] = i
+	}
+	if err := r.checkModel("global", r.Global); err != nil {
+		return err
+	}
+	for edge, m := range r.Edges {
+		if err := r.checkModel("edge "+edge, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkModel verifies one model's feature layout matches the registry's.
+func (r *Registry) checkModel(what string, m *gbt.Model) error {
+	if m == nil {
+		return fmt.Errorf("%w: %s model is null", ErrBadRegistry, what)
+	}
+	if len(m.Names) != len(r.Features) {
+		return fmt.Errorf("%w: %s model has %d features, registry has %d",
+			ErrBadRegistry, what, len(m.Names), len(r.Features))
+	}
+	for i, name := range m.Names {
+		if name != r.Features[i] {
+			return fmt.Errorf("%w: %s model feature %d is %q, registry says %q",
+				ErrBadRegistry, what, i, name, r.Features[i])
+		}
+	}
+	return nil
+}
+
+// Validate runs every sanity probe against its model. This is the
+// golden-tolerance gate: a registry whose serialized weights were
+// corrupted in a way that still parses will predict off-probe and be
+// refused promotion.
+func (r *Registry) Validate() error {
+	if len(r.Probes) == 0 {
+		return fmt.Errorf("%w: no sanity probes", ErrBadRegistry)
+	}
+	tol := r.Tolerance
+	if tol <= 0 {
+		tol = defaultTolerance
+	}
+	for i, p := range r.Probes {
+		m := r.Global
+		what := "global"
+		if p.Edge != "" {
+			m = r.Edges[p.Edge]
+			what = "edge " + p.Edge
+			if m == nil {
+				return fmt.Errorf("%w: probe %d references unknown %s", ErrBadRegistry, i, what)
+			}
+		}
+		if len(p.X) != len(r.Features) {
+			return fmt.Errorf("%w: probe %d has %d inputs, want %d", ErrBadRegistry, i, len(p.X), len(r.Features))
+		}
+		got, err := m.Predict(p.X)
+		if err != nil {
+			return fmt.Errorf("%w: probe %d (%s): %v", ErrBadRegistry, i, what, err)
+		}
+		if !(math.Abs(got-p.Want) <= tol*math.Max(1, math.Abs(p.Want))) {
+			return fmt.Errorf("%w: probe %d (%s) predicted %v, want %v (tolerance %g)",
+				ErrBadRegistry, i, what, got, p.Want, tol)
+		}
+	}
+	return nil
+}
+
+// Lookup returns the model serving the src→dst edge — the edge's own
+// model when the registry has one, the global fallback otherwise — plus
+// the label the response and metrics report.
+func (r *Registry) Lookup(src, dst string) (*gbt.Model, string) {
+	key := src + "->" + dst
+	if m := r.Edges[key]; m != nil {
+		return m, "edge:" + key
+	}
+	return r.Global, "global"
+}
+
+// Vectorize fills dst (len(Features)) with the request's named feature
+// values in registry column order; names the registry does not know are
+// reported in err. Missing features default to zero — a request is a
+// sparse map, not a fixed-width row.
+func (r *Registry) Vectorize(feats map[string]float64, dst []float64) error {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for name, v := range feats {
+		j, ok := r.nameIdx[name]
+		if !ok {
+			return fmt.Errorf("unknown feature %q", name)
+		}
+		dst[j] = v
+	}
+	return nil
+}

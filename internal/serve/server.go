@@ -1,0 +1,528 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Config parameterizes the daemon. The zero value of every field selects
+// a production-reasonable default.
+type Config struct {
+	Addr         string // listen address (default ":8723")
+	RegistryPath string // registry file, watched for changes
+
+	QueueDepth     int           // admission-queue capacity (default 1024)
+	BatchMax       int           // max rows coalesced into one batch (default 256)
+	Batchers       int           // batcher goroutines (default 2)
+	QueueTimeout   time.Duration // max admission-queue wait before shedding (default 100ms)
+	RequestTimeout time.Duration // server-side cap on end-to-end wait (default 2s)
+	DrainTimeout   time.Duration // hard deadline for SIGTERM drain (default 5s)
+	WatchInterval  time.Duration // registry-file poll period (default 2s; <0 disables)
+	RetryAfter     time.Duration // Retry-After hint on shed responses (default 1s)
+
+	Metrics *obs.Registry        // instrument sink (default: fresh registry)
+	Logf    func(string, ...any) // operational log (default log.Printf)
+}
+
+func (c *Config) fillDefaults() {
+	if c.Addr == "" {
+		c.Addr = ":8723"
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 256
+	}
+	if c.Batchers <= 0 {
+		c.Batchers = 2
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = 100 * time.Millisecond
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 2 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
+	if c.WatchInterval == 0 {
+		c.WatchInterval = 2 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewRegistry()
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+}
+
+// Server is the prediction daemon. Create with New, drive with Run (the
+// full daemon: listener, SIGHUP, drain) or with Start/Handler/Drain for
+// embedding and tests.
+type Server struct {
+	cfg Config
+
+	reg atomic.Pointer[Registry] // current serving snapshot
+	gen atomic.Int64             // generation counter; stamped onto promoted registries
+
+	queue    chan *pending
+	ready    atomic.Bool
+	draining atomic.Bool
+	inflight sync.WaitGroup // accepted (enqueued) requests not yet answered
+	hardStop chan struct{}  // closed when the drain deadline passes
+
+	stop      chan struct{} // closed to stop batchers and the watcher
+	workers   sync.WaitGroup
+	started   atomic.Bool
+	drainOnce sync.Once
+	drainErr  error
+	reloadMu  sync.Mutex // serializes Reload (SIGHUP vs watcher)
+	lastStamp registryStamp
+
+	mux *http.ServeMux
+
+	// Instruments (all on cfg.Metrics).
+	mRequests, mPredictions, mBadRequests *obs.Counter
+	mPanics, mReloads, mReloadFailures    *obs.Counter
+	mBatches                              *obs.Counter
+	mGeneration, mQueueDepth              *obs.Gauge
+	mBatchSize, mQueueWait, mLatency      *obs.Histogram
+}
+
+// registryStamp identifies a registry file state, so the watcher can skip
+// files it has already loaded or already failed to load.
+type registryStamp struct {
+	mtime time.Time
+	size  int64
+}
+
+// pending is one admitted request waiting for its batch.
+type pending struct {
+	req  *PredictRequest
+	x    []float64 // vectorized against the admission-time registry
+	vgen int64     // generation of the registry x was vectorized against
+	enq  time.Time
+	resp chan result // buffered(1); the batcher replies exactly once
+}
+
+// result is the batcher's answer to one pending request.
+type result struct {
+	rate       float64
+	model      string
+	generation int64
+	queueMS    float64
+	shed       bool  // queue-wait deadline passed before a batch picked it up
+	err        error // internal failure (panic isolation); answered as 500
+}
+
+// New builds a server and loads the boot registry from
+// cfg.RegistryPath. A missing or invalid registry fails construction —
+// the daemon never starts without a validated model set.
+func New(cfg Config) (*Server, error) {
+	cfg.fillDefaults()
+	s := &Server{
+		cfg:      cfg,
+		queue:    make(chan *pending, cfg.QueueDepth),
+		hardStop: make(chan struct{}),
+		stop:     make(chan struct{}),
+	}
+	reg := cfg.Metrics
+	s.mRequests = reg.Counter("serve.requests")
+	s.mPredictions = reg.Counter("serve.predictions")
+	s.mBadRequests = reg.Counter("serve.bad_requests")
+	s.mPanics = reg.Counter("serve.panics")
+	s.mReloads = reg.Counter("serve.reloads")
+	s.mReloadFailures = reg.Counter("serve.reload_failures")
+	s.mBatches = reg.Counter("serve.batches")
+	s.mGeneration = reg.Gauge("serve.generation")
+	s.mQueueDepth = reg.Gauge("serve.queue_depth")
+	s.mBatchSize = reg.Histogram("serve.batch_size", obs.ExpBuckets(1, 2, 10))
+	s.mQueueWait = reg.Histogram("serve.queue_wait_ms", obs.ExpBuckets(0.05, 2, 16))
+	s.mLatency = reg.Histogram("serve.latency_ms", obs.ExpBuckets(0.05, 2, 16))
+
+	boot, err := LoadRegistryFile(cfg.RegistryPath)
+	if err != nil {
+		return nil, err
+	}
+	boot.Generation = s.gen.Add(1)
+	s.reg.Store(boot)
+	s.mGeneration.Set(float64(boot.Generation))
+	s.noteStamp()
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/predict", s.handlePredict)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s, nil
+}
+
+// Registry returns the current serving snapshot.
+func (s *Server) Registry() *Registry { return s.reg.Load() }
+
+// Generation returns the current registry generation.
+func (s *Server) Generation() int64 { return s.reg.Load().Generation }
+
+// Start launches the batchers and the registry-file watcher and marks the
+// server ready. It is idempotent.
+func (s *Server) Start() {
+	if !s.started.CompareAndSwap(false, true) {
+		return
+	}
+	for i := 0; i < s.cfg.Batchers; i++ {
+		s.workers.Add(1)
+		go func() {
+			defer s.workers.Done()
+			s.batcherLoop()
+		}()
+	}
+	if s.cfg.WatchInterval > 0 {
+		s.workers.Add(1)
+		go func() {
+			defer s.workers.Done()
+			s.watchLoop()
+		}()
+	}
+	s.ready.Store(true)
+}
+
+// Handler returns the daemon's HTTP handler with per-request panic
+// isolation: a panicking request (including a pool.PanicError rethrown
+// from batch inference) is answered with 500 and counted, and the daemon
+// keeps serving.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				s.mPanics.Inc()
+				s.cfg.Logf("serve: panic in %s %s: %v", r.Method, r.URL.Path, v)
+				writeJSON(w, http.StatusInternalServerError, errorResponse{Error: "internal error"})
+			}
+		}()
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// Reload loads, validates, and promotes the registry file. On any error
+// the current registry keeps serving and the failure is counted; on
+// success the new registry is visible to the next batch while in-flight
+// batches finish on their old snapshot. Safe to call concurrently (SIGHUP
+// and the file watcher serialize here).
+func (s *Server) Reload() error {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	next, err := LoadRegistryFile(s.cfg.RegistryPath)
+	s.noteStamp()
+	if err != nil {
+		s.mReloadFailures.Inc()
+		s.cfg.Logf("serve: reload rejected, keeping generation %d: %v", s.Generation(), err)
+		return err
+	}
+	next.Generation = s.gen.Add(1)
+	s.reg.Store(next)
+	s.mReloads.Inc()
+	s.mGeneration.Set(float64(next.Generation))
+	s.cfg.Logf("serve: promoted registry generation %d (%d edge models)", next.Generation, len(next.Edges))
+	return nil
+}
+
+// noteStamp records the registry file's current mtime/size so the watcher
+// does not re-attempt a file state that was already loaded or rejected.
+// Callers hold reloadMu (or are still constructing the server).
+func (s *Server) noteStamp() {
+	if fi, err := os.Stat(s.cfg.RegistryPath); err == nil {
+		s.lastStamp = registryStamp{mtime: fi.ModTime(), size: fi.Size()}
+	} else {
+		s.lastStamp = registryStamp{}
+	}
+}
+
+// watchLoop polls the registry file and reloads when it changes — the
+// file-watch half of hot reload (SIGHUP is the other, see Run).
+func (s *Server) watchLoop() {
+	t := time.NewTicker(s.cfg.WatchInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+		}
+		s.reloadMu.Lock()
+		last := s.lastStamp
+		s.reloadMu.Unlock()
+		fi, err := os.Stat(s.cfg.RegistryPath)
+		if err != nil {
+			continue // transient (mid-rename); next tick retries
+		}
+		if fi.ModTime().Equal(last.mtime) && fi.Size() == last.size {
+			continue
+		}
+		_ = s.Reload() // failure logged + counted; last good registry keeps serving
+	}
+}
+
+// Drain performs graceful shutdown of the serving side: readiness flips
+// off, new predictions are shed, and every already-accepted request is
+// answered — by its batch if it completes in time, with a shed response
+// once the hard deadline passes. Always returns with the queue empty and
+// the batchers stopped; the error reports a deadline overrun. Idempotent:
+// later calls return the first drain's outcome.
+func (s *Server) Drain() error {
+	s.drainOnce.Do(func() {
+		s.draining.Store(true)
+		s.ready.Store(false)
+
+		done := make(chan struct{})
+		go func() {
+			s.inflight.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(s.cfg.DrainTimeout):
+			// Hard deadline: release every waiting handler with a shed
+			// response, then wait for them to finish writing it.
+			close(s.hardStop)
+			<-done
+			s.drainErr = fmt.Errorf("serve: drain deadline (%v) exceeded; remaining requests shed", s.cfg.DrainTimeout)
+		}
+		close(s.stop)
+		s.workers.Wait()
+	})
+	return s.drainErr
+}
+
+// Run is the daemon entry point: listen on cfg.Addr, serve until ctx is
+// cancelled (SIGTERM/SIGINT via the caller's signal context), reload on
+// SIGHUP, then drain and shut the listener down. The returned error is
+// nil on a clean drain.
+func (s *Server) Run(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.Start()
+	srv := &http.Server{Handler: s.Handler()}
+
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	s.cfg.Logf("serve: listening on %s (registry %s, generation %d)",
+		ln.Addr(), s.cfg.RegistryPath, s.Generation())
+
+	for {
+		select {
+		case <-ctx.Done():
+			s.cfg.Logf("serve: shutdown signal, draining (deadline %v)", s.cfg.DrainTimeout)
+			drainErr := s.Drain()
+			shutCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+			defer cancel()
+			if err := srv.Shutdown(shutCtx); err != nil && drainErr == nil {
+				drainErr = err
+			}
+			return drainErr
+		case <-hup:
+			s.cfg.Logf("serve: SIGHUP, reloading registry")
+			_ = s.Reload()
+		case err := <-serveErr:
+			return err
+		}
+	}
+}
+
+// ---- HTTP handlers ----
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.ready.Load() && !s.draining.Load() {
+		fmt.Fprintln(w, "ready")
+		return
+	}
+	w.WriteHeader(http.StatusServiceUnavailable)
+	fmt.Fprintln(w, "not ready")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mQueueDepth.Set(float64(len(s.queue)))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := obs.WritePrometheus(w, s.cfg.Metrics.Snapshot()); err != nil {
+		s.cfg.Logf("serve: writing /metrics: %v", err)
+	}
+}
+
+// shed answers a request the daemon chose not to serve right now. Always
+// 429 + Retry-After: the condition is transient (queue pressure, reload
+// churn, drain) and the client should back off and retry — never a 5xx,
+// which would look like failure to a health-checking load balancer.
+func (s *Server) shed(w http.ResponseWriter, reason string) {
+	s.cfg.Metrics.Counter(`serve.shed{reason="` + reason + `"}`).Inc()
+	w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter + time.Second - 1) / time.Second)))
+	writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "overloaded: " + reason})
+}
+
+func (s *Server) badRequest(w http.ResponseWriter, err error) {
+	s.mBadRequests.Inc()
+	writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	s.mRequests.Inc()
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+		return
+	}
+	if !s.ready.Load() || s.draining.Load() {
+		s.shed(w, "draining")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, MaxRequestBody+1))
+	if err != nil {
+		s.badRequest(w, fmt.Errorf("reading body: %w", err))
+		return
+	}
+	if len(body) > MaxRequestBody {
+		s.badRequest(w, fmt.Errorf("body exceeds %d bytes", MaxRequestBody))
+		return
+	}
+	req, err := ParseRequest(body)
+	if err != nil {
+		s.badRequest(w, err)
+		return
+	}
+
+	// Vectorize against the admission-time snapshot; unknown feature
+	// names are the client's error and refuse admission.
+	p, err := newPending(s.reg.Load(), req)
+	if err != nil {
+		s.badRequest(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
+		return
+	}
+
+	// Admission: the queue either has room now or the request is shed.
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	select {
+	case s.queue <- p:
+		s.mQueueDepth.Set(float64(len(s.queue)))
+	default:
+		s.shed(w, "queue_full")
+		return
+	}
+
+	// The request's end-to-end deadline: the client's deadline_ms when
+	// given (capped by the server's own limit), RequestTimeout otherwise.
+	wait := s.cfg.RequestTimeout
+	if req.DeadlineMS > 0 {
+		if d := time.Duration(req.DeadlineMS * float64(time.Millisecond)); d < wait {
+			wait = d
+		}
+	}
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+
+	select {
+	case res := <-p.resp:
+		s.respond(w, p, res)
+		p.recycle()
+	case <-timer.C:
+		s.shed(w, "deadline")
+	case <-s.hardStop:
+		s.shed(w, "drain_deadline")
+	}
+}
+
+// PredictSync submits one request through the admission queue and the
+// batchers and waits for the answer — the embedding entry point (the
+// benchmarks measure the queue+batch path through it, without HTTP
+// overhead). Unlike the HTTP path it blocks for queue room (ctx bounds
+// the wait), so callers get backpressure instead of shedding.
+func (s *Server) PredictSync(ctx context.Context, req *PredictRequest) (*PredictResponse, error) {
+	p, err := newPending(s.reg.Load(), req)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	select {
+	case s.queue <- p:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-s.hardStop:
+		return nil, fmt.Errorf("serve: draining")
+	}
+	select {
+	case res := <-p.resp:
+		p.recycle()
+		if res.err != nil {
+			return nil, res.err
+		}
+		if res.shed {
+			return nil, fmt.Errorf("serve: shed on queue-wait timeout")
+		}
+		return &PredictResponse{Rate: res.rate, Model: res.model, Generation: res.generation, QueueMS: res.queueMS}, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-s.hardStop:
+		return nil, fmt.Errorf("serve: drain deadline passed")
+	}
+}
+
+func (s *Server) respond(w http.ResponseWriter, p *pending, res result) {
+	switch {
+	case res.err != nil:
+		s.mPanics.Inc()
+		s.cfg.Logf("serve: batch failure: %v", res.err)
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: "internal error"})
+	case res.shed:
+		s.shed(w, "queue_wait")
+	default:
+		s.mPredictions.Inc()
+		totalMS := float64(time.Since(p.enq)) / float64(time.Millisecond)
+		s.mLatency.Observe(totalMS)
+		if res.model != "global" {
+			s.cfg.Metrics.Histogram(
+				fmt.Sprintf("serve.latency_ms{edge=%q}", p.req.Src+"->"+p.req.Dst),
+				obs.ExpBuckets(0.05, 2, 16)).Observe(totalMS)
+		}
+		writeJSON(w, http.StatusOK, PredictResponse{
+			Rate:       res.rate,
+			Model:      res.model,
+			Generation: res.generation,
+			QueueMS:    res.queueMS,
+		})
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

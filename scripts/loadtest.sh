@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# loadtest.sh — concurrent load generator for the wanperf serve daemon,
+# reporting status-code mix and latency percentiles.
+#
+# Usage: scripts/loadtest.sh [url] [clients] [requests-per-client]
+#
+#   url                  daemon base URL   (default http://127.0.0.1:8723)
+#   clients              concurrent workers (default 8)
+#   requests-per-client  requests each     (default 200)
+#
+# Environment:
+#   LOADTEST_BODY  request JSON (default: a global-fallback prediction)
+#
+# Each worker POSTs /predict in a tight loop recording curl's total time
+# per request; the summary aggregates all workers: requests by status
+# code, throughput, and p50/p90/p99/max latency of the 200s. Exits 1 if
+# any request returned a 5xx (the daemon's shed policy is 429-only) or if
+# nothing succeeded.
+set -eu
+
+url="${1:-http://127.0.0.1:8723}"
+clients="${2:-8}"
+per="${3:-200}"
+body="${LOADTEST_BODY:-{\"src\":\"loadtest\",\"dst\":\"loadtest\",\"features\":{\"C\":4,\"P\":4,\"Nf\":100,\"Nb\":1e9}}}"
+
+command -v curl >/dev/null || { echo "loadtest: curl not found" >&2; exit 1; }
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+worker() {
+    local out="$1" i
+    for i in $(seq 1 "$per"); do
+        curl -s -o /dev/null \
+            -w '%{http_code} %{time_total}\n' \
+            -X POST -H 'Content-Type: application/json' \
+            --data "$body" \
+            "$url/predict" >>"$out" || echo "000 0" >>"$out"
+    done
+}
+
+echo "loadtest: $clients clients x $per requests against $url/predict" >&2
+start=$(date +%s.%N)
+for c in $(seq 1 "$clients"); do
+    worker "$tmp/w$c" &
+done
+wait
+elapsed=$(date +%s.%N | awk -v s="$start" '{printf "%.3f", $1 - s}')
+
+cat "$tmp"/w* | awk -v elapsed="$elapsed" '
+{
+    code[$1]++
+    total++
+    if ($1 == "200") lat[n200++] = $2
+    if ($1 >= 500) bad++
+}
+END {
+    printf "requests: %d in %ss (%.1f req/s)\n", total, elapsed, total / elapsed
+    for (c in code) printf "  status %s: %d\n", c, code[c]
+    if (n200 > 0) {
+        # insertion sort: n is small enough
+        for (i = 1; i < n200; i++) {
+            v = lat[i]
+            for (j = i - 1; j >= 0 && lat[j] > v; j--) lat[j+1] = lat[j]
+            lat[j+1] = v
+        }
+        printf "latency (200s): p50 %.1fms  p90 %.1fms  p99 %.1fms  max %.1fms\n", \
+            lat[int(n200*0.50)]*1000, lat[int(n200*0.90)]*1000, \
+            lat[int(n200*0.99)]*1000, lat[n200-1]*1000
+    }
+    if (bad > 0) { printf "FAIL: %d 5xx responses\n", bad; exit 1 }
+    if (n200 == 0) { print "FAIL: no successful predictions"; exit 1 }
+}'

@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# serve-smoke.sh — end-to-end smoke test of the wanperf serve daemon,
+# suitable for CI: build the binary, train a registry on the small
+# workload, boot the daemon, and walk the whole lifecycle:
+#
+#   /healthz → /readyz → /predict (edge + global + bad request)
+#   → corrupt-registry reload is rejected, last good registry keeps serving
+#   → SIGHUP hot reload promotes a new generation
+#   → SIGTERM drains gracefully within the deadline, exit 0
+#
+# Usage: scripts/serve-smoke.sh [port]
+set -eu
+
+cd "$(dirname "$0")/.."
+port="${1:-18729}"
+addr="127.0.0.1:$port"
+url="http://$addr"
+
+tmp="$(mktemp -d)"
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+fail() { echo "serve-smoke: FAIL: $*" >&2; exit 1; }
+step() { echo "serve-smoke: $*" >&2; }
+
+step "building wanperf"
+go build -o "$tmp/wanperf" ./cmd/wanperf
+
+step "training registry (small workload)"
+"$tmp/wanperf" registry -small -out "$tmp/registry.json" 2>/dev/null
+[ -s "$tmp/registry.json" ] || fail "registry not written"
+
+step "starting daemon on $addr"
+"$tmp/wanperf" serve -registry "$tmp/registry.json" -addr "$addr" \
+    -drain-timeout 5s -watch -1s >"$tmp/serve.log" 2>&1 &
+pid=$!
+
+for i in $(seq 1 50); do
+    curl -sf "$url/healthz" >/dev/null 2>&1 && break
+    kill -0 "$pid" 2>/dev/null || { cat "$tmp/serve.log" >&2; fail "daemon died on startup"; }
+    sleep 0.2
+done
+curl -sf "$url/healthz" >/dev/null || fail "healthz never came up"
+step "healthz ok"
+
+[ "$(curl -s -o /dev/null -w '%{http_code}' "$url/readyz")" = 200 ] || fail "readyz not ready"
+step "readyz ok"
+
+predict() { curl -s -X POST -H 'Content-Type: application/json' --data "$1" "$url/predict"; }
+
+resp="$(predict '{"src":"smoke","dst":"smoke","features":{"C":4,"Nf":100}}')"
+echo "$resp" | grep -q '"model":"global"' || fail "global prediction failed: $resp"
+echo "$resp" | grep -q '"generation":1' || fail "unexpected boot generation: $resp"
+step "predict ok ($resp)"
+
+code="$(curl -s -o /dev/null -w '%{http_code}' -X POST --data '{"features":{}}' "$url/predict")"
+[ "$code" = 400 ] || fail "empty-features request returned $code, want 400"
+step "bad request rejected with 400"
+
+step "corrupt reload: daemon must keep the last good registry"
+cp "$tmp/registry.json" "$tmp/registry.json.good"
+echo '{"version":1,"features":["x"]}' >"$tmp/registry.json"
+kill -HUP "$pid"; sleep 0.5
+resp="$(predict '{"src":"smoke","dst":"smoke","features":{"C":4}}')"
+echo "$resp" | grep -q '"generation":1' || fail "corrupt reload changed serving state: $resp"
+grep -q "reload rejected" "$tmp/serve.log" || fail "corrupt reload not logged as rejected"
+step "corrupt registry rejected, generation 1 still serving"
+
+step "SIGHUP hot reload of a good registry"
+cp "$tmp/registry.json.good" "$tmp/registry.json"
+kill -HUP "$pid"; sleep 0.5
+resp="$(predict '{"src":"smoke","dst":"smoke","features":{"C":4}}')"
+echo "$resp" | grep -q '"generation":2' || fail "reload did not promote generation 2: $resp"
+curl -s "$url/metrics" | grep -q '^serve_reloads 1' || fail "reload counter not exported"
+step "hot reload promoted generation 2"
+
+step "SIGTERM graceful drain"
+kill -TERM "$pid"
+drain_ok=1
+for i in $(seq 1 50); do
+    kill -0 "$pid" 2>/dev/null || { drain_ok=0; break; }
+    sleep 0.2
+done
+[ "$drain_ok" = 0 ] || fail "daemon did not exit within 10s of SIGTERM"
+set +e; wait "$pid"; code=$?; set -e
+pid=""
+[ "$code" = 0 ] || fail "daemon exited $code after drain, want 0"
+step "drained cleanly, exit 0"
+
+echo "serve-smoke: PASS" >&2

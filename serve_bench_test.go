@@ -1,0 +1,141 @@
+package repro
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/features"
+	"repro/internal/serve"
+)
+
+var (
+	serveBenchOnce sync.Once
+	serveBenchSrv  *serve.Server
+	serveBenchReqs []*serve.PredictRequest
+	serveBenchErr  error
+)
+
+// serveBenchServer builds the serving registry from the bench pipeline
+// (one model per study edge + global fallback), boots a daemon on it, and
+// prepares one request per row of the busiest edge — the same rows
+// BenchmarkPredictAll scores, so the two benchmarks compare the full
+// queue+batch serving path against raw forest inference directly.
+func serveBenchServer(b *testing.B) (*serve.Server, []*serve.PredictRequest) {
+	b.Helper()
+	pl, edges := benchPipeline(b)
+	serveBenchOnce.Do(func() {
+		reg, err := serve.Build(context.Background(), pl, edges)
+		if err != nil {
+			serveBenchErr = err
+			return
+		}
+		var buf bytes.Buffer
+		if err := serve.WriteRegistry(&buf, reg); err != nil {
+			serveBenchErr = err
+			return
+		}
+		dir := b.TempDir()
+		path := filepath.Join(dir, "registry.json")
+		if serveBenchErr = os.WriteFile(path, buf.Bytes(), 0o644); serveBenchErr != nil {
+			return
+		}
+		srv, err := serve.New(serve.Config{
+			RegistryPath:   path,
+			QueueDepth:     4096,
+			QueueTimeout:   time.Minute,
+			RequestTimeout: time.Minute,
+			WatchInterval:  -1,
+			Logf:           func(string, ...any) {},
+		})
+		if err != nil {
+			serveBenchErr = err
+			return
+		}
+		srv.Start()
+		serveBenchSrv = srv
+
+		edge := edges[0]
+		for _, v := range pl.VectorsAt(edge.Qualifying) {
+			vals := v.Values(false)
+			feats := make(map[string]float64, len(features.Names))
+			for i, name := range features.Names {
+				feats[name] = vals[i]
+			}
+			serveBenchReqs = append(serveBenchReqs, &serve.PredictRequest{
+				Src:      edge.Edge.Src,
+				Dst:      edge.Edge.Dst,
+				Features: feats,
+			})
+		}
+	})
+	if serveBenchErr != nil {
+		b.Fatal(serveBenchErr)
+	}
+	return serveBenchSrv, serveBenchReqs
+}
+
+// BenchmarkServeBatchInference measures the exact inference call the
+// daemon's batcher issues — PredictBatch on a coalesced batch of rows
+// through the registry's edge model — reported per row. Compare against
+// BenchmarkPredictAll's ns/op divided by its row count: batching at the
+// daemon's batch size must stay within ~20% of raw full-matrix inference,
+// i.e. coalescing recovers batch efficiency.
+func BenchmarkServeBatchInference(b *testing.B) {
+	srv, reqs := serveBenchServer(b)
+	const batch = 64
+	if len(reqs) < batch {
+		b.Fatalf("only %d rows", len(reqs))
+	}
+	reg := srv.Registry()
+	m, _ := reg.Lookup(reqs[0].Src, reqs[0].Dst)
+	xs := make([][]float64, batch)
+	for i := 0; i < batch; i++ {
+		x := make([]float64, len(reg.Features))
+		if err := reg.Vectorize(reqs[i].Features, x); err != nil {
+			b.Fatal(err)
+		}
+		xs[i] = x
+	}
+	out := make([]float64, batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.PredictBatch(xs, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/row")
+}
+
+// BenchmarkServePredict measures per-prediction throughput through the
+// daemon's full serving path — admission queue, batcher coalescing, and
+// grouped PredictBatch on the flat SoA forest — under concurrent clients,
+// so batches actually fill. ns/op here is the end-to-end cost of one
+// served prediction: batched inference (see BenchmarkServeBatchInference)
+// plus admission (feature-map vectorization) and the cross-goroutine
+// queue handoff.
+func BenchmarkServePredict(b *testing.B) {
+	srv, reqs := serveBenchServer(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	// Enough concurrent clients per core that the batchers coalesce real
+	// batches; a lone synchronous client would force batch size 1 and
+	// measure queue overhead instead of batched throughput.
+	b.SetParallelism(64)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			req := reqs[i%len(reqs)]
+			i++
+			if _, err := srv.PredictSync(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
