@@ -26,13 +26,16 @@ bench:
 	./scripts/bench.sh $(BENCH_LABEL)
 
 # Short fuzz passes: the CSV ingestion round-trip properties, the
-# world-spec parser (malformed JSON / non-finite numbers must error,
-# never panic), the engine-schedule differential fuzzer (optimized
-# event core must stay byte-identical to the reference core under
+# columnar container reader (truncated/corrupt/version-skewed inputs
+# must fail closed, never panic or silently drop rows), the world-spec
+# parser (malformed JSON / non-finite numbers must error, never panic),
+# the engine-schedule differential fuzzer (optimized and sharded event
+# cores must stay byte-identical to the reference core under
 # adversarial deadline ties), and the serve daemon's request decoder
 # (malformed bodies must 400, never panic).
 fuzz:
 	$(GO) test ./internal/logs -run '^$$' -fuzz FuzzReadCSV -fuzztime 30s
+	$(GO) test ./internal/logs/colfmt -run '^$$' -fuzz FuzzReadColumnar -fuzztime 30s
 	$(GO) test ./internal/simulate -run '^$$' -fuzz FuzzParseWorld -fuzztime 30s
 	$(GO) test ./internal/simulate -run '^$$' -fuzz FuzzEngineSchedules -fuzztime 30s
 	$(GO) test ./internal/serve -run '^$$' -fuzz FuzzPredictRequest -fuzztime 30s

@@ -7,12 +7,16 @@
 package repro
 
 import (
+	"bytes"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/features"
+	"repro/internal/logs"
+	"repro/internal/logs/colfmt"
 	"repro/internal/ml/gbt"
 	"repro/internal/ml/linreg"
 	"repro/internal/simulate"
@@ -301,6 +305,202 @@ func BenchmarkEngineRunMedium(b *testing.B) {
 // BenchmarkEngineRunLarge simulates ~50k transfers.
 func BenchmarkEngineRunLarge(b *testing.B) {
 	benchEngineRun(b, engineRunConfig(36, 1400, 140, 24, 24, 30))
+}
+
+// ---- Shard-scaling benchmarks ----
+//
+// BenchmarkEngineShardLarge{1,2,4,Max} run the same clustered Large world
+// (simulate.LargeConfig: 24 disconnected clusters, ~300k transfers) at
+// increasing shard counts. Sharding wins twice: each sub-engine's
+// per-event work scans only its own components' active transfers (an
+// algorithmic gain that holds even on one CPU), and the sub-engines run
+// over internal/pool workers (a parallel gain on multi-core machines).
+// Output is byte-identical at every shard count — the differential and
+// property tests pin that; these benchmarks record what it costs.
+
+func benchEngineShards(b *testing.B, shards int) {
+	cfg := simulate.LargeConfig()
+	g, err := simulate.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	logOncePerBench(b, fmt.Sprintf("%s: %d transfers over %d endpoints, %d clusters, shards=%d",
+		b.Name(), len(g.Specs), len(g.World.Endpoints), cfg.Clusters, shards))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := simulate.NewEngine(g.World, cfg.Seed+1)
+		eng.SetShards(shards)
+		eng.Submit(g.Specs...)
+		l, err := eng.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(l.Records) == 0 {
+			b.Fatal("no records")
+		}
+	}
+}
+
+func BenchmarkEngineShardLarge1(b *testing.B) { benchEngineShards(b, 1) }
+func BenchmarkEngineShardLarge2(b *testing.B) { benchEngineShards(b, 2) }
+func BenchmarkEngineShardLarge4(b *testing.B) { benchEngineShards(b, 4) }
+
+// BenchmarkEngineShardLargeMax runs one shard per cluster (or per
+// GOMAXPROCS, whichever is larger — extra shards beyond the component
+// count are clamped by the engine).
+func BenchmarkEngineShardLargeMax(b *testing.B) {
+	shards := runtime.GOMAXPROCS(0)
+	if shards < simulate.LargeConfig().Clusters {
+		shards = simulate.LargeConfig().Clusters
+	}
+	benchEngineShards(b, shards)
+}
+
+// ---- Columnar vs CSV log I/O ----
+
+// benchLogData generates one small log and serializes it both ways.
+func benchLogData(b *testing.B) (csvData, colData []byte, records int) {
+	b.Helper()
+	l, _, err := simulate.GenerateLog(simulate.SmallConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var csvBuf, colBuf bytes.Buffer
+	if err := l.WriteCSV(&csvBuf); err != nil {
+		b.Fatal(err)
+	}
+	if err := colfmt.WriteLog(&colBuf, l); err != nil {
+		b.Fatal(err)
+	}
+	return csvBuf.Bytes(), colBuf.Bytes(), len(l.Records)
+}
+
+// BenchmarkLogReadCSV measures the strict CSV reader (the compatibility
+// path: strconv row by row).
+func BenchmarkLogReadCSV(b *testing.B) {
+	data, _, n := benchLogData(b)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l, err := logs.ReadCSV(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(l.Records) != n {
+			b.Fatal("lost records")
+		}
+	}
+}
+
+// BenchmarkLogReadColumnar measures the columnar reader materializing
+// the same log (fixed-width column decode + CRC check).
+func BenchmarkLogReadColumnar(b *testing.B) {
+	_, data, n := benchLogData(b)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l, err := colfmt.ReadLog(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(l.Records) != n {
+			b.Fatal("lost records")
+		}
+	}
+}
+
+// BenchmarkLogWriteCSV and BenchmarkLogWriteColumnar time serializing
+// the same in-memory log both ways (strconv formatting vs fixed-width
+// column copies).
+func BenchmarkLogWriteCSV(b *testing.B) {
+	l, _, err := simulate.GenerateLog(simulate.SmallConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := l.WriteCSV(&buf); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(buf.Len()))
+	}
+}
+
+func BenchmarkLogWriteColumnar(b *testing.B) {
+	l, _, err := simulate.GenerateLog(simulate.SmallConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := colfmt.WriteLog(&buf, l); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(buf.Len()))
+	}
+}
+
+// BenchmarkLogReadColumnarTable measures the cheapest columnar path:
+// straight to column views, no row materialization (what
+// features.EngineerColumns consumes).
+func BenchmarkLogReadColumnarTable(b *testing.B) {
+	_, data, n := benchLogData(b)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, _, err := colfmt.ReadTable(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if t.Len() != n {
+			b.Fatal("lost records")
+		}
+	}
+}
+
+// ---- Paper-scale end to end ----
+
+// BenchmarkPaperScaleXLarge is the tentpole demonstration: generate the
+// XLarge world (24 clusters, >1M transfers), simulate it sharded, write
+// and re-read the log through the columnar container, and engineer the
+// full feature set from column views. Run with -benchtime 1x (it is the
+// whole pipeline); scripts/bench.sh records it in the shard-sim artifact.
+func BenchmarkPaperScaleXLarge(b *testing.B) {
+	cfg := simulate.XLargeConfig()
+	cfg.Shards = cfg.Clusters
+	for i := 0; i < b.N; i++ {
+		l, _, err := simulate.GenerateLog(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(l.Records) < 1_000_000 {
+			b.Fatalf("XLarge produced only %d transfers", len(l.Records))
+		}
+		var buf bytes.Buffer
+		if err := colfmt.WriteLog(&buf, l); err != nil {
+			b.Fatal(err)
+		}
+		tab, _, err := colfmt.ReadTable(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		vecs := features.EngineerColumns(tab)
+		if len(vecs) != len(l.Records) {
+			b.Fatal("engineering lost records")
+		}
+		logOncePerBench(b, fmt.Sprintf("%s: %d transfers simulated, %d MB columnar, %d vectors",
+			b.Name(), len(l.Records), buf.Len()/(1<<20), len(vecs)))
+	}
 }
 
 // ---- Component micro-benchmarks ----

@@ -1,0 +1,181 @@
+package main
+
+// convert.go implements `wanperf convert`: streaming conversion between
+// the CSV interchange format and the columnar binary container
+// (internal/logs/colfmt). Neither direction materializes the whole log —
+// CSV rows stream into the columnar writer chunk by chunk, and columnar
+// chunks stream out row by row — so paper-scale logs convert in constant
+// memory.
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/logs"
+	"repro/internal/logs/colfmt"
+)
+
+// colMagic mirrors the container's magic for input sniffing.
+var colMagic = []byte("WPCL")
+
+// cmdConvert converts -in between CSV and columnar. The input format is
+// sniffed from the leading bytes; -to picks the output format explicitly
+// (default: the opposite of the input). Output goes to -out or stdout.
+func cmdConvert(c cmdContext) error {
+	if c.opts.in == "" {
+		return fmt.Errorf("%w: convert requires -in FILE", errUsage)
+	}
+	f, err := os.Open(c.opts.in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+	head, _ := br.Peek(len(colMagic))
+	inCol := bytes.Equal(head, colMagic)
+
+	to := c.opts.to
+	switch to {
+	case "":
+		if inCol {
+			to = "csv"
+		} else {
+			to = "columnar"
+		}
+	case "csv", "columnar":
+	default:
+		return fmt.Errorf("%w: -to must be csv or columnar, got %q", errUsage, to)
+	}
+
+	return withOutput(c.opts.out, func(w io.Writer) error {
+		switch {
+		case inCol && to == "csv":
+			return columnarToCSV(br, w)
+		case !inCol && to == "columnar":
+			return csvToColumnar(br, w)
+		case inCol:
+			return columnarToColumnar(br, w)
+		default:
+			return csvToCSV(br, w)
+		}
+	})
+}
+
+// csvToColumnar streams CSV rows into the columnar container. CSV
+// carries no endpoint directory, so none is written.
+func csvToColumnar(r io.Reader, w io.Writer) error {
+	sc, err := logs.NewCSVScanner(r)
+	if err != nil {
+		return err
+	}
+	cw := colfmt.NewWriter(w, 0)
+	for {
+		rec, err := sc.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if err := cw.Append(rec); err != nil {
+			return err
+		}
+	}
+	return cw.Close()
+}
+
+// columnarToCSV streams columnar chunks out as CSV rows. The endpoint
+// directory has no CSV representation and is dropped, as with
+// logs.ReadCSV round trips.
+func columnarToCSV(r io.Reader, w io.Writer) error {
+	cr, err := colfmt.NewReader(r)
+	if err != nil {
+		return err
+	}
+	cw := logs.NewCSVWriter(w)
+	for {
+		tab, err := cr.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		for i := 0; i < tab.Len(); i++ {
+			rec := tab.Record(i)
+			if err := cw.Write(&rec); err != nil {
+				return err
+			}
+		}
+	}
+	return cw.Flush()
+}
+
+// columnarToColumnar re-chunks (and integrity-checks) a columnar file,
+// preserving the endpoint directory.
+func columnarToColumnar(r io.Reader, w io.Writer) error {
+	cr, err := colfmt.NewReader(r)
+	if err != nil {
+		return err
+	}
+	var cw *colfmt.Writer
+	start := func() error {
+		if cw != nil {
+			return nil
+		}
+		cw = colfmt.NewWriter(w, 0)
+		if eps := cr.Endpoints(); len(eps) > 0 {
+			return cw.Endpoints(eps)
+		}
+		return nil
+	}
+	for {
+		tab, err := cr.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		// The directory section (if any) is decoded by the first Next.
+		if err := start(); err != nil {
+			return err
+		}
+		for i := 0; i < tab.Len(); i++ {
+			if err := cw.Append(tab.Record(i)); err != nil {
+				return err
+			}
+		}
+	}
+	if err := start(); err != nil {
+		return err
+	}
+	return cw.Close()
+}
+
+// csvToCSV re-emits a CSV log through the strict parser, normalizing
+// legacy 11-column files to the current layout.
+func csvToCSV(r io.Reader, w io.Writer) error {
+	sc, err := logs.NewCSVScanner(r)
+	if err != nil {
+		return err
+	}
+	cw := logs.NewCSVWriter(w)
+	for {
+		rec, err := sc.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if err := cw.Write(&rec); err != nil {
+			return err
+		}
+	}
+	return cw.Flush()
+}

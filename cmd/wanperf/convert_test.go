@@ -1,0 +1,147 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/logs"
+	"repro/internal/logs/colfmt"
+	"repro/internal/simulate"
+)
+
+// TestConvertRoundTrip drives convert through realMain both ways:
+// CSV → columnar → CSV must reproduce the original bytes, and the
+// intermediate columnar file must parse with matching records.
+func TestConvertRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "log.csv")
+	colPath := filepath.Join(dir, "log.wpcl")
+	backPath := filepath.Join(dir, "back.csv")
+
+	cfg := simulate.SmallConfig()
+	cfg.HeavyEdges = 3
+	cfg.HeavyTransfersMean = 40
+	cfg.TailEdges = 4
+	l, _, err := simulate.GenerateLog(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var orig bytes.Buffer
+	if err := l.WriteCSV(&orig); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(csvPath, orig.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	if code := realMain(ctx, []string{"convert", "-in", csvPath, "-out", colPath}); code != 0 {
+		t.Fatalf("convert to columnar exited %d", code)
+	}
+	colData, err := os.ReadFile(colPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := colfmt.ReadLog(bytes.NewReader(colData))
+	if err != nil {
+		t.Fatalf("columnar output unreadable: %v", err)
+	}
+	if len(got.Records) != len(l.Records) {
+		t.Fatalf("columnar has %d records, want %d", len(got.Records), len(l.Records))
+	}
+	for i := range got.Records {
+		if got.Records[i] != l.Records[i] {
+			t.Fatalf("record %d differs after conversion", i)
+		}
+	}
+
+	if code := realMain(ctx, []string{"convert", "-in", colPath, "-out", backPath}); code != 0 {
+		t.Fatalf("convert back to CSV exited %d", code)
+	}
+	back, err := os.ReadFile(backPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, orig.Bytes()) {
+		t.Fatal("CSV → columnar → CSV round trip changed bytes")
+	}
+}
+
+// TestConvertExplicitTarget pins -to: converting columnar to columnar
+// re-chunks while keeping the endpoint directory.
+func TestConvertExplicitTarget(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.wpcl")
+	out := filepath.Join(dir, "out.wpcl")
+
+	l := logs.NewLog()
+	l.AddEndpoint(logs.Endpoint{ID: "a", Site: "ANL", Type: logs.GCS})
+	l.Append(logs.Record{ID: 1, Src: "a", Dst: "a", Ts: 0, Te: 5, Bytes: 1e6, Files: 1, Conc: 1, Par: 1})
+	var buf bytes.Buffer
+	if err := colfmt.WriteLog(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(in, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := realMain(context.Background(),
+		[]string{"convert", "-in", in, "-to", "columnar", "-out", out}); code != 0 {
+		t.Fatalf("convert exited %d", code)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := colfmt.ReadLog(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Endpoints) != 1 || got.Records[0] != l.Records[0] {
+		t.Fatal("columnar re-chunking lost data")
+	}
+}
+
+// TestConvertUsageErrors pins the exit codes: missing -in and a bad -to
+// are usage errors (2), a corrupt input is a runtime error (1).
+func TestConvertUsageErrors(t *testing.T) {
+	ctx := context.Background()
+	if code := realMain(ctx, []string{"convert"}); code != 2 {
+		t.Errorf("convert without -in exited %d, want 2", code)
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.wpcl")
+	if err := os.WriteFile(bad, []byte("WPCL garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := realMain(ctx, []string{"convert", "-in", bad, "-to", "nonsense"}); code != 2 {
+		t.Errorf("convert with bad -to exited %d, want 2", code)
+	}
+	if code := realMain(ctx, []string{"convert", "-in", bad, "-out", filepath.Join(dir, "out")}); code != 1 {
+		t.Errorf("convert of corrupt input exited %d, want 1", code)
+	}
+}
+
+// TestSimulateColumnarFormat pins `simulate -format columnar`: output
+// parses as a columnar log with the full endpoint directory.
+func TestSimulateColumnarFormat(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "log.wpcl")
+	if code := realMain(context.Background(),
+		[]string{"simulate", "-small", "-shards", "4", "-format", "columnar", "-out", out}); code != 0 {
+		t.Fatalf("simulate exited %d", code)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := colfmt.ReadLog(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Records) == 0 || len(l.Endpoints) == 0 {
+		t.Fatalf("columnar simulate output has %d records, %d endpoints", len(l.Records), len(l.Endpoints))
+	}
+}

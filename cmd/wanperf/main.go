@@ -11,14 +11,20 @@
 // Run `wanperf help` for the command table. Commands fall into three
 // groups: paper experiments (table1..fig13, eq1, global, lmt, models,
 // ablation, tuned, chaos, all), data tooling (simulate, edges, worldspec,
-// registry), and serving (serve — the production prediction daemon with
-// hot reload, backpressure, and graceful drain; see internal/serve).
+// convert, registry), and serving (serve — the production prediction
+// daemon with hot reload, backpressure, and graceful drain; see
+// internal/serve).
 //
 // Flags (shared):
 //
 //	-seed N           RNG seed (default 42)
 //	-small            use the reduced workload (fast, for exploration)
+//	-shards N         shard the simulation by resource-sharing component
+//	                  (0/1 = serial; sharded output is byte-identical)
 //	-out FILE         output path for simulate/worldspec/registry (default stdout)
+//	-format FMT       simulate: output format, csv (default) or columnar
+//	-in FILE          convert: input log (CSV or columnar, sniffed)
+//	-to FMT           convert: target format (default: opposite of input)
 //	-intensities LIST for chaos: comma-separated fault intensities
 //	-gbt-bins N       histogram bins for boosted-tree training (default 256;
 //	                  0 = exact presorted split search)
@@ -64,6 +70,7 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/core"
+	"repro/internal/logs/colfmt"
 	"repro/internal/obs"
 	"repro/internal/pool"
 	"repro/internal/serve"
@@ -149,12 +156,12 @@ var commandOrder = []string{
 	"table1", "table3", "table4", "table5",
 	"fig3", "fig4", "fig5", "fig6", "fig8", "fig9", "fig12", "fig13",
 	"eq1", "global", "lmt", "ablation", "tuned", "worldspec", "chaos", "all",
-	"registry", "serve",
+	"convert", "registry", "serve",
 }
 
 var commands = map[string]*cmdSpec{
-	"simulate": {summary: "generate a transfer log and write it as CSV", pipeline: true,
-		run: func(c cmdContext) error { return withOutput(c.opts.out, c.pl.Log.WriteCSV) }},
+	"simulate": {summary: "generate a transfer log and write it (-format csv|columnar)", pipeline: true,
+		run: cmdSimulate},
 	"edges": {summary: "list the heavily used edges the study selects", pipeline: true,
 		run: cmdEdges},
 	"models": {summary: "train per-edge linear and nonlinear models (Figs 10, 11)", pipeline: true,
@@ -197,6 +204,8 @@ var commands = map[string]*cmdSpec{
 		run: cmdWorldspec},
 	"chaos": {summary: "fault-intensity sweep: model accuracy vs injected disruption",
 		run: cmdChaos},
+	"convert": {summary: "convert a transfer log between CSV and columnar (-in FILE [-to FORMAT])",
+		run: cmdConvert},
 	"all": {summary: "everything above, in paper order", pipeline: true,
 		run: func(c cmdContext) error { return runAll(c.ctx, c.pl, c.edges, c.cfg) }},
 	"registry": {summary: "train the serving registry (per-edge + global models) and write it", pipeline: true,
@@ -239,8 +248,10 @@ func run(ctx context.Context, cmd string, cfg simulate.Config, opts options, o *
 
 func usage() {
 	var b strings.Builder
-	b.WriteString("usage: wanperf <command> [-seed N] [-small] [-out FILE] [-intensities LIST]\n")
+	b.WriteString("usage: wanperf <command> [-seed N] [-small] [-shards N] [-out FILE] [-intensities LIST]\n")
 	b.WriteString("                         [-gbt-bins N] [-metrics FILE] [-trace FILE] [-pprof ADDR]\n")
+	b.WriteString("       wanperf simulate [-format csv|columnar] [-out FILE]\n")
+	b.WriteString("       wanperf convert -in FILE [-to csv|columnar] [-out FILE]\n")
 	b.WriteString("       wanperf serve -registry FILE [-addr ADDR] [-queue N] [-batch N]\n")
 	b.WriteString("                     [-queue-timeout DUR] [-request-timeout DUR]\n")
 	b.WriteString("                     [-drain-timeout DUR] [-watch DUR]\n")
@@ -302,6 +313,9 @@ type options struct {
 	metrics     string // JSON metrics output path ("" = disabled)
 	trace       string // JSON trace output path ("" = disabled)
 	pprofAddr   string // pprof listen address ("" = disabled)
+	format      string // simulate: output format (csv or columnar)
+	in          string // convert: input path
+	to          string // convert: target format ("" = opposite of input)
 
 	// serve flags.
 	addr           string
@@ -326,7 +340,11 @@ func parseArgs(args []string) (cmd string, cfg simulate.Config, opts options, er
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	seed := fs.Int64("seed", 42, "RNG seed")
 	small := fs.Bool("small", false, "use the reduced workload")
+	shards := fs.Int("shards", 0, "shard the simulation by resource-sharing component (0/1 = serial; output is byte-identical)")
 	out := fs.String("out", "", "output path for simulate/worldspec/registry (default stdout)")
+	format := fs.String("format", "csv", "simulate: output format (csv or columnar)")
+	in := fs.String("in", "", "convert: input log file (required)")
+	to := fs.String("to", "", "convert: target format, csv or columnar (default: opposite of input)")
 	intensities := fs.String("intensities", "0,0.5,1,2,4",
 		"comma-separated fault intensities for the chaos sweep")
 	gbtBins := fs.Int("gbt-bins", 256,
@@ -352,9 +370,19 @@ func parseArgs(args []string) (cmd string, cfg simulate.Config, opts options, er
 		cfg = simulate.SmallConfig()
 	}
 	cfg.Seed = *seed
+	if *shards < 0 {
+		return "", cfg, opts, fmt.Errorf("%w: -shards must be non-negative", errUsage)
+	}
+	cfg.Shards = *shards
 	if *gbtBins < 0 || *gbtBins > 256 {
 		return "", cfg, opts, fmt.Errorf("%w: -gbt-bins must be 0..256", errUsage)
 	}
+	if *format != "csv" && *format != "columnar" {
+		return "", cfg, opts, fmt.Errorf("%w: -format must be csv or columnar, got %q", errUsage, *format)
+	}
+	opts.format = *format
+	opts.in = *in
+	opts.to = *to
 	opts.out = *out
 	opts.gbtBins = *gbtBins
 	opts.metrics = *metrics
@@ -418,6 +446,15 @@ func withOutput(out string, fn func(io.Writer) error) error {
 }
 
 // ---- subcommand implementations ----
+
+// cmdSimulate writes the generated log in the requested format: CSV (the
+// compatibility path) or the columnar binary container (the bulk path).
+func cmdSimulate(c cmdContext) error {
+	if c.opts.format == "columnar" {
+		return withOutput(c.opts.out, func(w io.Writer) error { return colfmt.WriteLog(w, c.pl.Log) })
+	}
+	return withOutput(c.opts.out, c.pl.Log.WriteCSV)
+}
 
 func cmdEdges(c cmdContext) error {
 	for _, ed := range c.edges {

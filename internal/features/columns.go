@@ -1,0 +1,183 @@
+package features
+
+// columns.go runs the §4 feature engineering directly over a columnar
+// table (colfmt.Table), so paper-scale logs stream from disk into the
+// overlap analysis without ever materializing row-oriented logs.Record
+// values. The arithmetic — candidate windowing, overlap fractions,
+// Eq. 2 accumulation — is performed in the same order as the row path,
+// so the output is bitwise identical to Engineer on the equivalent log
+// (TestEngineerColumnsMatchesRows pins this).
+
+import (
+	"sort"
+
+	"repro/internal/logs/colfmt"
+	"repro/internal/pool"
+)
+
+// colIndex is the columnar counterpart of epIndex: row indices using the
+// endpoint as source and as destination (sorted by start time), plus the
+// longest duration seen.
+type colIndex struct {
+	asSrc, asDst []int32
+	maxDur       float64
+}
+
+// EngineerColumns computes feature vectors for every row of the table,
+// which is sorted by (Ts, ID) as a side effect — the same order Engineer
+// leaves a log in. Vector.RecordIdx indexes the sorted table's rows.
+func EngineerColumns(t *colfmt.Table) []Vector {
+	return engineerColumns(t, pool.Workers())
+}
+
+func engineerColumns(t *colfmt.Table, workers int) []Vector {
+	t.SortByStart()
+	n := t.Len()
+
+	// Canonicalize dictionary codes by endpoint ID so duplicate dict
+	// entries (legal in the container) collapse like map keys do in the
+	// row path.
+	canon := make([]int32, len(t.Dict))
+	byName := make(map[string]int32, len(t.Dict))
+	nEp := int32(0)
+	for i, s := range t.Dict {
+		c, ok := byName[s]
+		if !ok {
+			c = nEp
+			nEp++
+			byName[s] = c
+		}
+		canon[i] = c
+	}
+	srcOf := make([]int32, n)
+	dstOf := make([]int32, n)
+	idx := make([]colIndex, nEp)
+	for i := 0; i < n; i++ {
+		s, d := canon[t.Src[i]], canon[t.Dst[i]]
+		srcOf[i], dstOf[i] = s, d
+		idx[s].asSrc = append(idx[s].asSrc, int32(i))
+		idx[d].asDst = append(idx[d].asDst, int32(i))
+		dur := t.Te[i] - t.Ts[i]
+		if dur > idx[s].maxDur {
+			idx[s].maxDur = dur
+		}
+		if dur > idx[d].maxDur {
+			idx[d].maxDur = dur
+		}
+	}
+
+	out := make([]Vector, n)
+	pool.Do(n, workers, func(k int) {
+		v := Vector{
+			RecordIdx: k,
+			Rate:      colRate(t, k),
+			C:         float64(t.Conc[k]),
+			P:         float64(t.Par[k]),
+			Nf:        float64(t.Files[k]),
+			Nd:        float64(t.Dirs[k]),
+			Nb:        t.Bytes[k],
+			Nflt:      float64(t.Faults[k]),
+		}
+		src := &idx[srcOf[k]]
+		dst := &idx[dstOf[k]]
+
+		v.Ksout, v.Ssout = colAccumulate(t, src.asSrc, k, src.maxDur)
+		v.Ksin, v.Ssin = colAccumulate(t, src.asDst, k, src.maxDur)
+		v.Kdout, v.Sdout = colAccumulate(t, dst.asSrc, k, dst.maxDur)
+		v.Kdin, v.Sdin = colAccumulate(t, dst.asDst, k, dst.maxDur)
+
+		v.Gsrc = colInstances(t, src.asSrc, k, src.maxDur) +
+			colInstances(t, src.asDst, k, src.maxDur)
+		v.Gdst = colInstances(t, dst.asSrc, k, dst.maxDur) +
+			colInstances(t, dst.asDst, k, dst.maxDur)
+
+		out[k] = v
+	})
+	return out
+}
+
+// colRate mirrors logs.Record.Rate on columns.
+func colRate(t *colfmt.Table, i int) float64 {
+	d := t.Te[i] - t.Ts[i]
+	if d <= 0 {
+		return 0
+	}
+	return t.Bytes[i] / d / 1e6
+}
+
+// colProcesses mirrors logs.Record.Processes: min(C, Nf).
+func colProcesses(t *colfmt.Table, i int) int32 {
+	if t.Files[i] < t.Conc[i] {
+		return t.Files[i]
+	}
+	return t.Conc[i]
+}
+
+// colCandidates mirrors candidates: the subrange of the sorted index
+// list with Ts in [Ts(k) − maxDur, Te(k)].
+func colCandidates(t *colfmt.Table, list []int32, k int, maxDur float64) []int32 {
+	lo := sort.Search(len(list), func(i int) bool { return t.Ts[list[i]] >= t.Ts[k]-maxDur })
+	hi := sort.Search(len(list), func(i int) bool { return t.Ts[list[i]] > t.Te[k] })
+	return list[lo:hi]
+}
+
+// colOverlap mirrors overlap: O(i,k) = max(0, min(Tei,Tek) − max(Tsi,Tsk)).
+func colOverlap(t *colfmt.Table, i, k int) float64 {
+	lo := t.Ts[i]
+	if t.Ts[k] > lo {
+		lo = t.Ts[k]
+	}
+	hi := t.Te[i]
+	if t.Te[k] < hi {
+		hi = t.Te[k]
+	}
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// colAccumulate mirrors accumulate: the Eq. 2 overlap-scaled aggregate
+// rate (K) and TCP stream count (S) for one directional competitor set.
+func colAccumulate(t *colfmt.Table, list []int32, k int, maxDur float64) (kRate, sStreams float64) {
+	dur := t.Te[k] - t.Ts[k]
+	if dur <= 0 {
+		return 0, 0
+	}
+	for _, i32 := range colCandidates(t, list, k, maxDur) {
+		i := int(i32)
+		if i == k {
+			continue
+		}
+		o := colOverlap(t, i, k)
+		if o <= 0 {
+			continue
+		}
+		frac := o / dur
+		kRate += frac * colRate(t, i)
+		sStreams += frac * float64(colProcesses(t, i)*t.Par[i])
+	}
+	return kRate, sStreams
+}
+
+// colInstances mirrors instances: the overlap-scaled GridFTP process
+// count for one directional competitor set.
+func colInstances(t *colfmt.Table, list []int32, k int, maxDur float64) float64 {
+	dur := t.Te[k] - t.Ts[k]
+	if dur <= 0 {
+		return 0
+	}
+	var g float64
+	for _, i32 := range colCandidates(t, list, k, maxDur) {
+		i := int(i32)
+		if i == k {
+			continue
+		}
+		o := colOverlap(t, i, k)
+		if o <= 0 {
+			continue
+		}
+		g += o / dur * float64(colProcesses(t, i))
+	}
+	return g
+}

@@ -1,0 +1,233 @@
+package colfmt
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/logs"
+)
+
+// sampleLog builds a log with several endpoints and n records spanning
+// multiple chunks when written with a small chunk size.
+func sampleLog(n int) *logs.Log {
+	l := logs.NewLog()
+	l.AddEndpoint(logs.Endpoint{ID: "ANL-dtn", Site: "ANL", Type: logs.GCS})
+	l.AddEndpoint(logs.Endpoint{ID: "BNL-dtn", Site: "BNL", Type: logs.GCS})
+	l.AddEndpoint(logs.Endpoint{ID: "user00-gcp", Site: "LBL", Type: logs.GCP})
+	srcs := []string{"ANL-dtn", "BNL-dtn", "user00-gcp"}
+	for i := 0; i < n; i++ {
+		src := srcs[i%3]
+		dst := srcs[(i+1)%3]
+		l.Append(logs.Record{
+			ID:      i + 1,
+			Src:     src,
+			Dst:     dst,
+			Ts:      float64(i) * 1.5,
+			Te:      float64(i)*1.5 + 42.25,
+			Bytes:   1e9 + float64(i)*3.5e7,
+			Files:   1 + i%7,
+			Dirs:    i % 3,
+			Conc:    2 + i%4,
+			Par:     1 + i%8,
+			Faults:  i % 5,
+			Retries: i % 2,
+		})
+	}
+	return l
+}
+
+func encode(t *testing.T, l *logs.Log, chunkRows int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf, chunkRows)
+	ids := make([]logs.Endpoint, 0, len(l.Endpoints))
+	for _, id := range []string{"ANL-dtn", "BNL-dtn", "user00-gcp"} {
+		ids = append(ids, l.Endpoints[id])
+	}
+	if err := w.Endpoints(ids); err != nil {
+		t.Fatal(err)
+	}
+	for i := range l.Records {
+		if err := w.Append(l.Records[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, chunkRows := range []int{0, 1, 7, 1000} {
+		l := sampleLog(123)
+		var buf bytes.Buffer
+		if err := WriteLog(&buf, l); err != nil {
+			t.Fatal(err)
+		}
+		if chunkRows != 0 {
+			buf.Reset()
+			buf.Write(encode(t, l, chunkRows))
+		}
+		got, err := ReadLog(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("chunkRows=%d: %v", chunkRows, err)
+		}
+		if !reflect.DeepEqual(got.Records, l.Records) {
+			t.Fatalf("chunkRows=%d: records differ after round trip", chunkRows)
+		}
+		if !reflect.DeepEqual(got.Endpoints, l.Endpoints) {
+			t.Fatalf("chunkRows=%d: endpoint directory differs after round trip", chunkRows)
+		}
+	}
+}
+
+func TestRoundTripEmptyAndNaN(t *testing.T) {
+	empty := logs.NewLog()
+	var buf bytes.Buffer
+	if err := WriteLog(&buf, empty); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != 0 {
+		t.Fatalf("empty log round-tripped to %d records", len(got.Records))
+	}
+
+	// Float columns must be carried bit-for-bit, including NaN payloads
+	// and infinities (the lenient CSV reader filters them; the binary
+	// container is a faithful carrier).
+	l := logs.NewLog()
+	l.Append(logs.Record{ID: 1, Src: "a", Dst: "b", Ts: math.Inf(-1), Te: math.NaN(), Bytes: -0.0})
+	buf.Reset()
+	if err := WriteLog(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadLog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := got.Records[0]
+	if !math.IsInf(r.Ts, -1) || !math.IsNaN(r.Te) || math.Float64bits(r.Bytes) != math.Float64bits(-0.0) {
+		t.Fatalf("float bits not preserved: %+v", r)
+	}
+}
+
+// TestTruncationFailsClosed cuts a valid file at every possible length:
+// every prefix must produce an error, never a silently partial log.
+func TestTruncationFailsClosed(t *testing.T) {
+	data := encode(t, sampleLog(50), 16)
+	for n := 0; n < len(data); n++ {
+		if _, err := ReadLog(bytes.NewReader(data[:n])); err == nil {
+			t.Fatalf("truncation to %d of %d bytes read without error", n, len(data))
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation to %d bytes: error %v is not ErrCorrupt", n, err)
+		}
+	}
+}
+
+// TestCorruptionFailsClosed flips one byte at a time through the whole
+// file; every flip must surface as an error (the CRC covers payloads,
+// structural checks cover the rest).
+func TestCorruptionFailsClosed(t *testing.T) {
+	data := encode(t, sampleLog(20), 8)
+	for i := range data {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x41
+		if _, err := ReadLog(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("flipping byte %d of %d read without error", i, len(data))
+		}
+	}
+}
+
+func TestTrailingGarbageFailsClosed(t *testing.T) {
+	data := encode(t, sampleLog(5), 8)
+	if _, err := ReadLog(bytes.NewReader(append(data, 0))); err == nil {
+		t.Fatal("trailing byte after footer read without error")
+	}
+}
+
+func TestVersionSkewFailsClosed(t *testing.T) {
+	data := encode(t, sampleLog(5), 8)
+	for _, mut := range []func([]byte){
+		func(b []byte) { b[0] = 'X' },         // magic
+		func(b []byte) { b[4] = Version + 1 }, // version
+		func(b []byte) { b[6] = 1 },           // reserved flags
+	} {
+		c := append([]byte(nil), data...)
+		mut(c)
+		if _, err := ReadLog(bytes.NewReader(c)); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("header mutation accepted: %v", err)
+		}
+	}
+}
+
+func TestTableSortAndAppend(t *testing.T) {
+	l := sampleLog(40)
+	// Shuffle deterministically, write, read as table, sort.
+	for i := range l.Records {
+		j := (i * 17) % len(l.Records)
+		l.Records[i], l.Records[j] = l.Records[j], l.Records[i]
+	}
+	var buf bytes.Buffer
+	if err := WriteLog(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	tab, _, err := ReadTable(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.SortByStart()
+	l.SortByStart()
+	for i := range l.Records {
+		if tab.Record(i) != l.Records[i] {
+			t.Fatalf("row %d differs after SortByStart: %+v vs %+v", i, tab.Record(i), l.Records[i])
+		}
+	}
+}
+
+func TestReaderStreamsChunks(t *testing.T) {
+	data := encode(t, sampleLog(50), 16)
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chunks, rows int
+	for {
+		tab, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		chunks++
+		rows += tab.Len()
+	}
+	if chunks != 4 || rows != 50 { // ceil(50/16) chunks
+		t.Fatalf("streamed %d chunks / %d rows, want 4 / 50", chunks, rows)
+	}
+	if len(r.Endpoints()) != 3 {
+		t.Fatalf("endpoint directory has %d entries, want 3", len(r.Endpoints()))
+	}
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("Next after EOF returned %v", err)
+	}
+}
+
+func TestEndpointsOrderingErrors(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 4)
+	if err := w.Append(logs.Record{ID: 1, Src: "a", Dst: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Endpoints(nil); err == nil {
+		t.Fatal("Endpoints accepted after Append")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // EndpointType distinguishes Globus Connect Server from Globus Connect
@@ -215,31 +216,65 @@ const legacyCols = 11
 
 // WriteCSV writes the records (not the endpoint directory) as CSV.
 func (l *Log) WriteCSV(w io.Writer) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write(csvHeader); err != nil {
-		return err
-	}
-	row := make([]string, len(csvHeader))
+	cw := NewCSVWriter(w)
 	for i := range l.Records {
-		r := &l.Records[i]
-		row[0] = strconv.Itoa(r.ID)
-		row[1] = r.Src
-		row[2] = r.Dst
-		row[3] = strconv.FormatFloat(r.Ts, 'g', -1, 64)
-		row[4] = strconv.FormatFloat(r.Te, 'g', -1, 64)
-		row[5] = strconv.FormatFloat(r.Bytes, 'g', -1, 64)
-		row[6] = strconv.Itoa(r.Files)
-		row[7] = strconv.Itoa(r.Dirs)
-		row[8] = strconv.Itoa(r.Conc)
-		row[9] = strconv.Itoa(r.Par)
-		row[10] = strconv.Itoa(r.Faults)
-		row[11] = strconv.Itoa(r.Retries)
-		if err := cw.Write(row); err != nil {
+		if err := cw.Write(&l.Records[i]); err != nil {
 			return err
 		}
 	}
-	cw.Flush()
-	return cw.Error()
+	return cw.Flush()
+}
+
+// CSVWriter streams records as CSV one at a time (the format WriteCSV
+// produces), for converters that never hold a whole log in memory. The
+// header is written with the first record (or at Flush for empty logs).
+type CSVWriter struct {
+	cw     *csv.Writer
+	row    []string
+	header bool
+}
+
+// NewCSVWriter starts a CSV log stream on w.
+func NewCSVWriter(w io.Writer) *CSVWriter {
+	return &CSVWriter{cw: csv.NewWriter(w), row: make([]string, len(csvHeader))}
+}
+
+func (w *CSVWriter) writeHeader() error {
+	if w.header {
+		return nil
+	}
+	w.header = true
+	return w.cw.Write(csvHeader)
+}
+
+// Write emits one record row.
+func (w *CSVWriter) Write(r *Record) error {
+	if err := w.writeHeader(); err != nil {
+		return err
+	}
+	row := w.row
+	row[0] = strconv.Itoa(r.ID)
+	row[1] = r.Src
+	row[2] = r.Dst
+	row[3] = strconv.FormatFloat(r.Ts, 'g', -1, 64)
+	row[4] = strconv.FormatFloat(r.Te, 'g', -1, 64)
+	row[5] = strconv.FormatFloat(r.Bytes, 'g', -1, 64)
+	row[6] = strconv.Itoa(r.Files)
+	row[7] = strconv.Itoa(r.Dirs)
+	row[8] = strconv.Itoa(r.Conc)
+	row[9] = strconv.Itoa(r.Par)
+	row[10] = strconv.Itoa(r.Faults)
+	row[11] = strconv.Itoa(r.Retries)
+	return w.cw.Write(row)
+}
+
+// Flush writes the header if no record did and flushes buffered rows.
+func (w *CSVWriter) Flush() error {
+	if err := w.writeHeader(); err != nil {
+		return err
+	}
+	w.cw.Flush()
+	return w.cw.Error()
 }
 
 // checkHeader validates a header row against the current or legacy column
@@ -261,8 +296,38 @@ func checkHeader(head []string) (cols int, err error) {
 // the first malformed row aborts the whole read. Use ReadCSVLenient for
 // best-effort ingestion of damaged files.
 func ReadCSV(r io.Reader) (*Log, error) {
+	sc, err := NewCSVScanner(r)
+	if err != nil {
+		return nil, err
+	}
+	l := NewLog()
+	for {
+		rec, err := sc.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		l.Append(rec)
+	}
+	return l, nil
+}
+
+// CSVScanner streams records out of a CSV log one at a time with the
+// same strict semantics as ReadCSV: the header is validated up front and
+// the first malformed row poisons the scan.
+type CSVScanner struct {
+	cr   *csv.Reader
+	cols int
+	err  error
+}
+
+// NewCSVScanner validates the header and returns a scanner over the rows.
+func NewCSVScanner(r io.Reader) (*CSVScanner, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1 // column counts checked explicitly per row
+	cr.ReuseRecord = true   // rows are parsed then dropped; parseRow clones retained fields
 	head, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("logs: reading header: %w", err)
@@ -271,25 +336,31 @@ func ReadCSV(r io.Reader) (*Log, error) {
 	if err != nil {
 		return nil, err
 	}
-	l := NewLog()
-	for {
-		row, err := cr.Read()
-		if errors.Is(err, io.EOF) {
-			break
-		}
-		if err != nil {
-			return nil, err
-		}
-		if len(row) != cols {
-			return nil, fmt.Errorf("logs: row has %d columns, want %d", len(row), cols)
-		}
-		rec, _, err := parseRow(row)
-		if err != nil {
-			return nil, err
-		}
-		l.Append(rec)
+	return &CSVScanner{cr: cr, cols: cols}, nil
+}
+
+// Next returns the next record, or io.EOF at the end of the stream.
+func (s *CSVScanner) Next() (Record, error) {
+	if s.err != nil {
+		return Record{}, s.err
 	}
-	return l, nil
+	row, err := s.cr.Read()
+	if err != nil {
+		if !errors.Is(err, io.EOF) {
+			s.err = err
+		}
+		return Record{}, err
+	}
+	if len(row) != s.cols {
+		s.err = fmt.Errorf("logs: row has %d columns, want %d", len(row), s.cols)
+		return Record{}, s.err
+	}
+	rec, _, err := parseRow(row)
+	if err != nil {
+		s.err = err
+		return Record{}, err
+	}
+	return rec, nil
 }
 
 // Skip reasons reported by ReadCSVLenient.
@@ -345,6 +416,7 @@ func (s *IngestStats) String() string {
 func ReadCSVLenient(r io.Reader) (*Log, *IngestStats, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
+	cr.ReuseRecord = true
 	head, err := cr.Read()
 	if err != nil {
 		return nil, nil, fmt.Errorf("logs: reading header: %w", err)
@@ -401,7 +473,10 @@ func parseRow(row []string) (r Record, badCol string, err error) {
 	if r.ID, err = strconv.Atoi(row[0]); err != nil {
 		return fail("id", err)
 	}
-	r.Src, r.Dst = row[1], row[2]
+	// The readers run with ReuseRecord, where every field of a row shares
+	// one backing string; Src/Dst outlive the row, so clone them to avoid
+	// pinning whole rows in memory.
+	r.Src, r.Dst = strings.Clone(row[1]), strings.Clone(row[2])
 	if r.Ts, err = strconv.ParseFloat(row[3], 64); err != nil {
 		return fail("ts", err)
 	}

@@ -50,22 +50,28 @@ func diffWorld(t testing.TB) *World {
 	})
 }
 
-// runDiffPair runs the same setup through both engine cores and requires
-// byte-identical CSV logs and identical run stats.
+// runDiffPair runs the same setup through both engine cores, serial and
+// component-sharded, and requires byte-identical CSV logs and identical
+// run stats across all four modes.
 func runDiffPair(t *testing.T, w *World, setup func(e *Engine)) {
 	t.Helper()
-	var out [2][]byte
-	var st [2]Stats
-	for mode, ref := range []bool{false, true} {
+	modes := []struct {
+		ref    bool
+		shards int
+	}{{false, 1}, {true, 1}, {false, 4}, {true, 4}}
+	out := make([][]byte, len(modes))
+	st := make([]Stats, len(modes))
+	for mode, m := range modes {
 		eng := NewEngine(w, 42)
-		eng.SetReference(ref)
+		eng.SetReference(m.ref)
+		eng.SetShards(m.shards)
 		setup(eng)
 		l, err := eng.Run()
 		if err != nil {
-			t.Fatalf("ref=%v: %v", ref, err)
+			t.Fatalf("ref=%v shards=%d: %v", m.ref, m.shards, err)
 		}
 		if err := eng.CheckInvariants(); err != nil {
-			t.Fatalf("ref=%v: %v", ref, err)
+			t.Fatalf("ref=%v shards=%d: %v", m.ref, m.shards, err)
 		}
 		var buf bytes.Buffer
 		if err := l.WriteCSV(&buf); err != nil {
@@ -74,11 +80,15 @@ func runDiffPair(t *testing.T, w *World, setup func(e *Engine)) {
 		out[mode] = buf.Bytes()
 		st[mode] = eng.Stats()
 	}
-	if !bytes.Equal(out[0], out[1]) {
-		t.Error("optimized log diverged from reference log")
-	}
-	if st[0] != st[1] {
-		t.Errorf("optimized stats %+v diverged from reference stats %+v", st[0], st[1])
+	for mode := 1; mode < len(modes); mode++ {
+		if !bytes.Equal(out[0], out[mode]) {
+			t.Errorf("ref=%v shards=%d log diverged from optimized serial log",
+				modes[mode].ref, modes[mode].shards)
+		}
+		if st[0] != st[mode] {
+			t.Errorf("ref=%v shards=%d stats %+v diverged from %+v",
+				modes[mode].ref, modes[mode].shards, st[mode], st[0])
+		}
 	}
 }
 
@@ -173,6 +183,113 @@ func TestDifferentialChaos(t *testing.T) {
 	})
 }
 
+// TestDifferentialSharded builds a world whose traffic genuinely splits
+// into multiple resource-sharing components — including two endpoints at
+// the same site whose paths never share a WAN resource — and drives
+// chaos whose scope spans shards: per-component outages (abort and
+// stall), a path-scoped WAN fault, an all-paths WAN fault, and a global
+// storm. The sharded merge must be byte-identical to the serial run at
+// every shard count, including counts above the component count.
+func TestDifferentialSharded(t *testing.T) {
+	mk := func(id, site string, maxActive int) *Endpoint {
+		s, ok := geo.FindSite(site)
+		if !ok {
+			t.Fatalf("unknown site %s", site)
+		}
+		return &Endpoint{
+			ID: id, Site: s, Type: logs.GCS,
+			DiskReadMBps:    900,
+			DiskWriteMBps:   700,
+			NICMBps:         1250,
+			PerProcDiskMBps: 180,
+			CPUKnee:         6,
+			CPUSteep:        2,
+			MaxActive:       maxActive,
+			Bg:              BgConfig{MaxFrac: 0.5, MeanInterval: 1800},
+		}
+	}
+	w := NewWorld([]*Endpoint{
+		// Component 1: g1a <-> g1b over ANL|BNL.
+		mk("g1a", "ANL", 2), mk("g1b", "BNL", 2),
+		// Component 2: g2a <-> g2b over NERSC|ORNL.
+		mk("g2a", "NERSC", 1), mk("g2b", "ORNL", 2),
+		// Component 3: g3a -> g3b over LBL|CERN, plus g3c at ANL — same
+		// site as g1a, but its only path is ANL|LBL, so it shares no
+		// resource with component 1.
+		mk("g3a", "LBL", 2), mk("g3b", "CERN", 2), mk("g3c", "ANL", 1),
+		// Idle endpoint: belongs to no component, must not break merge.
+		mk("idle", "TACC", 2),
+	})
+	w.MaxRetries = 2
+	w.RetryBackoffBase = 60
+	plan := &ChaosPlan{
+		Outages: []OutageEvent{
+			{EndpointID: "g1b", Start: 2000, End: 9000, Abort: true},
+			{EndpointID: "g2a", Start: 4000, End: 12000, Abort: false},
+		},
+		WANFaults: []WANFault{
+			{SiteA: "LBL", SiteB: "CERN", Start: 1000, End: 30000, CapFactor: 0.25},
+			{Start: 5000, End: 20000, CapFactor: 0.6}, // all paths
+		},
+		Storms: []FaultStorm{{Start: 0, End: 25000, HazardFactor: 25}},
+	}
+	pairs := [][2]string{{"g1a", "g1b"}, {"g2a", "g2b"}, {"g3a", "g3b"}, {"g3c", "g3a"}}
+	setup := func(e *Engine) {
+		for i := 0; i < 36; i++ {
+			p := pairs[i%len(pairs)]
+			src, dst := p[0], p[1]
+			if i%7 == 3 {
+				src, dst = dst, src
+			}
+			e.Submit(TransferSpec{
+				Src: src, Dst: dst,
+				Start: float64(i%9) * 700,
+				Bytes: 2e9 + float64(i)*2.5e8,
+				Files: 1 + i%30, Conc: 1 + i%4, Par: 1 + i%8,
+			})
+		}
+		// Closed-loop chain inside component 2.
+		e.SubmitChain(
+			TransferSpec{Src: "g2a", Dst: "g2b", Start: 0, Bytes: 1e9, Files: 2, Conc: 2, Par: 4},
+			TransferSpec{Src: "g2b", Dst: "g2a", Bytes: 1e9, Files: 2, Conc: 2, Par: 4},
+			TransferSpec{Src: "g2a", Dst: "g2b", Bytes: 1e9, Files: 2, Conc: 2, Par: 4},
+		)
+		if err := e.SetChaos(plan); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var serial []byte
+	var serialStats Stats
+	for _, shards := range []int{1, 2, 3, 8} {
+		eng := NewEngine(w, 42)
+		eng.SetShards(shards)
+		setup(eng)
+		l, err := eng.Run()
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if err := eng.CheckInvariants(); err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		var buf bytes.Buffer
+		if err := l.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if shards == 1 {
+			serial = buf.Bytes()
+			serialStats = eng.Stats()
+			continue
+		}
+		if !bytes.Equal(serial, buf.Bytes()) {
+			t.Errorf("shards=%d log diverged from serial log", shards)
+		}
+		if got := eng.Stats(); got != serialStats {
+			t.Errorf("shards=%d stats %+v diverged from serial %+v", shards, got, serialStats)
+		}
+	}
+}
+
 // intervalRec captures one monitor callback with a deep copy of the loads.
 type intervalRec struct {
 	t0, t1 float64
@@ -196,6 +313,7 @@ func TestDifferentialMonitor(t *testing.T) {
 	for mode, ref := range []bool{false, true} {
 		eng := NewEngine(w, 7)
 		eng.SetReference(ref)
+		eng.SetShards(4) // a monitor forces the serial path; must be a no-op
 		mon := &recordingMonitor{}
 		eng.SetMonitor(mon)
 		ids := []string{"a", "b", "c", "d"}
@@ -262,10 +380,16 @@ func FuzzEngineSchedules(f *testing.F) {
 			}
 		}
 
-		var out [2][]byte
-		for mode, ref := range []bool{false, true} {
+		// Mode 2 runs the optimized core component-sharded; the shard count
+		// rides on the seed so the fuzzer explores 2..5 without widening the
+		// (committed) corpus signature.
+		var out [3][]byte
+		for mode, ref := range []bool{false, true, false} {
 			eng := NewEngine(w, seed)
 			eng.SetReference(ref)
+			if mode == 2 {
+				eng.SetShards(2 + int(uint64(seed)&3))
+			}
 			gen := rand.New(rand.NewSource(seed + 1))
 			ids := []string{"a", "b", "c", "d"}
 			for i := 0; i < nx; i++ {
@@ -300,6 +424,9 @@ func FuzzEngineSchedules(f *testing.F) {
 		}
 		if !bytes.Equal(out[0], out[1]) {
 			t.Error("optimized log diverged from reference log")
+		}
+		if !bytes.Equal(out[0], out[2]) {
+			t.Error("sharded log diverged from serial log")
 		}
 	})
 }

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"math/rand"
 	"sort"
 
 	"repro/internal/logs"
@@ -27,6 +26,14 @@ type TransferSpec struct {
 	SkipSrcDisk bool // source reads from /dev/zero
 	SkipDstDisk bool // destination writes to /dev/null
 	SkipNetwork bool // both endpoints on the same host (loopback)
+
+	// stamp is 1 + the spec's global submission index, assigned by
+	// RunContext over the Start-sorted pending list and then the chains
+	// (0 = not yet assigned). It keys the transfer's private RNG stream
+	// and becomes the log record ID, so a spec produces the same draws
+	// and the same record whether it runs in the full engine or in a
+	// component shard (shard.go pre-stamps before partitioning).
+	stamp int
 }
 
 // Monitor observes the simulation between events; the lmt package uses it
@@ -86,7 +93,9 @@ const (
 )
 
 type xfer struct {
-	id        int
+	id        int  // dense per-engine admission index (event-heap key)
+	stamp     int  // global submission stamp (RNG stream key + log ID)
+	rs        prng // private jitter/fault/retry stream (see prng.go)
 	spec      TransferSpec
 	srcIdx    int
 	dstIdx    int
@@ -117,7 +126,10 @@ type xfer struct {
 	doneAt       float64
 	prevRate     float64
 	needDeadline bool
-	actSeq       int // activation order; solver scopes sort by it
+	lastAdv      float64 // payload last advanced to this time (data phase)
+	lastHaz      float64 // hazard in force at the last fault draw
+	needFault    bool    // entered the data phase; next redraw must draw
+	actSeq       int     // activation order; solver scopes sort by it
 	waitSeq      int // FIFO order in the waiting queue
 	inWaiting    bool
 	inComp       bool   // scratch: component-BFS mark (incResolve)
@@ -136,8 +148,22 @@ type waitEntry struct {
 
 // Engine runs transfers through a world and collects the resulting log.
 type Engine struct {
-	w   *World
-	rng *rand.Rand
+	w    *World
+	seed int64
+
+	// Per-endpoint background streams, parallel to w.Endpoints. Each
+	// transfer's stream lives on the xfer itself (see prng.go for why
+	// there is no engine-wide RNG).
+	epRng []prng
+
+	// preStamped marks a shard sub-engine whose specs already carry
+	// their global submission stamps (shard.go); RunContext then skips
+	// stamp assignment.
+	preStamped bool
+
+	// shards is the component-shard budget (SetShards); <=1 runs the
+	// classic serial event loop.
+	shards int
 
 	pending     []TransferSpec // sorted by Start
 	nextPending int
@@ -155,8 +181,10 @@ type Engine struct {
 
 	bgNext []float64 // per-endpoint next background resample
 
-	// Chaos state: the compiled disruption schedule and what is currently
-	// in force (see ChaosPlan).
+	// Chaos state: the attached plan (kept for per-shard routing), the
+	// compiled disruption schedule, and what is currently in force (see
+	// ChaosPlan).
+	chaosPlan    *ChaosPlan
 	chaosEvents  []chaosEvent
 	nextChaos    int
 	epDown       []int // outage depth per endpoint (overlapping windows nest)
@@ -292,7 +320,8 @@ const minRateFloor = 0.01
 func NewEngine(w *World, seed int64) *Engine {
 	e := &Engine{
 		w:         w,
-		rng:       rand.New(rand.NewSource(seed)),
+		seed:      seed,
+		epRng:     make([]prng, len(w.Endpoints)),
 		wanIdx:    make(map[string]int),
 		wanSites:  make(map[int][2]string),
 		epIdx:     make(map[string]int, len(w.Endpoints)),
@@ -304,6 +333,7 @@ func NewEngine(w *World, seed int64) *Engine {
 	}
 	for i, ep := range w.Endpoints {
 		e.epIdx[ep.ID] = i
+		e.epRng[i] = endpointStream(seed, ep.ID)
 	}
 	w.LogEndpoints(e.log)
 	// Endpoint resources, 4 per endpoint, in endpoint order.
@@ -313,7 +343,7 @@ func NewEngine(w *World, seed int64) *Engine {
 			e.resources = append(e.resources, &resource{cap: caps[k], effCap: caps[k], epIdx: i, kind: k})
 		}
 		if ep.Bg.MaxFrac > 0 && ep.Bg.MeanInterval > 0 {
-			e.bgNext[i] = e.expSample(ep.Bg.MeanInterval)
+			e.bgNext[i] = e.expSample(i, ep.Bg.MeanInterval)
 		} else {
 			e.bgNext[i] = math.Inf(1)
 		}
@@ -321,8 +351,10 @@ func NewEngine(w *World, seed int64) *Engine {
 	return e
 }
 
-func (e *Engine) expSample(mean float64) float64 {
-	return e.now + e.rng.ExpFloat64()*mean
+// expSample draws the next background-resample delay for endpoint i from
+// that endpoint's private stream.
+func (e *Engine) expSample(i int, mean float64) float64 {
+	return e.now + e.epRng[i].ExpFloat64()*mean
 }
 
 // Submit queues transfers for simulation. Must be called before Run.
@@ -407,6 +439,7 @@ func (e *Engine) SetChaos(p *ChaosPlan) error {
 	if err := p.Validate(e.w); err != nil {
 		return err
 	}
+	e.chaosPlan = p
 	e.chaosEvents = p.compile()
 	e.nextChaos = 0
 	return nil
@@ -450,6 +483,12 @@ func (e *Engine) RunContext(ctx context.Context) (*logs.Log, error) {
 		}
 		e.stats.Submitted += len(ch.specs)
 	}
+	e.assignStamps()
+	if e.shards > 1 && e.monitor == nil {
+		if l, err, handled := e.runSharded(ctx); handled {
+			return l, err
+		}
+	}
 	e.initRun()
 
 	for {
@@ -470,20 +509,6 @@ func (e *Engine) RunContext(ctx context.Context) (*logs.Log, error) {
 		if e.monitor != nil && tNext > e.now {
 			e.monitor.OnInterval(e.now, tNext, e.snapshot)
 		}
-		// Advance payload for data-phase transfers. The per-event float
-		// trajectory of bytesMB is path-dependent, so this stays a full
-		// scan on both cores — the O(actives) floor of the event loop.
-		dt := tNext - e.now
-		if dt > 0 {
-			for _, x := range e.active {
-				if x.phase == phaseData {
-					x.bytesMB -= x.rate * dt
-					if x.bytesMB < 0 {
-						x.bytesMB = 0
-					}
-				}
-			}
-		}
 		e.now = tNext
 		e.processEvents()
 		e.resolve()
@@ -496,6 +521,38 @@ func (e *Engine) RunContext(ctx context.Context) (*logs.Log, error) {
 	e.log.SortByStart()
 	return e.log, nil
 }
+
+// assignStamps gives every spec its global submission stamp: the pending
+// list (already Start-sorted) first, then the chains in submission order.
+// Stamps key the per-transfer RNG streams and become log record IDs, so
+// they must be assigned over the FULL workload before any component
+// partitioning — shard sub-engines receive pre-stamped specs and skip
+// this (preStamped).
+func (e *Engine) assignStamps() {
+	if e.preStamped {
+		return
+	}
+	n := 0
+	for i := range e.pending {
+		e.pending[i].stamp = n + 1
+		n++
+	}
+	for _, ch := range e.chains {
+		for i := range ch.specs {
+			ch.specs[i].stamp = n + 1
+			n++
+		}
+	}
+}
+
+// SetShards sets the engine's component-shard budget: with n > 1 and no
+// monitor attached, RunContext partitions the workload by connected
+// component of the resource-sharing graph and runs up to n sub-engines
+// over internal/pool workers, merging their logs deterministically. The
+// merged output is byte-identical to the serial engine (DESIGN.md §12);
+// a monitor forces the serial path because OnInterval observes the
+// global clock. Must be called before Run.
+func (e *Engine) SetShards(n int) { e.shards = n }
 
 // SetReference switches the engine to its reference event core: the
 // linear-scan nextEventTime and from-scratch fair-share resolution that the
@@ -717,13 +774,13 @@ func (e *Engine) processEvents() {
 		}
 	}
 
-	// Background level changes. The gated loop still visits endpoints in
-	// index order, preserving the RNG draw sequence.
+	// Background level changes. Each endpoint draws from its own stream,
+	// so the visit order only matters per endpoint.
 	if e.ref || e.bgHeap.min() <= e.now+timeEps {
 		for i, ep := range e.w.Endpoints {
 			if e.bgNext[i] <= e.now+timeEps {
 				e.resampleBg(i, ep)
-				e.bgNext[i] = e.expSample(ep.Bg.MeanInterval)
+				e.bgNext[i] = e.expSample(i, ep.Bg.MeanInterval)
 				if !e.ref {
 					e.bgHeap.update(i, e.bgNext[i])
 				}
@@ -743,13 +800,26 @@ func (e *Engine) processEvents() {
 			keep = append(keep, x)
 		case phaseData:
 			switch {
-			case x.bytesMB <= completeEpsMB:
-				e.leaveData(x)
-				e.complete(x)
-				e.releaseSlots(x)
-				freed = true
-				// dropped from active
+			case x.doneAt <= e.now+timeEps:
+				e.advancePayload(x)
+				if x.bytesMB <= completeEpsMB {
+					e.leaveData(x)
+					e.complete(x)
+					e.releaseSlots(x)
+					freed = true
+					// dropped from active
+				} else {
+					// Residual payload above completeEpsMB at the stored
+					// deadline (float rounding): reschedule at the rate in
+					// force. Identical arithmetic on both cores.
+					x.doneAt = e.now + x.bytesMB/x.rate
+					if !e.ref {
+						e.xferHeap.update(x.id, x.doneAt)
+					}
+					keep = append(keep, x)
+				}
 			case x.nextFault <= e.now+timeEps:
+				e.advancePayload(x)
 				x.faults++
 				e.stats.Faults++
 				e.m.faults.Inc()
@@ -762,15 +832,6 @@ func (e *Engine) processEvents() {
 				}
 				keep = append(keep, x)
 			default:
-				if x.doneAt <= e.now+timeEps {
-					// Residual payload above completeEpsMB at the stored
-					// deadline (float rounding): reschedule at the rate in
-					// force. Identical arithmetic on both cores.
-					x.doneAt = e.now + x.bytesMB/x.rate
-					if !e.ref {
-						e.xferHeap.update(x.id, x.doneAt)
-					}
-				}
 				keep = append(keep, x)
 			}
 		}
@@ -779,6 +840,22 @@ func (e *Engine) processEvents() {
 	if freed {
 		e.startWaiting()
 	}
+}
+
+// advancePayload brings a data-phase transfer's remaining payload up to
+// the current time at the rate in force. Payload advances lazily, only
+// at the transfer's own events (deadline, fault, outage) and at rate
+// changes (commitScope) — never at foreign events — so its float
+// trajectory is chopped at exactly the same points whether the
+// transfer's component runs in the full engine or in a shard.
+func (e *Engine) advancePayload(x *xfer) {
+	if dt := e.now - x.lastAdv; dt > 0 {
+		x.bytesMB -= x.rate * dt
+		if x.bytesMB < 0 {
+			x.bytesMB = 0
+		}
+	}
+	x.lastAdv = e.now
 }
 
 // processChaos applies every plan boundary due at the current time.
@@ -863,6 +940,7 @@ func (e *Engine) beginOutage(o *OutageEvent) {
 			e.stats.OutageAborts++
 			e.m.outageAborts.Inc()
 			if x.phase == phaseData {
+				e.advancePayload(x)
 				e.leaveData(x)
 			}
 			e.releaseSlots(x)
@@ -872,6 +950,7 @@ func (e *Engine) beginOutage(o *OutageEvent) {
 		e.stats.OutageStalls++
 		e.m.outageStalls.Inc()
 		if x.phase == phaseData {
+			e.advancePayload(x)
 			e.leaveData(x)
 		}
 		x.phase = phaseStall
@@ -915,7 +994,7 @@ func (e *Engine) scheduleRetry(x *xfer) {
 		backoff = e.w.RetryBackoffMax
 	}
 	if j := e.w.RetryJitter; j > 0 {
-		backoff *= 1 + j*(2*e.rng.Float64()-1)
+		backoff *= 1 + j*(2*x.rs.Float64()-1)
 	}
 	if backoff < 0 {
 		backoff = 0
@@ -1041,6 +1120,8 @@ func (e *Engine) releaseSlots(x *xfer) {
 func (e *Engine) enterData(x *xfer) {
 	x.phase = phaseData
 	x.needDeadline = true
+	x.needFault = true
+	x.lastAdv = e.now
 	if e.ref {
 		return
 	}
@@ -1094,6 +1175,8 @@ func (e *Engine) admit(s TransferSpec, chainID int) {
 
 	x := &xfer{
 		id:        e.nextID,
+		stamp:     s.stamp - 1,
+		rs:        transferStream(e.seed, s.stamp-1),
 		spec:      s,
 		srcIdx:    srcIdx,
 		dstIdx:    dstIdx,
@@ -1106,7 +1189,7 @@ func (e *Engine) admit(s TransferSpec, chainID int) {
 		nextFault: math.Inf(1),
 	}
 	if e.w.JitterSigma > 0 {
-		x.rateEff = 1 - math.Abs(e.rng.NormFloat64())*e.w.JitterSigma
+		x.rateEff = 1 - math.Abs(x.rs.NormFloat64())*e.w.JitterSigma
 		if x.rateEff < 0.85 {
 			x.rateEff = 0.85
 		}
@@ -1186,7 +1269,7 @@ func (e *Engine) resampleBg(i int, ep *Endpoint) {
 	for k := 0; k < resKindsPerEndpoint; k++ {
 		ri := e.epResource(i, k)
 		r := e.resources[ri]
-		u := e.rng.Float64()
+		u := e.epRng[i].Float64()
 		r.bgFrac = ep.Bg.MaxFrac * u * u
 		if !e.ref {
 			e.dirtyResource(ri)
@@ -1206,7 +1289,7 @@ func (e *Engine) complete(x *xfer) {
 	e.stats.Completed++
 	e.m.completed.Inc()
 	e.log.Append(logs.Record{
-		ID:      x.id,
+		ID:      x.stamp,
 		Src:     x.spec.Src,
 		Dst:     x.spec.Dst,
 		Ts:      x.startedAt,
@@ -1476,9 +1559,19 @@ func (e *Engine) commitScope(data []*xfer, used []int) {
 		// Stable completion deadline: recompute only when the resolved
 		// rate moved or the transfer (re-)entered the data phase, so a
 		// component left untouched by the incremental core keeps the exact
-		// deadline the reference core re-derives.
+		// deadline the reference core re-derives. The payload advances to
+		// now at the outgoing rate first — these are exactly the rate-
+		// change points of the transfer's own component, so the bytesMB
+		// float trajectory is shard-invariant (see advancePayload).
 		if x.needDeadline || x.rate != x.prevRate {
 			x.needDeadline = false
+			if dt := e.now - x.lastAdv; dt > 0 {
+				x.bytesMB -= x.prevRate * dt
+				if x.bytesMB < 0 {
+					x.bytesMB = 0
+				}
+			}
+			x.lastAdv = e.now
 			x.doneAt = e.now + x.bytesMB/x.rate
 			if !e.ref {
 				e.xferHeap.update(x.id, x.doneAt)
@@ -1498,12 +1591,17 @@ func (e *Engine) commitScope(data []*xfer, used []int) {
 	}
 }
 
-// redrawFaults redraws every data-phase transfer's next fault time, in
-// activation order (one ExpFloat64 per transfer with a positive hazard —
-// the RNG-stream contract both cores share), and recomputes the scalar
-// fault minimum for optNextEventTime. The incremental core skips the call
-// when World.FaultBaseHazard is zero: no transfer can ever have a finite
-// deadline then, and no draws are at stake.
+// redrawFaults refreshes fault deadlines for active data-phase transfers
+// and recomputes the scalar fault minimum for optNextEventTime. A
+// transfer draws from its private stream only when its hazard actually
+// moved since the last draw (or it just entered the data phase); an
+// unchanged hazard keeps the standing deadline, which by exponential
+// memorylessness is distributionally identical to redrawing. The gate
+// also makes draw points component-local: the hazard is a function of
+// the transfer's own endpoints' utilization and the broadcast storm
+// multiplier, so a shard redraws at exactly the serial engine's times.
+// The incremental core skips the call when World.FaultBaseHazard is
+// zero: no transfer can ever have a finite deadline then.
 func (e *Engine) redrawFaults() {
 	e.minFault = math.Inf(1)
 	e.utilRound++
@@ -1515,10 +1613,14 @@ func (e *Engine) redrawFaults() {
 		// scaled up fabric-wide while a fault storm is in force.
 		util := math.Max(e.utilizationMemo(x.srcIdx), e.utilizationMemo(x.dstIdx))
 		h := e.w.FaultBaseHazard * e.hazardMul * util * util
-		if h > 0 {
-			x.nextFault = e.now + e.rng.ExpFloat64()/h
-		} else {
-			x.nextFault = math.Inf(1)
+		if x.needFault || h != x.lastHaz {
+			x.needFault = false
+			x.lastHaz = h
+			if h > 0 {
+				x.nextFault = e.now + x.rs.ExpFloat64()/h
+			} else {
+				x.nextFault = math.Inf(1)
+			}
 		}
 		if x.nextFault < e.minFault {
 			e.minFault = x.nextFault

@@ -1,0 +1,104 @@
+package simulate
+
+// prng.go provides the engine's per-entity random streams. The engine
+// deliberately does NOT use one shared math/rand source: a single stream
+// would entangle every transfer's draws through the global event order,
+// and the component-sharded driver (shard.go) could never reproduce the
+// serial engine bit for bit. Instead every endpoint and every transfer
+// owns a splitmix64 stream keyed by (world seed, stable identity), so a
+// draw sequence depends only on the entity's own event history — which is
+// identical whether the entity's component runs in the full engine or in
+// a shard (DESIGN.md §12).
+
+import "math"
+
+// prng is a splitmix64 generator with the derived-distribution helpers
+// the engine needs. The zero value is a valid (if fixed-key) stream;
+// engines always construct streams through newStream so keys are
+// domain-separated. Streams are tiny (24 bytes) and live by value inside
+// their owning entity.
+type prng struct {
+	s        uint64
+	spare    float64 // Box-Muller second deviate
+	hasSpare bool
+}
+
+// mix64 is the splitmix64 output permutation, used both for stream output
+// and for hardening stream keys (so adjacent stamps or similar endpoint
+// IDs land in unrelated regions of the sequence space).
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// newStream derives an independent stream from the world seed and a
+// per-entity key. Two rounds of mixing separate the seed and key
+// contributions; the golden-weyl increment in next() then walks the
+// stream.
+func newStream(seed int64, key uint64) prng {
+	return prng{s: mix64(uint64(seed)*0x9e3779b97f4a7c15 + key)}
+}
+
+func (p *prng) next() uint64 {
+	p.s += 0x9e3779b97f4a7c15
+	return mix64(p.s)
+}
+
+// Float64 returns a uniform deviate in [0, 1) with 53 random bits,
+// matching math/rand's value range.
+func (p *prng) Float64() float64 {
+	return float64(p.next()>>11) / (1 << 53)
+}
+
+// ExpFloat64 returns an exponential deviate with mean 1 via inversion.
+// Float64 < 1, so the argument to Log stays strictly positive.
+func (p *prng) ExpFloat64() float64 {
+	return -math.Log(1 - p.Float64())
+}
+
+// NormFloat64 returns a standard normal deviate (Box-Muller, caching the
+// second deviate like math/rand does).
+func (p *prng) NormFloat64() float64 {
+	if p.hasSpare {
+		p.hasSpare = false
+		return p.spare
+	}
+	// 1-Float64 ∈ (0, 1] keeps Log finite.
+	r := math.Sqrt(-2 * math.Log(1-p.Float64()))
+	theta := 2 * math.Pi * p.Float64()
+	sin, cos := math.Sincos(theta)
+	p.spare = r * sin
+	p.hasSpare = true
+	return r * cos
+}
+
+// fnv64 hashes a string with FNV-1a; endpoint streams are keyed by the
+// endpoint's ID so a sub-world's endpoint i' maps to the same stream as
+// the full world's endpoint i regardless of index.
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Stream-key domain tags: endpoint and transfer streams must never
+// collide even if an endpoint hash happens to equal a transfer stamp.
+const (
+	tagEndpoint uint64 = 0xe9d0_57ae_a4b1_0001
+	tagTransfer uint64 = 0x7a4f_5fe4_c2d3_0002
+)
+
+// endpointStream is the background-activity stream for one endpoint.
+func endpointStream(seed int64, id string) prng {
+	return newStream(seed, tagEndpoint^mix64(fnv64(id)))
+}
+
+// transferStream is the jitter/fault/retry stream for one transfer,
+// keyed by its global submission stamp (stable across sharding).
+func transferStream(seed int64, stamp int) prng {
+	return newStream(seed, tagTransfer^mix64(uint64(stamp)+0x51ed))
+}

@@ -72,7 +72,7 @@ func TestPropertyRandomWorlds(t *testing.T) {
 			plan = randomPlan(t, cfg, meta)
 		}
 		t.Run(fmt.Sprintf("cfg%02d", i), func(t *testing.T) {
-			runOnce := func(reg *obs.Registry, ref bool) ([]byte, Stats) {
+			runOnce := func(reg *obs.Registry, ref bool, shards int) ([]byte, Stats) {
 				t.Helper()
 				g, err := Generate(cfg)
 				if err != nil {
@@ -80,6 +80,7 @@ func TestPropertyRandomWorlds(t *testing.T) {
 				}
 				eng := NewEngine(g.World, cfg.Seed+1)
 				eng.SetReference(ref)
+				eng.SetShards(shards)
 				eng.SetObs(reg)
 				eng.Submit(g.Specs...)
 				if err := eng.SetChaos(plan); err != nil {
@@ -102,9 +103,9 @@ func TestPropertyRandomWorlds(t *testing.T) {
 				return buf.Bytes(), eng.Stats()
 			}
 
-			plain, plainStats := runOnce(nil, false)
+			plain, plainStats := runOnce(nil, false, 1)
 			reg := obs.NewRegistry()
-			instrumented, _ := runOnce(reg, false)
+			instrumented, _ := runOnce(reg, false, 1)
 			if !bytes.Equal(plain, instrumented) {
 				t.Error("instrumented run diverged from plain run with the same seed")
 			}
@@ -114,12 +115,25 @@ func TestPropertyRandomWorlds(t *testing.T) {
 			// The optimized event core (indexed heaps + dirty-component
 			// resolution) must be byte-identical to the reference core on
 			// every config — same RNG draws, same event order, same floats.
-			reference, refStats := runOnce(nil, true)
+			reference, refStats := runOnce(nil, true, 1)
 			if !bytes.Equal(plain, reference) {
 				t.Error("optimized engine log diverged from reference engine log")
 			}
 			if plainStats != refStats {
 				t.Errorf("optimized stats %+v diverged from reference stats %+v", plainStats, refStats)
+			}
+			// The component-sharded driver must reproduce the serial log
+			// byte for byte at every shard count, chaos plans included
+			// (DESIGN.md §12). Submitted is counted by the parent either
+			// way, so whole-Stats equality holds too.
+			for _, shards := range []int{2, 4} {
+				sharded, shardedStats := runOnce(nil, false, shards)
+				if !bytes.Equal(plain, sharded) {
+					t.Errorf("shards=%d log diverged from serial log", shards)
+				}
+				if plainStats != shardedStats {
+					t.Errorf("shards=%d stats %+v diverged from serial stats %+v", shards, shardedStats, plainStats)
+				}
 			}
 		})
 	}

@@ -1,0 +1,265 @@
+package simulate
+
+// shard.go implements the component-sharded event core (DESIGN.md §12).
+// Two transfers can only ever influence each other through a shared
+// resource — an endpoint's four resources or a directed site-pair WAN
+// resource — so the connected components of the static resource-sharing
+// graph (the same structure dirty.go re-solves incrementally within one
+// engine) partition the workload into sub-simulations that are exactly
+// independent: same events, same float arithmetic, same RNG draws. The
+// driver below unions endpoints over the submitted specs, packs the
+// components onto up to Shards sub-engines, runs them over internal/pool
+// workers, and merges the logs. Byte-identity with the serial engine
+// rests on three invariants kept elsewhere:
+//
+//   - every RNG draw comes from a per-entity stream keyed by stable
+//     identity (prng.go), never from engine-global state;
+//   - payload floats advance only at a transfer's own component-local
+//     times (advancePayload/commitScope), never at foreign events;
+//   - record IDs are global submission stamps assigned before
+//     partitioning (assignStamps), so (Ts, ID) totally orders the merged
+//     records and SortByStart reproduces the serial log byte for byte.
+//
+// Chaos routing: outages are endpoint-scoped and go only to the shard
+// owning that endpoint; WAN faults and storms broadcast to every shard —
+// they scale capacities/hazards without coupling components, and their
+// boundaries must be events on every shard's clock so fault redraws
+// happen at the serial engine's times.
+
+import (
+	"context"
+	"sort"
+
+	"repro/internal/logs"
+	"repro/internal/pool"
+)
+
+// shardWork is the input of one sub-engine: its endpoints (world order),
+// its specs and chains (submission order), and its routed chaos plan.
+type shardWork struct {
+	eps    []int
+	specs  []TransferSpec
+	chains [][]TransferSpec
+	plan   *ChaosPlan
+}
+
+// runSharded partitions the stamped workload by resource-sharing
+// component and runs it on up to e.shards sub-engines. It reports
+// handled=false when the workload has fewer than two components, in
+// which case RunContext falls through to the serial loop.
+func (e *Engine) runSharded(ctx context.Context) (*logs.Log, error, bool) {
+	nEp := len(e.w.Endpoints)
+
+	// Union-find over endpoint indices plus one virtual node per
+	// directed site pair (lazily appended past nEp): a network-crossing
+	// spec couples its endpoints to the shared WAN resource of its path.
+	parent := make([]int, nEp, nEp+16)
+	for i := range parent {
+		parent[i] = i
+	}
+	find := func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	pairNode := make(map[string]int)
+	used := make([]bool, nEp)
+	touch := func(s *TransferSpec) {
+		si, di := e.epIndex(s.Src), e.epIndex(s.Dst)
+		used[si], used[di] = true, true
+		union(si, di)
+		if si != di && !s.SkipNetwork {
+			key := e.w.Endpoints[si].Site.Name + "|" + e.w.Endpoints[di].Site.Name
+			n, ok := pairNode[key]
+			if !ok {
+				n = len(parent)
+				parent = append(parent, n)
+				pairNode[key] = n
+			}
+			union(si, n)
+		}
+	}
+	for i := range e.pending {
+		touch(&e.pending[i])
+	}
+	for _, ch := range e.chains {
+		prev := -1
+		for i := range ch.specs {
+			touch(&ch.specs[i])
+			si := e.epIndex(ch.specs[i].Src)
+			if prev >= 0 {
+				union(prev, si) // chain links couple consecutive specs
+			}
+			prev = si
+		}
+	}
+
+	// Dense component ids in endpoint-index order; idle endpoints (no
+	// specs) belong to no component and no sub-world.
+	compOf := make(map[int]int)
+	var compEps [][]int
+	epComp := make([]int, nEp)
+	for i := 0; i < nEp; i++ {
+		epComp[i] = -1
+		if !used[i] {
+			continue
+		}
+		r := find(i)
+		c, ok := compOf[r]
+		if !ok {
+			c = len(compEps)
+			compOf[r] = c
+			compEps = append(compEps, nil)
+		}
+		compEps[c] = append(compEps[c], i)
+		epComp[i] = c
+	}
+	if len(compEps) < 2 {
+		return nil, nil, false
+	}
+
+	// Greedy LPT packing: components by spec count descending onto the
+	// currently lightest shard; ties break toward lower ids so the
+	// partition is deterministic (the merged output does not depend on
+	// it, only the load balance does).
+	weight := make([]int, len(compEps))
+	for i := range e.pending {
+		weight[epComp[e.epIndex(e.pending[i].Src)]]++
+	}
+	for _, ch := range e.chains {
+		weight[epComp[e.epIndex(ch.specs[0].Src)]] += len(ch.specs)
+	}
+	k := e.shards
+	if k > len(compEps) {
+		k = len(compEps)
+	}
+	order := make([]int, len(compEps))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ca, cb := order[a], order[b]
+		if weight[ca] != weight[cb] {
+			return weight[ca] > weight[cb]
+		}
+		return ca < cb
+	})
+	shardOf := make([]int, len(compEps))
+	load := make([]int, k)
+	for _, c := range order {
+		best := 0
+		for s := 1; s < k; s++ {
+			if load[s] < load[best] {
+				best = s
+			}
+		}
+		shardOf[c] = best
+		load[best] += weight[c]
+	}
+
+	works := make([]*shardWork, k)
+	for s := range works {
+		works[s] = &shardWork{}
+	}
+	for i := 0; i < nEp; i++ {
+		if epComp[i] >= 0 {
+			w := works[shardOf[epComp[i]]]
+			w.eps = append(w.eps, i)
+		}
+	}
+	for i := range e.pending {
+		s := shardOf[epComp[e.epIndex(e.pending[i].Src)]]
+		works[s].specs = append(works[s].specs, e.pending[i])
+	}
+	for _, ch := range e.chains {
+		s := shardOf[epComp[e.epIndex(ch.specs[0].Src)]]
+		works[s].chains = append(works[s].chains, ch.specs)
+	}
+	if p := e.chaosPlan; p != nil {
+		for s, w := range works {
+			var outages []OutageEvent
+			for _, o := range p.Outages {
+				// An outage on an idle endpoint (no specs, so no
+				// component) cannot affect any transfer; drop it.
+				if c := epComp[e.epIndex(o.EndpointID)]; c >= 0 && shardOf[c] == s {
+					outages = append(outages, o)
+				}
+			}
+			// WAN faults and storms broadcast (read-only shared slices).
+			w.plan = &ChaosPlan{Outages: outages, WANFaults: p.WANFaults, Storms: p.Storms}
+		}
+	}
+
+	subLogs := make([]*logs.Log, k)
+	subStats := make([]Stats, k)
+	subViol := make([][]string, k)
+	err := pool.ForEach(ctx, k, k, func(ctx context.Context, s int) error {
+		wk := works[s]
+		sub := NewEngine(e.subWorld(wk.eps), e.seed)
+		sub.ref = e.ref
+		sub.preStamped = true
+		sub.m = e.m // shared instruments; counters are atomic
+		sub.Submit(wk.specs...)
+		for _, cs := range wk.chains {
+			sub.SubmitChain(cs...)
+		}
+		if !wk.plan.Empty() {
+			if err := sub.SetChaos(wk.plan); err != nil {
+				return err
+			}
+		}
+		l, err := sub.RunContext(ctx)
+		if err != nil {
+			return err
+		}
+		subLogs[s] = l
+		subStats[s] = sub.Stats()
+		subViol[s] = sub.violations
+		return nil
+	})
+	if err != nil {
+		return nil, err, true
+	}
+
+	// Deterministic merge: concatenate into the parent log (which holds
+	// the FULL world's endpoint directory) and re-sort. Stamps are
+	// globally unique, so (Ts, ID) is a total order and the result is
+	// byte-identical to the serial engine's log. Stats sum; Submitted is
+	// the parent's own count.
+	for s := 0; s < k; s++ {
+		e.log.Records = append(e.log.Records, subLogs[s].Records...)
+		st := subStats[s]
+		e.stats.Completed += st.Completed
+		e.stats.Faults += st.Faults
+		e.stats.Retries += st.Retries
+		e.stats.Abandoned += st.Abandoned
+		e.stats.OutageAborts += st.OutageAborts
+		e.stats.OutageStalls += st.OutageStalls
+		e.violations = append(e.violations, subViol[s]...)
+	}
+	e.log.SortByStart()
+	return e.log, nil, true
+}
+
+// subWorld builds the shard's world: the listed endpoints (world order)
+// with every tunable copied from the parent. Endpoint structs are shared
+// read-only.
+func (e *Engine) subWorld(eps []int) *World {
+	sw := *e.w
+	sw.Endpoints = make([]*Endpoint, 0, len(eps))
+	sw.byID = make(map[string]*Endpoint, len(eps))
+	for _, i := range eps {
+		ep := e.w.Endpoints[i]
+		sw.Endpoints = append(sw.Endpoints, ep)
+		sw.byID[ep.ID] = ep
+	}
+	return &sw
+}

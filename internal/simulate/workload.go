@@ -30,6 +30,21 @@ type Config struct {
 	NoisyFrac         float64 // fraction of endpoints with strong hidden load
 
 	BurstMax int // max transfers submitted together (workflow bursts)
+
+	// Clusters replicates the world and workload into this many mutually
+	// disconnected copies: cluster c gets its own sites (names suffixed
+	// "@c", same coordinates), its own endpoints, and its own workload
+	// drawn from a derived seed. Clusters never share an endpoint or a
+	// site pair, so each contributes independent resource-sharing
+	// components — the structure the sharded engine (Shards) splits
+	// across workers. Clusters <= 1 is the legacy single-cluster path,
+	// byte-identical to configs that predate the field.
+	Clusters int
+
+	// Shards is handed to Engine.SetShards by the GenerateLog family:
+	// 0 or 1 runs the serial event loop, larger values shard the run by
+	// resource-sharing component with byte-identical output.
+	Shards int
 }
 
 // DefaultConfig is the full-scale configuration behind the headline
@@ -63,6 +78,35 @@ func SmallConfig() Config {
 	return c
 }
 
+// LargeConfig is a clustered configuration for shard-scaling benchmarks:
+// 24 disconnected clusters, each a scaled-down copy of the headline
+// world (~300k transfers total). Shards defaults to 1 so callers choose
+// the engine layout explicitly.
+func LargeConfig() Config {
+	c := DefaultConfig()
+	c.Horizon = 30 * 24 * 3600
+	c.HeavyEdges = 12
+	c.HeavyTransfersMean = 900
+	c.TailEdges = 40
+	c.HubEndpoints = 10
+	c.PersonalEndpoints = 12
+	c.Clusters = 24
+	return c
+}
+
+// XLargeConfig is the paper-scale configuration: 24 disconnected
+// clusters totalling over a million transfers. Intended to run sharded
+// (set Shards; see scripts/bench.sh) — the serial event loop works but
+// pays the full O(active) scan at every event.
+func XLargeConfig() Config {
+	c := DefaultConfig()
+	c.HeavyEdges = 38
+	c.HeavyTransfersMean = 1400
+	c.TailEdges = 120
+	c.Clusters = 24
+	return c
+}
+
 // edgeProfile captures the per-edge workload idiosyncrasies: habitual
 // dataset shapes and tool settings differ strongly between communities,
 // which is why the paper's per-edge models work so well. Transfer sizes are
@@ -92,13 +136,46 @@ type Generated struct {
 	HeavyEdges []logs.EdgeKey
 }
 
-// Generate builds a world and workload from the configuration.
+// Generate builds a world and workload from the configuration. With
+// Clusters > 1 it builds every cluster independently and merges them into
+// one world; the merged spec list stays grouped by cluster (the engine
+// orders submissions by Start when it assigns stamps, so grouping does
+// not affect the simulated schedule).
 func Generate(cfg Config) (*Generated, error) {
 	if cfg.HeavyEdges <= 0 || cfg.Horizon <= 0 {
 		return nil, fmt.Errorf("simulate: config needs positive HeavyEdges and Horizon")
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	world, hubs, personals := buildWorld(cfg, rng)
+	if cfg.Clusters <= 1 {
+		return generateCluster(cfg, -1)
+	}
+	g := &Generated{}
+	var eps []*Endpoint
+	for c := 0; c < cfg.Clusters; c++ {
+		sub, err := generateCluster(cfg, c)
+		if err != nil {
+			return nil, err
+		}
+		eps = append(eps, sub.World.Endpoints...)
+		g.Specs = append(g.Specs, sub.Specs...)
+		g.HeavyEdges = append(g.HeavyEdges, sub.HeavyEdges...)
+	}
+	g.World = NewWorld(eps)
+	return g, nil
+}
+
+// generateCluster builds one cluster's world and workload. Cluster -1 is
+// the legacy unsuffixed path (Clusters <= 1); cluster c >= 0 renames
+// every site to "Name@c" and draws from a seed derived per cluster, so
+// clusters are disjoint in endpoints, site pairs, and randomness.
+func generateCluster(cfg Config, cluster int) (*Generated, error) {
+	seed := cfg.Seed
+	suffix := ""
+	if cluster >= 0 {
+		seed = cfg.Seed + int64(cluster+1)*7_919_911
+		suffix = fmt.Sprintf("@%d", cluster)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	world, hubs, personals := buildWorld(cfg, rng, suffix)
 
 	g := &Generated{World: world}
 
@@ -206,6 +283,7 @@ func GenerateLogChaosObs(ctx context.Context, cfg Config, plan *ChaosPlan, reg *
 		return nil, Stats{}, nil, err
 	}
 	eng := NewEngine(g.World, cfg.Seed+1)
+	eng.SetShards(cfg.Shards)
 	eng.SetObs(reg)
 	eng.Submit(g.Specs...)
 	if err := eng.SetChaos(plan); err != nil {
@@ -225,8 +303,19 @@ func GenerateLogChaosObs(ctx context.Context, cfg Config, plan *ChaosPlan, reg *
 
 // buildWorld creates the endpoint fleet: hub DTNs at major facilities,
 // extra GCS servers at remaining sites, and personal (GCP) endpoints.
-func buildWorld(cfg Config, rng *rand.Rand) (w *World, hubs, personals []string) {
+// A non-empty suffix renames every site (and disambiguates personal
+// endpoint IDs) so that clustered worlds share no site pair — WAN
+// resources key on site names.
+func buildWorld(cfg Config, rng *rand.Rand, suffix string) (w *World, hubs, personals []string) {
 	sites := geo.Catalogue()
+	if suffix != "" {
+		renamed := make([]geo.Site, len(sites))
+		for i, s := range sites {
+			s.Name += suffix
+			renamed[i] = s
+		}
+		sites = renamed
+	}
 	var eps []*Endpoint
 
 	nicChoices := []float64{1250, 1250, 2500} // mostly 10G, some 20G aggregate
@@ -276,7 +365,7 @@ func buildWorld(cfg Config, rng *rand.Rand) (w *World, hubs, personals []string)
 	// Personal endpoints: laptops/workstations near random sites.
 	for i := 0; i < cfg.PersonalEndpoints; i++ {
 		site := sites[rng.Intn(len(sites))]
-		id := fmt.Sprintf("user%02d-gcp", i)
+		id := fmt.Sprintf("user%02d-gcp%s", i, suffix)
 		eps = append(eps, &Endpoint{
 			ID:              id,
 			Site:            site,

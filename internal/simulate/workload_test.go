@@ -1,8 +1,11 @@
 package simulate
 
 import (
+	"bytes"
+	"context"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"repro/internal/logs"
@@ -162,6 +165,86 @@ func TestGenerateLogEndToEnd(t *testing.T) {
 	// Endpoints registered in the log directory.
 	if len(l.Endpoints) != len(g.World.Endpoints) {
 		t.Errorf("log knows %d endpoints, world has %d", len(l.Endpoints), len(g.World.Endpoints))
+	}
+}
+
+// TestGenerateClustered pins the clustered generator: Clusters<=1 is
+// byte-identical to the legacy path, clusters are disjoint in endpoints
+// and sites, and a clustered run is byte-identical at every shard count.
+func TestGenerateClustered(t *testing.T) {
+	legacy := SmallConfig()
+	zero, one := legacy, legacy
+	zero.Clusters = 0
+	one.Clusters = 1
+	gl, err := Generate(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []Config{zero, one} {
+		g, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(g.Specs) != len(gl.Specs) {
+			t.Fatalf("Clusters=%d changed the legacy workload", cfg.Clusters)
+		}
+		for i := range g.Specs {
+			if g.Specs[i] != gl.Specs[i] {
+				t.Fatalf("Clusters=%d spec %d differs from legacy", cfg.Clusters, i)
+			}
+		}
+	}
+
+	cfg := SmallConfig()
+	cfg.HeavyEdges = 3
+	cfg.HeavyTransfersMean = 60
+	cfg.TailEdges = 4
+	cfg.HubEndpoints = 5
+	cfg.PersonalEndpoints = 4
+	cfg.Clusters = 3
+	g, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := map[string]bool{}
+	for _, ep := range g.World.Endpoints {
+		if ids[ep.ID] {
+			t.Fatalf("duplicate endpoint %q across clusters", ep.ID)
+		}
+		ids[ep.ID] = true
+	}
+	sites := map[string]bool{}
+	for _, ep := range g.World.Endpoints {
+		sites[ep.Site.Name] = true
+	}
+	for s := range sites {
+		if !strings.Contains(s, "@") {
+			t.Fatalf("clustered site %q missing cluster suffix", s)
+		}
+	}
+
+	run := func(shards int) ([]byte, Stats) {
+		c := cfg
+		c.Shards = shards
+		l, st, _, err := GenerateLogChaos(context.Background(), c, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := l.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), st
+	}
+	serial, serialStats := run(1)
+	for _, shards := range []int{2, 3, 8} {
+		sharded, st := run(shards)
+		if !bytes.Equal(serial, sharded) {
+			t.Errorf("Shards=%d log diverged from serial log", shards)
+		}
+		if st != serialStats {
+			t.Errorf("Shards=%d stats %+v diverged from %+v", shards, st, serialStats)
+		}
 	}
 }
 

@@ -12,9 +12,12 @@
 #   BENCH_<label>.json  parsed {name, iterations, ns_per_op, ...} records
 #
 # Tunables (environment):
-#   BENCH_PATTERN  benchmark regexp        (default: component benchmarks)
-#   BENCH_COUNT    -count                  (default: 5)
-#   BENCH_TIME     -benchtime              (default: 1x)
+#   BENCH_PATTERN      benchmark regexp     (default: component benchmarks)
+#   BENCH_COUNT        -count               (default: 5)
+#   BENCH_TIME         -benchtime           (default: 1x)
+#   BENCH_SHARD_COUNT  -count for the shard-scaling sweep (default: 3)
+#   BENCH_XLARGE       set to 1 to append the paper-scale XLarge
+#                      end-to-end run (>1M transfers; takes minutes)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -30,6 +33,7 @@ fi
 pattern="${BENCH_PATTERN:-GBTTrain|GBTTrainHist|Fig11Headline|FeatureEngineering|LinregFit|SimulateSmall|Predict\$|PredictAll|MIC|EngineRun}"
 count="${BENCH_COUNT:-5}"
 benchtime="${BENCH_TIME:-1x}"
+shard_count="${BENCH_SHARD_COUNT:-3}"
 
 mkdir -p bench
 txt="bench/BENCH_${label}.txt"
@@ -37,6 +41,27 @@ json="bench/BENCH_${label}.json"
 
 echo "running benchmarks matching '${pattern}' (count=${count}, benchtime=${benchtime})..." >&2
 go test -run '^$' -bench "$pattern" -benchmem -count "$count" -benchtime "$benchtime" . | tee "$txt"
+
+# Log I/O comparison: CSV vs columnar, read and write, over the same
+# in-memory log. These are millisecond-scale, so they run many
+# iterations per sample for stable per-op numbers.
+echo "running log I/O comparison (CSV vs columnar)..." >&2
+go test -run '^$' -bench 'LogRead|LogWrite' -benchmem -count 3 -benchtime 20x . | tee -a "$txt"
+
+# Shard-scaling sweep: the clustered Large world at shards 1/2/4/Max
+# (Max = max(GOMAXPROCS, cluster count)). Serial vs sharded on the SAME
+# world is the engine-speedup headline, so it gets its own stage with a
+# lower count (the serial leg alone runs ~10s per iteration).
+echo "running shard-scaling sweep (count=${shard_count})..." >&2
+go test -run '^$' -bench 'EngineShardLarge' -benchmem -count "$shard_count" -benchtime 1x . | tee -a "$txt"
+
+# Paper-scale end to end: generate the XLarge world (>1M transfers),
+# simulate sharded, columnar round trip, feature engineering from column
+# views. One iteration; opt-in because it takes minutes.
+if [ "${BENCH_XLARGE:-0}" = "1" ]; then
+    echo "running paper-scale XLarge end to end (one iteration)..." >&2
+    go test -run '^$' -bench 'PaperScaleXLarge' -benchmem -count 1 -benchtime 1x -timeout 60m . | tee -a "$txt"
+fi
 
 # Parse the benchstat-compatible text into JSON. Benchmark lines look like:
 #   BenchmarkGBTTrain    	       2	 601234567 ns/op	 123456 B/op	   789 allocs/op
