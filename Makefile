@@ -2,7 +2,7 @@ GO ?= go
 
 EXAMPLES := $(wildcard examples/*)
 
-.PHONY: check build vet test race fuzz bench examples coverage serve serve-smoke loadtest
+.PHONY: check build vet test race fuzz bench examples coverage serve serve-smoke stream-smoke loadtest
 
 # The full gate: what CI (and a careful human) runs before merging.
 check: build vet test race examples
@@ -32,13 +32,16 @@ bench:
 # the engine-schedule differential fuzzer (optimized and sharded event
 # cores must stay byte-identical to the reference core under
 # adversarial deadline ties), and the serve daemon's request decoder
-# (malformed bodies must 400, never panic).
+# (malformed bodies must 400, never panic), and the log tailer (torn
+# appends, rotation, truncation, and garbage mid-stream must never
+# panic or emit a malformed record).
 fuzz:
 	$(GO) test ./internal/logs -run '^$$' -fuzz FuzzReadCSV -fuzztime 30s
 	$(GO) test ./internal/logs/colfmt -run '^$$' -fuzz FuzzReadColumnar -fuzztime 30s
 	$(GO) test ./internal/simulate -run '^$$' -fuzz FuzzParseWorld -fuzztime 30s
 	$(GO) test ./internal/simulate -run '^$$' -fuzz FuzzEngineSchedules -fuzztime 30s
 	$(GO) test ./internal/serve -run '^$$' -fuzz FuzzPredictRequest -fuzztime 30s
+	$(GO) test ./internal/stream -run '^$$' -fuzz FuzzTail -fuzztime 30s
 
 # Train a serving registry on the small workload and run the prediction
 # daemon on it (foreground; SIGHUP reloads, SIGTERM drains). Override
@@ -53,6 +56,12 @@ serve:
 # a corrupt reload, hot-reload on SIGHUP, drain on SIGTERM.
 serve-smoke:
 	./scripts/serve-smoke.sh
+
+# End-to-end online refresh smoke: tail a growing log with `wanperf
+# stream`, bootstrap + gate-passed promotion hot-reload a live daemon,
+# and a drifted window is rejected without moving the served generation.
+stream-smoke:
+	./scripts/stream-smoke.sh
 
 # Concurrent load generation with latency percentiles against a running
 # daemon (start one with `make serve`).

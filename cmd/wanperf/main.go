@@ -156,7 +156,7 @@ var commandOrder = []string{
 	"table1", "table3", "table4", "table5",
 	"fig3", "fig4", "fig5", "fig6", "fig8", "fig9", "fig12", "fig13",
 	"eq1", "global", "lmt", "ablation", "tuned", "worldspec", "chaos", "all",
-	"convert", "registry", "serve",
+	"convert", "registry", "serve", "stream",
 }
 
 var commands = map[string]*cmdSpec{
@@ -212,6 +212,8 @@ var commands = map[string]*cmdSpec{
 		run: cmdRegistry},
 	"serve": {summary: "run the prediction daemon on a registry file",
 		run: cmdServe},
+	"stream": {summary: "tail a growing transfer log and keep the serving registry fresh",
+		run: cmdStream},
 }
 
 // needsPipeline reports whether the command requires a simulated log.
@@ -255,6 +257,8 @@ func usage() {
 	b.WriteString("       wanperf serve -registry FILE [-addr ADDR] [-queue N] [-batch N]\n")
 	b.WriteString("                     [-queue-timeout DUR] [-request-timeout DUR]\n")
 	b.WriteString("                     [-drain-timeout DUR] [-watch DUR]\n")
+	b.WriteString("       wanperf stream -in FILE -registry FILE [-log-format auto|csv|columnar]\n")
+	b.WriteString("                      [-poll DUR] [-window N] [-refresh-every N] [-min-train N]\n")
 	b.WriteString("commands:\n")
 	for _, name := range commandOrder {
 		fmt.Fprintf(&b, "  %-10s %s\n", name, commands[name].summary)
@@ -326,6 +330,13 @@ type options struct {
 	requestTimeout time.Duration
 	drainTimeout   time.Duration
 	watch          time.Duration
+
+	// stream flags.
+	logFormat    string        // tailed log format: auto, csv, or columnar
+	poll         time.Duration // tail poll interval (0 = default)
+	window       int           // sliding-window capacity (0 = default)
+	refreshEvery int           // records between retrains (0 = default)
+	minTrain     int           // smallest window that may train (0 = default)
 }
 
 func parseArgs(args []string) (cmd string, cfg simulate.Config, opts options, err error) {
@@ -360,6 +371,11 @@ func parseArgs(args []string) (cmd string, cfg simulate.Config, opts options, er
 	requestTimeout := fs.Duration("request-timeout", 0, "serve: end-to-end request deadline (0 = default)")
 	drainTimeout := fs.Duration("drain-timeout", 0, "serve: hard deadline for graceful drain (0 = default)")
 	watch := fs.Duration("watch", 0, "serve: registry poll period (0 = default, negative disables)")
+	logFormat := fs.String("log-format", "auto", "stream: tailed log format (auto, csv, or columnar)")
+	poll := fs.Duration("poll", 0, "stream: tail poll interval (0 = default)")
+	window := fs.Int("window", 0, "stream: sliding-window capacity in records (0 = default)")
+	refreshEvery := fs.Int("refresh-every", 0, "stream: records between retrains (0 = default)")
+	minTrain := fs.Int("min-train", 0, "stream: smallest window that may train (0 = default)")
 	if err := fs.Parse(args[1:]); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return "", cfg, opts, flag.ErrHelp
@@ -396,6 +412,19 @@ func parseArgs(args []string) (cmd string, cfg simulate.Config, opts options, er
 	opts.requestTimeout = *requestTimeout
 	opts.drainTimeout = *drainTimeout
 	opts.watch = *watch
+	switch *logFormat {
+	case "auto", "csv", "columnar":
+		opts.logFormat = *logFormat
+	default:
+		return "", cfg, opts, fmt.Errorf("%w: -log-format must be auto, csv, or columnar, got %q", errUsage, *logFormat)
+	}
+	opts.poll = *poll
+	if *window < 0 || *refreshEvery < 0 || *minTrain < 0 {
+		return "", cfg, opts, fmt.Errorf("%w: -window, -refresh-every, and -min-train must be non-negative", errUsage)
+	}
+	opts.window = *window
+	opts.refreshEvery = *refreshEvery
+	opts.minTrain = *minTrain
 	if opts.intensities, err = parseIntensities(*intensities); err != nil {
 		return "", cfg, opts, fmt.Errorf("%w: %v", errUsage, err)
 	}

@@ -168,6 +168,11 @@ func engineer(l *logs.Log, workers int) []Vector {
 	return out
 }
 
+// Overlap exposes the Eq. 2 overlap O(i,k) for incremental consumers
+// (internal/stream's sliding window) that must reproduce Engineer's
+// arithmetic bit for bit.
+func Overlap(a, b *logs.Record) float64 { return overlap(a, b) }
+
 // overlap returns O(i,k) = max(0, min(Tei,Tek) − max(Tsi,Tsk)).
 func overlap(a, b *logs.Record) float64 {
 	lo := a.Ts

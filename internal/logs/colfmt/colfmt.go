@@ -64,6 +64,10 @@ const (
 
 var magic = [4]byte{'W', 'P', 'C', 'L'}
 
+// Magic is the 4-byte file signature, exported so stream tailers can
+// sniff whether a growing log is columnar or CSV.
+const Magic = "WPCL"
+
 // ErrCorrupt wraps every integrity failure (bad magic/version, CRC
 // mismatch, truncation, structural inconsistency) so callers can
 // distinguish a damaged file from an I/O error with errors.Is.

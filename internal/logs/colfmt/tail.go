@@ -1,0 +1,159 @@
+package colfmt
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/logs"
+)
+
+// ErrNeedMore reports that the decoder's buffer ends mid-header or
+// mid-section: not corruption, just bytes that have not arrived yet.
+// Feed more data and call Next again. It is the columnar analogue of
+// logs.ErrPartialRecord.
+var ErrNeedMore = errors.New("colfmt: need more bytes")
+
+// TailDecoder decodes a columnar file incrementally from bytes pushed in
+// by the caller, so a growing file can be followed without seeking or
+// re-reading. Framing stays fail-closed exactly like Reader: a section is
+// surfaced only after its full payload has arrived and its CRC verifies,
+// and any integrity failure (bad magic/version, checksum mismatch,
+// structural inconsistency) poisons the decoder with an ErrCorrupt-wrapped
+// error — a torn append can only ever look like "not finished yet", never
+// like a different log.
+type TailDecoder struct {
+	buf      []byte
+	pos      int
+	header   bool
+	firstSec bool
+	eps      []logs.Endpoint
+	rows     uint64
+	chunks   uint32
+	done     bool
+	err      error
+}
+
+// Feed appends bytes read from the growing file. Bytes fed after the
+// footer (or after corruption) are ignored.
+func (d *TailDecoder) Feed(p []byte) {
+	if d.err != nil || d.done {
+		return
+	}
+	d.buf = append(d.buf, p...)
+}
+
+// Endpoints returns the endpoint directory once its section has decoded
+// (nil before that, or when the file has none).
+func (d *TailDecoder) Endpoints() []logs.Endpoint { return d.eps }
+
+// Done reports whether a valid footer has been decoded: the file is
+// complete and Next will only return io.EOF.
+func (d *TailDecoder) Done() bool { return d.done }
+
+func (d *TailDecoder) fail(err error) (*Table, error) {
+	d.err = err
+	return nil, err
+}
+
+// compact drops consumed bytes once they dominate the buffer.
+func (d *TailDecoder) compact() {
+	if d.pos > 1<<12 && d.pos*2 > len(d.buf) {
+		n := copy(d.buf, d.buf[d.pos:])
+		d.buf = d.buf[:n]
+		d.pos = 0
+	}
+}
+
+// Next returns the next fully-arrived chunk, ErrNeedMore when the buffer
+// ends mid-section, io.EOF after a valid footer, or a sticky
+// ErrCorrupt-wrapped error on any integrity failure.
+func (d *TailDecoder) Next() (*Table, error) {
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.done {
+		return nil, io.EOF
+	}
+	if !d.header {
+		if len(d.buf)-d.pos < 8 {
+			return nil, ErrNeedMore
+		}
+		hdr := d.buf[d.pos : d.pos+8]
+		if [4]byte(hdr[:4]) != magic {
+			return d.fail(corrupt("bad magic %q", hdr[:4]))
+		}
+		if v := binary.LittleEndian.Uint16(hdr[4:6]); v != Version {
+			return d.fail(corrupt("unsupported version %d", v))
+		}
+		if binary.LittleEndian.Uint16(hdr[6:8]) != 0 {
+			return d.fail(corrupt("nonzero reserved header field"))
+		}
+		d.pos += 8
+		d.header = true
+		d.firstSec = true
+	}
+	for {
+		avail := d.buf[d.pos:]
+		if len(avail) < 5 {
+			d.compact()
+			return nil, ErrNeedMore
+		}
+		kind := avail[0]
+		n := binary.LittleEndian.Uint32(avail[1:5])
+		if n > maxSectionLen {
+			return d.fail(corrupt("section claims %d bytes", n))
+		}
+		total := 5 + int(n) + 4
+		if len(avail) < total {
+			d.compact()
+			return nil, ErrNeedMore
+		}
+		payload := avail[5 : 5+int(n)]
+		if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(avail[5+int(n):total]); got != want {
+			return d.fail(corrupt("section checksum mismatch"))
+		}
+		d.pos += total
+		first := d.firstSec
+		d.firstSec = false
+		switch kind {
+		case kindEndpoints:
+			if !first {
+				return d.fail(corrupt("endpoint directory not first section"))
+			}
+			eps, err := decodeEndpoints(payload)
+			if err != nil {
+				return d.fail(err)
+			}
+			d.eps = eps
+		case kindChunk:
+			t, err := decodeChunk(payload)
+			if err != nil {
+				return d.fail(err)
+			}
+			d.rows += uint64(t.Len())
+			d.chunks++
+			d.compact()
+			return t, nil
+		case kindFooter:
+			if len(payload) != 12 {
+				return d.fail(corrupt("footer is %d bytes, want 12", len(payload)))
+			}
+			if got := binary.LittleEndian.Uint64(payload[:8]); got != d.rows {
+				return d.fail(corrupt("footer claims %d rows, read %d", got, d.rows))
+			}
+			if got := binary.LittleEndian.Uint32(payload[8:]); got != d.chunks {
+				return d.fail(corrupt("footer claims %d chunks, read %d", got, d.chunks))
+			}
+			if d.pos != len(d.buf) {
+				return d.fail(corrupt("trailing bytes after footer"))
+			}
+			d.done = true
+			d.buf = nil
+			return nil, io.EOF
+		default:
+			return d.fail(corrupt("unknown section kind %d", kind))
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package colfmt
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/logs"
+)
+
+func tailSampleLog(n int) *logs.Log {
+	l := logs.NewLog()
+	l.AddEndpoint(logs.Endpoint{ID: "a", Site: "ANL", Type: logs.GCS})
+	l.AddEndpoint(logs.Endpoint{ID: "b", Site: "BNL", Type: logs.GCP})
+	for i := 0; i < n; i++ {
+		l.Append(logs.Record{
+			ID: i, Src: "a", Dst: "b",
+			Ts: float64(i), Te: float64(i) + 10,
+			Bytes: 1e9 + float64(i), Files: 3 + i, Dirs: 1,
+			Conc: 4, Par: 2, Faults: i % 3, Retries: i % 2,
+		})
+	}
+	return l
+}
+
+func encodeSample(t *testing.T, n, chunkRows int) []byte {
+	t.Helper()
+	l := tailSampleLog(n)
+	var buf bytes.Buffer
+	cw := NewWriter(&buf, chunkRows)
+	eps := []logs.Endpoint{l.Endpoints["a"], l.Endpoints["b"]}
+	if err := cw.Endpoints(eps); err != nil {
+		t.Fatal(err)
+	}
+	for i := range l.Records {
+		if err := cw.Append(l.Records[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// drain pushes every complete table out of the decoder, returning the
+// rows decoded so far and the terminal error (ErrNeedMore, io.EOF, or a
+// corruption error).
+func drain(d *TailDecoder, into *logs.Log) error {
+	for {
+		tb, err := d.Next()
+		if err != nil {
+			return err
+		}
+		for i := 0; i < tb.Len(); i++ {
+			into.Append(tb.Record(i))
+		}
+	}
+}
+
+func TestTailDecoderMatchesReaderAtEveryFeedSize(t *testing.T) {
+	data := encodeSample(t, 500, 64)
+	want, eps, err := ReadTable(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, step := range []int{1, 3, 7, 128, 4096, len(data)} {
+		d := &TailDecoder{}
+		got := logs.NewLog()
+		for off := 0; off < len(data); off += step {
+			end := off + step
+			if end > len(data) {
+				end = len(data)
+			}
+			d.Feed(data[off:end])
+			if err := drain(d, got); err != nil && !errors.Is(err, ErrNeedMore) && err != io.EOF {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+		if err := drain(d, got); err != io.EOF {
+			t.Fatalf("step %d: terminal err = %v, want io.EOF", step, err)
+		}
+		if !d.Done() {
+			t.Fatalf("step %d: decoder not done after full file", step)
+		}
+		if len(got.Records) != want.Len() {
+			t.Fatalf("step %d: decoded %d rows, want %d", step, len(got.Records), want.Len())
+		}
+		for i := range got.Records {
+			if got.Records[i] != want.Record(i) {
+				t.Fatalf("step %d row %d: %+v vs %+v", step, i, got.Records[i], want.Record(i))
+			}
+		}
+		if len(d.Endpoints()) != len(eps) {
+			t.Fatalf("step %d: endpoints %d, want %d", step, len(d.Endpoints()), len(eps))
+		}
+	}
+}
+
+func TestTailDecoderEveryPrefixFailsClosed(t *testing.T) {
+	data := encodeSample(t, 40, 16)
+	for cut := 0; cut < len(data); cut++ {
+		d := &TailDecoder{}
+		d.Feed(data[:cut])
+		err := drain(d, logs.NewLog())
+		if err == io.EOF || d.Done() {
+			t.Fatalf("prefix %d/%d accepted as complete", cut, len(data))
+		}
+		if !errors.Is(err, ErrNeedMore) && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("prefix %d: err = %v", cut, err)
+		}
+		// A truncated but uncorrupted prefix must resume when the rest
+		// arrives.
+		if errors.Is(err, ErrNeedMore) {
+			d.Feed(data[cut:])
+			if err := drain(d, logs.NewLog()); err != io.EOF {
+				t.Fatalf("prefix %d did not resume: %v", cut, err)
+			}
+		}
+	}
+}
+
+func TestTailDecoderCorruptionPoisons(t *testing.T) {
+	data := encodeSample(t, 40, 16)
+	// Flip a byte in the middle of the first chunk payload.
+	bad := bytes.Clone(data)
+	bad[len(bad)/2] ^= 0xff
+	d := &TailDecoder{}
+	d.Feed(bad)
+	err := drain(d, logs.NewLog())
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("flipped byte: err = %v, want ErrCorrupt", err)
+	}
+	// Poison is sticky even across further feeds.
+	d.Feed(data)
+	if _, err2 := d.Next(); !errors.Is(err2, ErrCorrupt) {
+		t.Fatalf("poison not sticky: %v", err2)
+	}
+}
+
+func TestTailDecoderRejectsTrailingBytes(t *testing.T) {
+	data := append(encodeSample(t, 10, 4), "garbage"...)
+	d := &TailDecoder{}
+	d.Feed(data)
+	if err := drain(d, logs.NewLog()); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("trailing bytes: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestTailDecoderBadMagic(t *testing.T) {
+	d := &TailDecoder{}
+	d.Feed([]byte("NOPE\x01\x00\x00\x00more"))
+	if _, err := d.Next(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad magic: err = %v, want ErrCorrupt", err)
+	}
+}

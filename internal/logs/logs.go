@@ -9,6 +9,7 @@
 package logs
 
 import (
+	"bytes"
 	"encoding/csv"
 	"errors"
 	"fmt"
@@ -293,7 +294,8 @@ func checkHeader(head []string) (cols int, err error) {
 
 // ReadCSV parses records produced by WriteCSV into a fresh log (endpoint
 // directory left empty; callers re-attach it separately). It is strict:
-// the first malformed row aborts the whole read. Use ReadCSVLenient for
+// the first malformed row aborts the whole read, and a stream that ends
+// mid-record fails with ErrPartialRecord. Use ReadCSVLenient for
 // best-effort ingestion of damaged files.
 func ReadCSV(r io.Reader) (*Log, error) {
 	sc, err := NewCSVScanner(r)
@@ -314,53 +316,325 @@ func ReadCSV(r io.Reader) (*Log, error) {
 	return l, nil
 }
 
-// CSVScanner streams records out of a CSV log one at a time with the
-// same strict semantics as ReadCSV: the header is validated up front and
-// the first malformed row poisons the scan.
+// ErrPartialRecord reports that the byte stream ended in the middle of a
+// record: trailing bytes after the last unquoted newline. Unlike other
+// scanner errors it is not a poison — the partial bytes stay buffered and
+// a later Next retries the underlying reader, so a scanner over a growing
+// file resumes exactly where it stopped once the writer completes the
+// record. ReadCSV treats it as corruption (a well-formed log ends at a
+// record boundary); ReadCSVLenient tallies it under SkipPartial.
+var ErrPartialRecord = errors.New("logs: stream ends mid-record")
+
+// maxRecordBytes caps how far the scanner will buffer looking for the end
+// of a single record before declaring it unparseable; it exists so a
+// stray opening quote in a tailed file cannot buffer the rest of the file.
+const maxRecordBytes = 1 << 20
+
+var errRecordTooLong = fmt.Errorf("logs: record exceeds %d bytes", maxRecordBytes)
+
+// CSVScanner streams records out of a CSV log one at a time, doing its
+// own record framing so it can tell a record boundary from a torn final
+// line. In the default strict mode the semantics match ReadCSV: the
+// header is validated up front and the first malformed row poisons the
+// scan. io.EOF (stream ends at a record boundary) and ErrPartialRecord
+// (stream ends mid-record) are both resumable: a later Next re-reads the
+// underlying reader, which is what lets a tailer follow a growing file.
 type CSVScanner struct {
-	cr   *csv.Reader
-	cols int
-	err  error
+	r       io.Reader
+	buf     []byte // buffered bytes; buf[pos:] is unconsumed
+	pos     int
+	cols    int
+	header  bool
+	resync  bool // discarding up to the next newline after an oversized record
+	lenient bool
+	stats   *IngestStats
+	err     error // sticky poison: malformed row (strict), bad header, or I/O error
+	scratch []string
 }
 
 // NewCSVScanner validates the header and returns a scanner over the rows.
 func NewCSVScanner(r io.Reader) (*CSVScanner, error) {
-	cr := csv.NewReader(r)
-	cr.FieldsPerRecord = -1 // column counts checked explicitly per row
-	cr.ReuseRecord = true   // rows are parsed then dropped; parseRow clones retained fields
-	head, err := cr.Read()
-	if err != nil {
-		return nil, fmt.Errorf("logs: reading header: %w", err)
-	}
-	cols, err := checkHeader(head)
-	if err != nil {
+	s := &CSVScanner{r: r}
+	if err := s.readHeader(); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, ErrPartialRecord) {
+			return nil, fmt.Errorf("logs: reading header: %w", err)
+		}
 		return nil, err
 	}
-	return &CSVScanner{cr: cr, cols: cols}, nil
+	return s, nil
 }
 
-// Next returns the next record, or io.EOF at the end of the stream.
+// NewTailCSVScanner returns a scanner that reads the header lazily: Next
+// reports io.EOF or ErrPartialRecord until a complete, valid header has
+// arrived, then scans records as they appear. Use it to follow a file
+// that may not exist in full yet.
+func NewTailCSVScanner(r io.Reader) *CSVScanner {
+	return &CSVScanner{r: r}
+}
+
+// Lenient switches the scanner to best-effort mode: malformed rows are
+// tallied in the returned stats and skipped instead of poisoning the
+// scan, with the same per-reason accounting as ReadCSVLenient. Call it
+// before the first Next.
+func (s *CSVScanner) Lenient() *IngestStats {
+	s.lenient = true
+	s.stats = &IngestStats{}
+	return s.stats
+}
+
+// fill reads more bytes from the underlying reader into the buffer.
+func (s *CSVScanner) fill() error {
+	if s.pos > 0 {
+		n := copy(s.buf, s.buf[s.pos:])
+		s.buf = s.buf[:n]
+		s.pos = 0
+	}
+	if len(s.buf) == cap(s.buf) {
+		grow := cap(s.buf)
+		if grow < 4096 {
+			grow = 4096
+		}
+		nb := make([]byte, len(s.buf), len(s.buf)+grow)
+		copy(nb, s.buf)
+		s.buf = nb
+	}
+	for tries := 0; tries < 100; tries++ {
+		n, err := s.r.Read(s.buf[len(s.buf):cap(s.buf)])
+		s.buf = s.buf[:len(s.buf)+n]
+		if n > 0 {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return io.ErrNoProgress
+}
+
+// frameRecord scans for the end of the next CSV record in b, honouring
+// quoted fields the way encoding/csv does: a quote opens a quoted field
+// only at the start of a field, "" inside quotes is an escaped quote, and
+// newlines inside quoted fields do not terminate the record. It returns
+// the index just past the terminating newline, or ok=false when b does
+// not yet hold a complete record.
+func frameRecord(b []byte) (end int, ok bool) {
+	inQuotes := false
+	fieldStart := true
+	for i := 0; i < len(b); {
+		c := b[i]
+		if inQuotes {
+			if c == '"' {
+				if i+1 >= len(b) {
+					return 0, false // escaped quote or closing quote: need the next byte
+				}
+				if b[i+1] == '"' {
+					i += 2
+					continue
+				}
+				inQuotes = false
+			}
+			i++
+			continue
+		}
+		switch c {
+		case '"':
+			if fieldStart {
+				inQuotes = true
+			}
+			fieldStart = false
+		case ',':
+			fieldStart = true
+		case '\n':
+			return i + 1, true
+		default:
+			fieldStart = false
+		}
+		i++
+	}
+	return 0, false
+}
+
+// nextLine returns the raw bytes of the next complete record including
+// its newline terminator. io.EOF and ErrPartialRecord are resumable;
+// errRecordTooLong reports a record over maxRecordBytes (the caller
+// decides whether to poison or resync).
+func (s *CSVScanner) nextLine() ([]byte, error) {
+	for {
+		if s.resync {
+			if i := bytes.IndexByte(s.buf[s.pos:], '\n'); i >= 0 {
+				s.pos += i + 1
+				s.resync = false
+			} else {
+				s.pos = len(s.buf)
+			}
+		}
+		if !s.resync {
+			if end, ok := frameRecord(s.buf[s.pos:]); ok {
+				raw := s.buf[s.pos : s.pos+end]
+				s.pos += end
+				return raw, nil
+			}
+			if len(s.buf)-s.pos > maxRecordBytes {
+				return nil, errRecordTooLong
+			}
+		}
+		if err := s.fill(); err != nil {
+			if errors.Is(err, io.EOF) {
+				if s.pos == len(s.buf) {
+					return nil, io.EOF
+				}
+				return nil, ErrPartialRecord
+			}
+			return nil, err
+		}
+	}
+}
+
+// trimEOL strips the record terminator ("\n" or "\r\n") from a framed row.
+func trimEOL(raw []byte) []byte {
+	if n := len(raw); n > 0 && raw[n-1] == '\n' {
+		raw = raw[:n-1]
+	}
+	if n := len(raw); n > 0 && raw[n-1] == '\r' {
+		raw = raw[:n-1]
+	}
+	return raw
+}
+
+// parseFields splits one framed record into fields. Rows without quotes
+// or carriage returns take a direct comma split; anything else goes
+// through encoding/csv so quoting semantics (and error verdicts on bad
+// quoting) match the stdlib exactly.
+func (s *CSVScanner) parseFields(raw, line []byte) ([]string, error) {
+	if bytes.IndexByte(line, '"') < 0 && bytes.IndexByte(line, '\r') < 0 {
+		fields := s.scratch[:0]
+		start := 0
+		for i := 0; i <= len(line); i++ {
+			if i == len(line) || line[i] == ',' {
+				fields = append(fields, string(line[start:i]))
+				start = i + 1
+			}
+		}
+		s.scratch = fields
+		return fields, nil
+	}
+	cr := csv.NewReader(bytes.NewReader(raw))
+	cr.FieldsPerRecord = -1
+	return cr.Read()
+}
+
+// readHeader frames and validates the header row, skipping leading blank
+// lines the way encoding/csv does. io.EOF / ErrPartialRecord mean the
+// header has not fully arrived yet (resumable in tail mode); any other
+// failure poisons the scanner.
+func (s *CSVScanner) readHeader() error {
+	for {
+		raw, err := s.nextLine()
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, ErrPartialRecord) {
+				return err
+			}
+			s.err = err
+			return err
+		}
+		line := trimEOL(raw)
+		if len(line) == 0 {
+			continue
+		}
+		fields, perr := s.parseFields(raw, line)
+		if perr != nil {
+			s.err = fmt.Errorf("logs: reading header: %w", perr)
+			return s.err
+		}
+		cols, herr := checkHeader(fields)
+		if herr != nil {
+			s.err = herr
+			return s.err
+		}
+		s.cols = cols
+		s.header = true
+		return nil
+	}
+}
+
+// Next returns the next record. io.EOF means the stream ended at a record
+// boundary; ErrPartialRecord means it ended mid-record. Both are
+// retryable — when the underlying reader later yields more bytes, Next
+// picks up where it stopped. In lenient mode malformed rows are tallied
+// and skipped rather than returned as errors.
 func (s *CSVScanner) Next() (Record, error) {
 	if s.err != nil {
 		return Record{}, s.err
 	}
-	row, err := s.cr.Read()
-	if err != nil {
-		if !errors.Is(err, io.EOF) {
-			s.err = err
+	if !s.header {
+		if err := s.readHeader(); err != nil {
+			return Record{}, err
 		}
-		return Record{}, err
 	}
-	if len(row) != s.cols {
-		s.err = fmt.Errorf("logs: row has %d columns, want %d", len(row), s.cols)
-		return Record{}, s.err
+	for {
+		raw, err := s.nextLine()
+		if err != nil {
+			switch {
+			case errors.Is(err, io.EOF), errors.Is(err, ErrPartialRecord):
+				return Record{}, err
+			case errors.Is(err, errRecordTooLong) && s.lenient:
+				s.stats.Rows++
+				s.stats.skip(SkipSyntax)
+				s.resync = true
+				continue
+			default:
+				s.err = err
+				return Record{}, err
+			}
+		}
+		line := trimEOL(raw)
+		if len(line) == 0 {
+			continue
+		}
+		if s.lenient {
+			s.stats.Rows++
+		}
+		fields, perr := s.parseFields(raw, line)
+		if perr != nil {
+			if s.lenient {
+				s.stats.skip(SkipSyntax)
+				continue
+			}
+			s.err = perr
+			return Record{}, perr
+		}
+		if len(fields) != s.cols {
+			if s.lenient {
+				s.stats.skip(SkipColumns)
+				continue
+			}
+			s.err = fmt.Errorf("logs: row has %d columns, want %d", len(fields), s.cols)
+			return Record{}, s.err
+		}
+		rec, badCol, perr := parseRow(fields)
+		if perr != nil {
+			if s.lenient {
+				s.stats.skip("field:" + badCol)
+				continue
+			}
+			s.err = perr
+			return Record{}, perr
+		}
+		if s.lenient {
+			if math.IsNaN(rec.Ts) || math.IsInf(rec.Ts, 0) ||
+				math.IsNaN(rec.Te) || math.IsInf(rec.Te, 0) ||
+				math.IsNaN(rec.Bytes) || math.IsInf(rec.Bytes, 0) {
+				s.stats.skip(SkipFinite)
+				continue
+			}
+			if rec.Te < rec.Ts {
+				s.stats.skip(SkipDuration)
+				continue
+			}
+			s.stats.Kept++
+		}
+		return rec, nil
 	}
-	rec, _, err := parseRow(row)
-	if err != nil {
-		s.err = err
-		return Record{}, err
-	}
-	return rec, nil
 }
 
 // Skip reasons reported by ReadCSVLenient.
@@ -369,6 +643,7 @@ const (
 	SkipColumns  = "column-count"      // wrong number of fields
 	SkipDuration = "negative-duration" // Te < Ts
 	SkipFinite   = "non-finite"        // NaN or Inf in ts/te/bytes
+	SkipPartial  = "partial-record"    // stream ended mid-record (torn final line)
 )
 
 // IngestStats summarizes a lenient CSV read: how many data rows were seen,
@@ -410,55 +685,32 @@ func (s *IngestStats) String() string {
 // rows instead of failing the whole file. A row is skipped when it cannot
 // be tokenized as CSV, has the wrong column count, has an unparseable
 // field, contains a non-finite time/byte value, or ends before it starts;
-// every skip is tallied by reason in the returned stats. Only an unreadable
-// or mismatched header (the file is not a transfer log at all) is a hard
-// error.
+// a file that ends mid-record costs only the torn fragment (tallied under
+// SkipPartial). Every skip is tallied by reason in the returned stats.
+// Only an unreadable or mismatched header (the file is not a transfer log
+// at all) is a hard error.
 func ReadCSVLenient(r io.Reader) (*Log, *IngestStats, error) {
-	cr := csv.NewReader(r)
-	cr.FieldsPerRecord = -1
-	cr.ReuseRecord = true
-	head, err := cr.Read()
-	if err != nil {
-		return nil, nil, fmt.Errorf("logs: reading header: %w", err)
-	}
-	cols, err := checkHeader(head)
+	sc, err := NewCSVScanner(r)
 	if err != nil {
 		return nil, nil, err
 	}
+	st := sc.Lenient()
 	l := NewLog()
-	st := &IngestStats{}
 	for {
-		row, err := cr.Read()
+		rec, err := sc.Next()
 		if errors.Is(err, io.EOF) {
 			break
 		}
-		st.Rows++
+		if errors.Is(err, ErrPartialRecord) {
+			// A static read cannot wait for the writer to finish the
+			// record, so account for the fragment and stop.
+			st.Rows++
+			st.skip(SkipPartial)
+			break
+		}
 		if err != nil {
-			// encoding/csv resumes at the next record after a per-record
-			// syntax error, so one mangled row costs only itself.
-			st.skip(SkipSyntax)
-			continue
+			return nil, nil, err
 		}
-		if len(row) != cols {
-			st.skip(SkipColumns)
-			continue
-		}
-		rec, badCol, err := parseRow(row)
-		if err != nil {
-			st.skip("field:" + badCol)
-			continue
-		}
-		if math.IsNaN(rec.Ts) || math.IsInf(rec.Ts, 0) ||
-			math.IsNaN(rec.Te) || math.IsInf(rec.Te, 0) ||
-			math.IsNaN(rec.Bytes) || math.IsInf(rec.Bytes, 0) {
-			st.skip(SkipFinite)
-			continue
-		}
-		if rec.Te < rec.Ts {
-			st.skip(SkipDuration)
-			continue
-		}
-		st.Kept++
 		l.Append(rec)
 	}
 	return l, st, nil

@@ -2,6 +2,8 @@ package logs
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"math/rand"
 	"strings"
 	"testing"
@@ -313,5 +315,151 @@ func TestReadCSVRejectsBadValues(t *testing.T) {
 	bad = good + "1,a,b,notafloat,2,3,4,5,6,7,8\n"
 	if _, err := ReadCSV(strings.NewReader(bad)); err == nil {
 		t.Error("non-float ts accepted")
+	}
+}
+
+// header is the current 12-column CSV header line.
+const header = "id,src,dst,ts,te,bytes,files,dirs,conc,par,faults,retries\n"
+
+func TestCSVScannerEOFAtRecordBoundary(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(header + "0,a,b,1,2,3e6,4,5,6,7,8,0\n")
+	sc, err := NewCSVScanner(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec, err := sc.Next(); err != nil || rec.ID != 0 {
+		t.Fatalf("first record: %+v, %v", rec, err)
+	}
+	// The stream ends exactly at a record boundary: io.EOF, not
+	// ErrPartialRecord, and the condition is stable across calls.
+	for i := 0; i < 2; i++ {
+		if _, err := sc.Next(); err != io.EOF {
+			t.Fatalf("call %d at boundary: err = %v, want io.EOF", i, err)
+		}
+	}
+	// EOF is resumable: when the file grows by a whole record, the next
+	// call returns it.
+	buf.WriteString("1,a,b,3,4,3e6,4,5,6,7,8,0\n")
+	if rec, err := sc.Next(); err != nil || rec.ID != 1 {
+		t.Fatalf("record after growth: %+v, %v", rec, err)
+	}
+}
+
+func TestCSVScannerEOFMidRecord(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(header + "0,a,b,1,2,3e6,4,5,6,7,8,0\n" + "1,a,b,3,4")
+	sc, err := NewCSVScanner(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec, err := sc.Next(); err != nil || rec.ID != 0 {
+		t.Fatalf("first record: %+v, %v", rec, err)
+	}
+	// The stream ends mid-record: ErrPartialRecord, distinguishable from
+	// io.EOF, and not sticky.
+	for i := 0; i < 2; i++ {
+		if _, err := sc.Next(); !errors.Is(err, ErrPartialRecord) {
+			t.Fatalf("call %d mid-record: err = %v, want ErrPartialRecord", i, err)
+		}
+	}
+	// Completing the record lets the scan resume with no bytes lost.
+	buf.WriteString(",3e6,4,5,6,7,8,2\n")
+	rec, err := sc.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.ID != 1 || rec.Ts != 3 || rec.Te != 4 || rec.Retries != 2 {
+		t.Fatalf("resumed record = %+v", rec)
+	}
+	if _, err := sc.Next(); err != io.EOF {
+		t.Fatalf("after resume: err = %v, want io.EOF", err)
+	}
+}
+
+func TestCSVScannerEOFMidQuotedField(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(header + `2,"sr`)
+	sc, err := NewCSVScanner(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Next(); !errors.Is(err, ErrPartialRecord) {
+		t.Fatalf("mid-quote: err = %v, want ErrPartialRecord", err)
+	}
+	buf.WriteString("c\",d,1,2,3e6,4,5,6,7,8,0\n")
+	rec, err := sc.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Src != "src" || rec.Dst != "d" {
+		t.Fatalf("resumed quoted record = %+v", rec)
+	}
+}
+
+func TestCSVScannerTailLazyHeader(t *testing.T) {
+	var buf bytes.Buffer
+	sc := NewTailCSVScanner(&buf)
+	if _, err := sc.Next(); err != io.EOF {
+		t.Fatalf("empty file: err = %v, want io.EOF", err)
+	}
+	buf.WriteString("id,src,d") // torn header
+	if _, err := sc.Next(); !errors.Is(err, ErrPartialRecord) {
+		t.Fatalf("torn header: err = %v, want ErrPartialRecord", err)
+	}
+	buf.WriteString("st,ts,te,bytes,files,dirs,conc,par,faults,retries\n3,a,b,1,2,3e6,4,5,6,7,8,0\n")
+	if rec, err := sc.Next(); err != nil || rec.ID != 3 {
+		t.Fatalf("after header completes: %+v, %v", rec, err)
+	}
+}
+
+func TestCSVScannerTailBadHeaderPoisons(t *testing.T) {
+	sc := NewTailCSVScanner(strings.NewReader("nope,nope\n1,2\n"))
+	if _, err := sc.Next(); err == nil || errors.Is(err, io.EOF) || errors.Is(err, ErrPartialRecord) {
+		t.Fatalf("bad header: err = %v, want poison", err)
+	}
+	if _, err := sc.Next(); err == nil {
+		t.Fatal("poison not sticky")
+	}
+}
+
+func TestReadCSVStrictRejectsPartialTrailingRecord(t *testing.T) {
+	in := header + "0,a,b,1,2,3e6,4,5,6,7,8,0\n" + "1,a,b,3,4,3e6"
+	_, err := ReadCSV(strings.NewReader(in))
+	if !errors.Is(err, ErrPartialRecord) {
+		t.Fatalf("err = %v, want ErrPartialRecord", err)
+	}
+}
+
+func TestReadCSVLenientTalliesPartialTrailingRecord(t *testing.T) {
+	in := header + "0,a,b,1,2,3e6,4,5,6,7,8,0\n" + "1,a,b,3,4,3e6"
+	l, st, err := ReadCSVLenient(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Kept != 1 || len(l.Records) != 1 || l.Records[0].ID != 0 {
+		t.Fatalf("kept = %d (%d records)", st.Kept, len(l.Records))
+	}
+	if st.Rows != 2 || st.Skipped != 1 || st.Reasons[SkipPartial] != 1 {
+		t.Fatalf("stats = %s", st)
+	}
+}
+
+func TestCSVScannerOversizedRecord(t *testing.T) {
+	// A stray opening quote swallows everything after it; the cap stops
+	// the scanner from buffering without bound.
+	huge := header + "0,\"" + strings.Repeat("x", maxRecordBytes+2) + "\n1,a,b,1,2,3e6,4,5,6,7,8,0\n"
+	if _, err := ReadCSV(strings.NewReader(huge)); err == nil {
+		t.Fatal("oversized record accepted by strict reader")
+	}
+	l, st, err := ReadCSVLenient(strings.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Reasons[SkipSyntax] != 1 {
+		t.Fatalf("oversized record not tallied: %s", st)
+	}
+	if len(l.Records) != 1 || l.Records[0].ID != 1 {
+		t.Fatalf("lenient reader did not resync after oversized record: %+v", l.Records)
 	}
 }

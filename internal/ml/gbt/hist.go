@@ -76,19 +76,33 @@ func TrainBinned(bd *dataset.Binned, view []int, p Params) (*Model, error) {
 // per-round prediction updates routed through the bin codes (code-space
 // and raw-space traversal agree exactly; see dataset.Binned).
 func trainHist(bd *dataset.Binned, codes [][]uint8, y []float64, p Params) (*Model, error) {
+	return trainHistFrom(bd, codes, y, p, nil, nil)
+}
+
+// trainHistFrom is trainHist with an optional warm start: when prev is
+// non-nil, boosting continues from prev's ensemble — the base stays
+// prev's, per-row predictions start from init (prev evaluated on the
+// training rows, computed by the caller in raw space), and prev's trees
+// are carried into the returned model ahead of the p.Rounds new residual
+// trees. See TrainWarm.
+func trainHistFrom(bd *dataset.Binned, codes [][]uint8, y []float64, p Params, prev *Model, init []float64) (*Model, error) {
 	n := len(y)
 	p.fillDefaults()
 	rng := rand.New(rand.NewSource(p.Seed))
 
-	base := 0.0
-	for _, v := range y {
-		base += v
-	}
-	base /= float64(n)
-
+	var base float64
 	pred := make([]float64, n)
-	for i := range pred {
-		pred[i] = base
+	if prev != nil {
+		base = prev.Base
+		copy(pred, init)
+	} else {
+		for _, v := range y {
+			base += v
+		}
+		base /= float64(n)
+		for i := range pred {
+			pred[i] = base
+		}
 	}
 
 	m := &Model{
@@ -116,7 +130,14 @@ func trainHist(bd *dataset.Binned, codes [][]uint8, y []float64, p Params) (*Mod
 	splitNS := p.Metrics.Counter("gbt.split_search_ns")
 	treeMS := p.Metrics.Histogram("gbt.tree_build_ms", obs.ExpBuckets(0.25, 2, 14))
 
-	m.trees = make([]tree, 0, p.Rounds)
+	m.trees = make([]tree, 0, prevTreeCount(prev)+p.Rounds)
+	if prev != nil {
+		// Deep-copy the inherited trees so the blessed model and the warm
+		// candidate never share mutable state.
+		for ti := range prev.trees {
+			m.trees = append(m.trees, tree{nodes: append([]node(nil), prev.trees[ti].nodes...)})
+		}
+	}
 	for round := 0; round < p.Rounds; round++ {
 		for i := range grad {
 			grad[i] = pred[i] - y[i] // squared loss gradient

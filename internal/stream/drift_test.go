@@ -1,0 +1,237 @@
+package stream
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// TestDriftGateEachMetricTrips is the gate's meta-test, in the golden-
+// figure style: for every drift metric the gate claims to watch, a
+// metrics vector that violates only that metric must trip the gate with
+// exactly that violation — proving no check is dead and none shadows
+// another. A clean vector must pass.
+func TestDriftGateEachMetricTrips(t *testing.T) {
+	g := DefaultDriftGate()
+	clean := DriftMetrics{
+		CandMdAPE: 20, BlessedMdAPE: 19,
+		CandR2: 0.80, BlessedR2: 0.82,
+		Divergence: 0.1, Rows: 100,
+	}
+	if d := g.Judge(clean); !d.Allow() {
+		t.Fatalf("clean metrics rejected: %v", d.Violations)
+	}
+
+	cases := []struct {
+		name      string
+		mutate    func(*DriftMetrics)
+		violation string
+	}{
+		{"mdape", func(m *DriftMetrics) { m.CandMdAPE = m.BlessedMdAPE + g.MaxMdAPERise + 0.01 }, ViolationMdAPE},
+		{"r2", func(m *DriftMetrics) { m.CandR2 = m.BlessedR2 - g.MaxR2Drop - 0.001 }, ViolationR2},
+		{"divergence", func(m *DriftMetrics) { m.Divergence = g.MaxDivergence + 0.001 }, ViolationDivergence},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := clean
+			tc.mutate(&m)
+			d := g.Judge(m)
+			if d.Allow() {
+				t.Fatalf("gate did not trip on %s drift: %+v", tc.name, m)
+			}
+			if len(d.Violations) != 1 || !strings.HasPrefix(d.Violations[0], tc.violation) {
+				t.Fatalf("want exactly one %q violation, got %v", tc.violation, d.Violations)
+			}
+		})
+	}
+
+	// All three at once: every violation is reported, not just the first.
+	worst := clean
+	for _, tc := range cases {
+		tc.mutate(&worst)
+	}
+	if d := g.Judge(worst); len(d.Violations) != len(cases) {
+		t.Fatalf("want %d violations, got %v", len(cases), d.Violations)
+	}
+
+	// Boundary: drift exactly at tolerance passes (the gate is >, not
+	// >=). Binary-exact values so the comparison is not at the mercy of
+	// rounding.
+	exact := DriftGate{MaxMdAPERise: 4, MaxR2Drop: 0.25, MaxDivergence: 0.5}
+	edge := DriftMetrics{
+		CandMdAPE: 20, BlessedMdAPE: 16,
+		CandR2: 0.5, BlessedR2: 0.75,
+		Divergence: 0.5, Rows: 10,
+	}
+	if d := exact.Judge(edge); !d.Allow() {
+		t.Fatalf("at-tolerance metrics rejected: %v", d.Violations)
+	}
+}
+
+// TestEvalDriftSelfComparison pins EvalDrift's arithmetic: a model
+// compared against itself has zero divergence and identical scores.
+func TestEvalDriftSelfComparison(t *testing.T) {
+	rf := streamRefresher(t, "")
+	feedWindow(t, rf, 40, 1)
+	if _, err := rf.Refresh(); err != nil { // bootstrap
+		t.Fatal(err)
+	}
+	vecs := rf.Window().Vectors()
+	ds, err := datasetFromWindow(vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := EvalDrift(rf.Blessed(), rf.Blessed(), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Divergence != 0 {
+		t.Fatalf("self divergence = %g, want 0", m.Divergence)
+	}
+	if m.CandMdAPE != m.BlessedMdAPE || m.CandR2 != m.BlessedR2 {
+		t.Fatalf("self comparison diverges: %+v", m)
+	}
+	if m.Rows != ds.Len() {
+		t.Fatalf("rows = %d, want %d", m.Rows, ds.Len())
+	}
+}
+
+// TestBlockedPromotionKeepsServingGeneration is the end of satellite 3:
+// a rejected candidate must leave the serving registry untouched — same
+// generation, same answers — while predictions hammer the server
+// concurrently. Run under -race this also proves the reject path shares
+// no state with the serving path.
+func TestBlockedPromotionKeepsServingGeneration(t *testing.T) {
+	dir := t.TempDir()
+	regPath := filepath.Join(dir, "registry.json")
+
+	rf := streamRefresher(t, regPath)
+	// A gate that rejects everything: any MdAPE delta exceeds -1e9.
+	rf.cfg.Gate = DriftGate{MaxMdAPERise: -1e9, MaxR2Drop: 1e9, MaxDivergence: 1e9}
+
+	feedWindow(t, rf, 64, 1)
+	dec, err := rf.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Action != "bootstrap" {
+		t.Fatalf("first refresh = %q, want bootstrap", dec.Action)
+	}
+
+	srv, err := serve.New(serve.Config{
+		RegistryPath:  regPath,
+		WatchInterval: 10 * time.Millisecond, // the production reload path
+		Logf:          func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	defer srv.Drain()
+	genBefore := srv.Generation()
+	before, err := os.Stat(regPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hammer predictions while refreshes are being rejected.
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	var served, failed int64
+	var mu sync.Mutex
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ctx.Err() == nil; i++ {
+				req := &serve.PredictRequest{
+					Src: "S1", Dst: "D1",
+					Features: map[string]float64{"C": float64(1 + i%4), "P": 4, "Nf": 10, "Nb": 1e9},
+				}
+				rctx, rcancel := context.WithTimeout(context.Background(), 2*time.Second)
+				_, err := srv.PredictSync(rctx, req)
+				rcancel()
+				mu.Lock()
+				if err != nil {
+					failed++
+				} else {
+					served++
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+
+	for i := 0; i < 3; i++ {
+		feedWindow(t, rf, 32, int64(100+i))
+		dec, err := rf.Refresh()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Action != "reject" {
+			t.Fatalf("refresh %d = %q, want reject", i, dec.Action)
+		}
+		if len(dec.Violations) == 0 {
+			t.Fatal("rejection carries no violations")
+		}
+	}
+	// Give the registry watcher ample time to notice a change, were
+	// there one to notice.
+	time.Sleep(150 * time.Millisecond)
+	cancel()
+	wg.Wait()
+
+	if got := srv.Generation(); got != genBefore {
+		t.Fatalf("generation moved %d → %d across rejected promotions", genBefore, got)
+	}
+	after, err := os.Stat(regPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.ModTime().Equal(before.ModTime()) || after.Size() != before.Size() {
+		t.Fatal("rejected promotion rewrote the registry file")
+	}
+	if failed > 0 {
+		t.Fatalf("%d/%d predictions failed during rejected refreshes", failed, failed+served)
+	}
+	if served == 0 {
+		t.Fatal("no predictions were served during the test")
+	}
+	if rf.Stats().Rejections != 3 {
+		t.Fatalf("rejections = %d, want 3", rf.Stats().Rejections)
+	}
+}
+
+// TestRefreshCadence pins Ingest's trigger arithmetic: no refresh before
+// MinTrain, then one per RefreshEvery records.
+func TestRefreshCadence(t *testing.T) {
+	rf := streamRefresher(t, "")
+	rf.cfg.RefreshEvery = 16
+	rf.cfg.MinTrain = 48
+	var decisions []Decision
+	rf.cfg.OnDecision = func(d Decision) { decisions = append(decisions, d) }
+
+	feedWindow(t, rf, 96, 7)
+	// Refreshes happen at records 48, 64, 80, 96 (every 16 once MinTrain
+	// is met).
+	if len(decisions) != 4 {
+		for _, d := range decisions {
+			t.Logf("decision: %+v", d)
+		}
+		t.Fatalf("got %d refreshes over 96 records, want 4", len(decisions))
+	}
+	if decisions[0].Action != "bootstrap" {
+		t.Fatalf("first decision = %q, want bootstrap", decisions[0].Action)
+	}
+	for i, d := range decisions {
+		if d.Seq != i+1 {
+			t.Fatalf("decision %d has seq %d", i, d.Seq)
+		}
+	}
+}

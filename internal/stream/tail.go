@@ -1,0 +1,352 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/logs"
+	"repro/internal/logs/colfmt"
+)
+
+// Log formats the tailer understands.
+const (
+	FormatAuto     = ""
+	FormatCSV      = "csv"
+	FormatColumnar = "columnar"
+)
+
+// TailConfig tunes the log follower.
+type TailConfig struct {
+	// Path is the transfer log to follow. It may not exist yet.
+	Path string
+	// Poll is how often Run re-checks the file (default 200ms).
+	Poll time.Duration
+	// Format forces "csv" or "columnar"; empty sniffs from the first
+	// four bytes (the columnar magic).
+	Format string
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// TailStats counts what the tailer has seen.
+type TailStats struct {
+	// Records is how many well-formed records were emitted.
+	Records uint64
+	// Rotations is how many times the path was replaced by a new file.
+	Rotations uint64
+	// Truncations is how many times the file shrank in place.
+	Truncations uint64
+	// CorruptStreams counts incarnations abandoned as unparseable
+	// (columnar integrity failure or a broken CSV header); the tailer
+	// waits for a rotation before reading again.
+	CorruptStreams uint64
+	// Ingest tallies the CSV scanner's lenient skip accounting for the
+	// current incarnation (zero while tailing columnar logs).
+	Ingest logs.IngestStats
+}
+
+// countingReader counts bytes consumed from the underlying file so
+// truncation (size < consumed) is detectable even though the scanner
+// buffers ahead of the records it has emitted.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// prefixReader replays the sniffed prefix, then delegates — and unlike
+// io.MultiReader it keeps delegating after EOF, which is the whole point
+// of a tail: EOF is a pause, not an end.
+type prefixReader struct {
+	prefix []byte
+	r      io.Reader
+}
+
+func (p *prefixReader) Read(b []byte) (int, error) {
+	if len(p.prefix) > 0 {
+		n := copy(b, p.prefix)
+		p.prefix = p.prefix[n:]
+		return n, nil
+	}
+	return p.r.Read(b)
+}
+
+// Tailer follows a growing transfer log across partial-record appends,
+// rotation, and truncation, emitting each complete well-formed record
+// exactly once. CSV streams reuse the lenient scanner's recovery
+// semantics (malformed rows are tallied and skipped, a torn final record
+// is resumed when its remaining bytes arrive); columnar streams reuse
+// colfmt's fail-closed framing (a section is only decoded once its
+// checksum verifies, and any corruption poisons the incarnation until the
+// file is rotated). Not safe for concurrent use.
+type Tailer struct {
+	cfg    TailConfig
+	f      *os.File
+	info   os.FileInfo
+	cr     *countingReader
+	prefix []byte
+	format string
+
+	csv      *logs.CSVScanner
+	csvStats *logs.IngestStats
+	col      *colfmt.TailDecoder
+	iobuf    []byte
+
+	poisoned bool
+	stats    TailStats
+}
+
+// NewTailer validates cfg and returns a tailer. The file need not exist.
+func NewTailer(cfg TailConfig) (*Tailer, error) {
+	if cfg.Path == "" {
+		return nil, fmt.Errorf("stream: tail needs a path")
+	}
+	switch cfg.Format {
+	case FormatAuto, FormatCSV, FormatColumnar:
+	default:
+		return nil, fmt.Errorf("stream: unknown log format %q", cfg.Format)
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = 200 * time.Millisecond
+	}
+	return &Tailer{cfg: cfg, iobuf: make([]byte, 64<<10)}, nil
+}
+
+// Stats returns a snapshot of the tail counters.
+func (t *Tailer) Stats() TailStats {
+	s := t.stats
+	if t.csvStats != nil {
+		s.Ingest = *t.csvStats
+		if t.csvStats.Reasons != nil {
+			s.Ingest.Reasons = make(map[string]int, len(t.csvStats.Reasons))
+			for k, v := range t.csvStats.Reasons {
+				s.Ingest.Reasons[k] = v
+			}
+		}
+	}
+	return s
+}
+
+// Close releases the underlying file.
+func (t *Tailer) Close() error {
+	if t.f == nil {
+		return nil
+	}
+	err := t.f.Close()
+	t.f = nil
+	return err
+}
+
+func (t *Tailer) logf(format string, args ...any) {
+	if t.cfg.Logf != nil {
+		t.cfg.Logf(format, args...)
+	}
+}
+
+func (t *Tailer) open() {
+	f, err := os.Open(t.cfg.Path)
+	if err != nil {
+		return // not there yet (or unreadable); try again next poll
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return
+	}
+	t.f = f
+	t.info = info
+	t.cr = &countingReader{r: f}
+}
+
+// reset abandons the current incarnation so the next Drain starts fresh
+// on whatever file now lives at the path.
+func (t *Tailer) reset() {
+	if t.f != nil {
+		t.f.Close()
+	}
+	t.f = nil
+	t.cr = nil
+	t.prefix = nil
+	if t.cfg.Format == FormatAuto {
+		t.format = FormatAuto
+	}
+	t.csv = nil
+	t.csvStats = nil
+	t.col = nil
+	t.poisoned = false
+}
+
+// Drain performs one tail pass: it detects rotation and truncation, then
+// reads and emits every complete record currently available. It returns
+// nil when there is simply nothing new yet.
+func (t *Tailer) Drain(emit func(logs.Record)) error {
+	if t.f == nil {
+		t.open()
+		if t.f == nil {
+			return nil
+		}
+	}
+	if st, err := os.Stat(t.cfg.Path); err == nil {
+		switch {
+		case !os.SameFile(t.info, st):
+			// Rotated: drain what remains of the old incarnation, then
+			// follow the new file.
+			if err := t.drainCurrent(emit); err != nil {
+				return err
+			}
+			t.reset()
+			t.stats.Rotations++
+			t.logf("stream: tail %s: rotated", t.cfg.Path)
+			t.open()
+			if t.f == nil {
+				return nil
+			}
+		case st.Size() < t.cr.n:
+			// Truncated in place: everything buffered belongs to a
+			// dead incarnation.
+			t.reset()
+			t.stats.Truncations++
+			t.logf("stream: tail %s: truncated, resyncing", t.cfg.Path)
+			t.open()
+			if t.f == nil {
+				return nil
+			}
+		}
+	}
+	return t.drainCurrent(emit)
+}
+
+func (t *Tailer) drainCurrent(emit func(logs.Record)) error {
+	if t.poisoned {
+		return nil
+	}
+	if t.format == FormatAuto {
+		t.format = t.cfg.Format
+	}
+	if t.format == FormatAuto {
+		t.sniff()
+		if t.format == FormatAuto {
+			return nil // fewer than 4 bytes so far; keep waiting
+		}
+	}
+	if t.format == FormatCSV {
+		return t.drainCSV(emit)
+	}
+	return t.drainColumnar(emit)
+}
+
+// sniff classifies the incarnation by its first four bytes: the columnar
+// magic, or CSV otherwise.
+func (t *Tailer) sniff() {
+	for len(t.prefix) < 4 {
+		var b [4]byte
+		n, err := t.cr.Read(b[:4-len(t.prefix)])
+		t.prefix = append(t.prefix, b[:n]...)
+		if n == 0 || err != nil {
+			break
+		}
+	}
+	if len(t.prefix) < 4 {
+		return
+	}
+	if bytes.Equal(t.prefix, []byte(colfmt.Magic)) {
+		t.format = FormatColumnar
+	} else {
+		t.format = FormatCSV
+	}
+}
+
+func (t *Tailer) poison(why error) {
+	t.poisoned = true
+	t.stats.CorruptStreams++
+	t.logf("stream: tail %s: %v (waiting for rotation)", t.cfg.Path, why)
+}
+
+func (t *Tailer) drainCSV(emit func(logs.Record)) error {
+	if t.csv == nil {
+		t.csv = logs.NewTailCSVScanner(&prefixReader{prefix: t.prefix, r: t.cr})
+		t.prefix = nil
+		t.csvStats = t.csv.Lenient()
+	}
+	for {
+		rec, err := t.csv.Next()
+		switch {
+		case err == nil:
+			emit(rec)
+			t.stats.Records++
+		case errors.Is(err, io.EOF), errors.Is(err, logs.ErrPartialRecord):
+			// Caught up; a torn trailing record stays buffered in the
+			// scanner and completes on a later pass.
+			return nil
+		default:
+			// A broken header (or I/O failure) poisons the incarnation:
+			// nothing downstream of it can be framed with confidence.
+			t.poison(err)
+			return nil
+		}
+	}
+}
+
+func (t *Tailer) drainColumnar(emit func(logs.Record)) error {
+	if t.col == nil {
+		t.col = &colfmt.TailDecoder{}
+		t.col.Feed(t.prefix)
+		t.prefix = nil
+	}
+	for {
+		n, err := t.cr.Read(t.iobuf)
+		if n > 0 {
+			t.col.Feed(t.iobuf[:n])
+		}
+		if err != nil || n == 0 {
+			break
+		}
+	}
+	for {
+		tb, err := t.col.Next()
+		switch {
+		case err == nil:
+			for i := 0; i < tb.Len(); i++ {
+				emit(tb.Record(i))
+				t.stats.Records++
+			}
+		case errors.Is(err, colfmt.ErrNeedMore):
+			return nil // caught up mid-section
+		case errors.Is(err, io.EOF):
+			// Footer seen: the incarnation is complete. Appends past a
+			// footer are not valid colfmt; wait for rotation.
+			return nil
+		default:
+			t.poison(err)
+			return nil
+		}
+	}
+}
+
+// Run polls the file until ctx is done, draining every complete record
+// into emit.
+func (t *Tailer) Run(ctx context.Context, emit func(logs.Record)) error {
+	tick := time.NewTicker(t.cfg.Poll)
+	defer tick.Stop()
+	for {
+		if err := t.Drain(emit); err != nil {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			t.Close()
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}

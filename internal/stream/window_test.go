@@ -1,0 +1,176 @@
+package stream
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/features"
+	"repro/internal/logs"
+	"repro/internal/logs/colfmt"
+	"repro/internal/simulate"
+)
+
+// diffWindow compares the window's incremental vectors against a from-
+// scratch batch engineering of the same records, field for field.
+func diffWindow(t *testing.T, w *Window, where string) {
+	t.Helper()
+	got := w.Vectors()
+	want := features.Engineer(w.Records())
+	if len(got) != len(want) {
+		t.Fatalf("%s: window has %d vectors, batch has %d", where, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: vector %d diverges\nincremental: %+v\nbatch:       %+v", where, i, got[i], want[i])
+		}
+	}
+}
+
+// TestWindowMatchesBatchEveryAdd feeds a small random log record by
+// record, past capacity so eviction churns, and demands the incremental
+// vectors equal the batch path's bit for bit after every single add.
+func TestWindowMatchesBatchEveryAdd(t *testing.T) {
+	cfg := simulate.Config{
+		Seed: 7, Horizon: 24 * 3600, HeavyEdges: 3, HeavyTransfersMean: 40,
+		TailEdges: 4, TailTransfersMax: 3, HubEndpoints: 5, PersonalEndpoints: 3,
+		NoisyFrac: 0.5, BurstMax: 3,
+	}
+	l, _, err := simulate.GenerateLog(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Records) < 50 {
+		t.Fatalf("world too small for the test: %d records", len(l.Records))
+	}
+	w := NewWindow(len(l.Records) / 3)
+	for i, r := range l.Records {
+		evicted := w.Add(r)
+		if w.Len() > w.Cap() {
+			t.Fatalf("add %d: window holds %d > capacity %d", i, w.Len(), w.Cap())
+		}
+		if i >= w.Cap() && len(evicted) == 0 {
+			t.Fatalf("add %d: full window evicted nothing", i)
+		}
+		diffWindow(t, w, fmt.Sprintf("after add %d", i))
+	}
+	st := w.Stats()
+	if st.Added != uint64(len(l.Records)) {
+		t.Fatalf("Added = %d, want %d", st.Added, len(l.Records))
+	}
+	if st.Evicted != st.Added-uint64(w.Len()) {
+		t.Fatalf("Evicted = %d, want %d", st.Evicted, st.Added-uint64(w.Len()))
+	}
+	if st.CacheHits == 0 {
+		t.Fatal("incremental maintenance never served a cached vector — it is recomputing everything")
+	}
+}
+
+// TestWindowDifferentialSweep is the streaming layer's property sweep:
+// across many random worlds (every third under a chaos plan, so retries
+// and faults appear in the stream), the incremental window must match
+// batch feature engineering exactly at every refresh boundary, including
+// once the window is saturated and evicting. One boundary per config is
+// additionally checked against the columnar EngineerColumns path.
+func TestWindowDifferentialSweep(t *testing.T) {
+	n := 50
+	if testing.Short() {
+		n = 10
+	}
+	meta := rand.New(rand.NewSource(20260808))
+	for i := 0; i < n; i++ {
+		cfg := simulate.Config{
+			Seed:               meta.Int63n(1 << 30),
+			Horizon:            float64(1+meta.Intn(3)) * 24 * 3600,
+			HeavyEdges:         2 + meta.Intn(3),
+			HeavyTransfersMean: 30 + meta.Float64()*90,
+			TailEdges:          meta.Intn(8),
+			TailTransfersMax:   1 + meta.Intn(4),
+			HubEndpoints:       4 + meta.Intn(4),
+			PersonalEndpoints:  meta.Intn(5),
+			NoisyFrac:          meta.Float64() * 0.9,
+			BurstMax:           1 + meta.Intn(3),
+		}
+		var plan *simulate.ChaosPlan
+		if i%3 == 0 {
+			plan = &simulate.ChaosPlan{
+				Storms: []simulate.FaultStorm{{Start: 0, End: cfg.Horizon / 3, HazardFactor: 5 + meta.Float64()*25}},
+			}
+		}
+		capFrac := 2 + meta.Intn(3) // capacity = len/capFrac → saturation + eviction
+		t.Run(fmt.Sprintf("cfg%02d", i), func(t *testing.T) {
+			l, _, _, err := simulate.GenerateLogChaos(t.Context(), cfg, plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(l.Records) < 20 {
+				t.Skip("world too small")
+			}
+			if plan != nil {
+				var retries int
+				for _, r := range l.Records {
+					retries += r.Retries
+				}
+				if retries == 0 {
+					t.Log("chaos plan produced no retries in this world")
+				}
+			}
+			w := NewWindow(len(l.Records) / capFrac)
+			step := len(l.Records) / 8
+			if step < 1 {
+				step = 1
+			}
+			for k, r := range l.Records {
+				w.Add(r)
+				if (k+1)%step == 0 {
+					diffWindow(t, w, fmt.Sprintf("boundary at record %d", k+1))
+				}
+			}
+			diffWindow(t, w, "final boundary")
+
+			// The columnar read path engineers the same vectors.
+			var buf bytes.Buffer
+			if err := colfmt.WriteLog(&buf, w.Records()); err != nil {
+				t.Fatal(err)
+			}
+			tb, _, err := colfmt.ReadTable(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tb.SortByStart()
+			colVecs := features.EngineerColumns(tb)
+			incVecs := w.Vectors()
+			if len(colVecs) != len(incVecs) {
+				t.Fatalf("columnar path has %d vectors, window has %d", len(colVecs), len(incVecs))
+			}
+			for j := range colVecs {
+				if colVecs[j] != incVecs[j] {
+					t.Fatalf("columnar vector %d diverges\nincremental: %+v\ncolumnar:    %+v", j, incVecs[j], colVecs[j])
+				}
+			}
+		})
+	}
+}
+
+// TestWindowTieOrdering pins the stable-sort contract: records with equal
+// (Ts, ID) must keep arrival order, exactly as logs.Log.SortByStart's
+// stable sort would leave them.
+func TestWindowTieOrdering(t *testing.T) {
+	base := logs.Record{Src: "S1", Dst: "D1", Ts: 100, Te: 200, Bytes: 1e9, Files: 1, Conc: 1, Par: 1}
+	w := NewWindow(16)
+	l := logs.NewLog()
+	for i := 0; i < 6; i++ {
+		r := base
+		r.ID = i % 2 // duplicate IDs at the same Ts
+		w.Add(r)
+		l.Append(r)
+		got := w.Vectors()
+		want := features.Engineer(l)
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("after add %d: vector %d diverges: %+v vs %+v", i, j, got[j], want[j])
+			}
+		}
+	}
+}

@@ -1,0 +1,136 @@
+#!/usr/bin/env bash
+# stream-smoke.sh — end-to-end smoke test of the online refresh loop,
+# suitable for CI: build the binary, simulate a transfer log, and tail it
+# with `wanperf stream` while a `wanperf serve` daemon watches the
+# registry the stream promotes into:
+#
+#   grow the log → bootstrap promotion writes the registry
+#   → daemon boots on it and serves /predict
+#   → a second same-distribution window passes the drift gate, promotes,
+#     and the daemon hot-reloads to generation 2 without dropping requests
+#   → a drifted window (rates ×100) is REJECTED; the registry file and
+#     the serving generation stay put
+#   → SIGTERM stops the stream cleanly, exit 0
+#
+# Usage: scripts/stream-smoke.sh [port]
+set -eu
+
+cd "$(dirname "$0")/.."
+port="${1:-18737}"
+addr="127.0.0.1:$port"
+url="http://$addr"
+
+tmp="$(mktemp -d)"
+stream_pid=""
+serve_pid=""
+cleanup() {
+    [ -n "$stream_pid" ] && kill -9 "$stream_pid" 2>/dev/null || true
+    [ -n "$serve_pid" ] && kill -9 "$serve_pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+fail() { echo "stream-smoke: FAIL: $*" >&2; exit 1; }
+step() { echo "stream-smoke: $*" >&2; }
+
+# wait_grep FILE PATTERN DESC — poll up to 30s for PATTERN in FILE.
+wait_grep() {
+    for _ in $(seq 1 150); do
+        grep -q "$2" "$1" 2>/dev/null && return 0
+        sleep 0.2
+    done
+    cat "$1" >&2 || true
+    fail "timed out waiting for $3"
+}
+
+step "building wanperf"
+go build -o "$tmp/wanperf" ./cmd/wanperf
+
+step "simulating source log (small workload)"
+"$tmp/wanperf" simulate -small -format csv -out "$tmp/full.csv" 2>/dev/null
+rows=$(($(wc -l <"$tmp/full.csv") - 1))
+[ "$rows" -ge 200 ] || fail "simulated log too small ($rows rows)"
+
+log="$tmp/transfers.csv"
+reg="$tmp/registry.json"
+
+step "starting stream (window 200, refresh every 200)"
+"$tmp/wanperf" stream -in "$log" -registry "$reg" \
+    -window 200 -refresh-every 200 -min-train 100 \
+    -poll 100ms -gbt-bins 64 >"$tmp/stream.out" 2>"$tmp/stream.err" &
+stream_pid=$!
+
+# Window 1: the first 200 records. The bootstrap must write the registry.
+head -n 201 "$tmp/full.csv" >"$log"
+wait_grep "$tmp/stream.out" "refresh 1: bootstrap" "bootstrap promotion"
+[ -s "$reg" ] || fail "bootstrap did not write the registry"
+step "bootstrap promoted"
+
+step "starting daemon on $addr (watching $reg)"
+"$tmp/wanperf" serve -registry "$reg" -addr "$addr" \
+    -drain-timeout 5s -watch 200ms >"$tmp/serve.log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 50); do
+    curl -sf "$url/healthz" >/dev/null 2>&1 && break
+    kill -0 "$serve_pid" 2>/dev/null || { cat "$tmp/serve.log" >&2; fail "daemon died on startup"; }
+    sleep 0.2
+done
+curl -sf "$url/healthz" >/dev/null || fail "healthz never came up"
+
+predict() { curl -s -X POST -H 'Content-Type: application/json' --data "$1" "$url/predict"; }
+body='{"src":"smoke","dst":"smoke","features":{"C":4,"Nf":100,"Nb":5e9}}'
+
+resp="$(predict "$body")"
+echo "$resp" | grep -q '"generation":1' || fail "boot generation not 1: $resp"
+step "serving generation 1"
+
+# Window 2: the same 200 records shifted far forward in time with fresh
+# ids — an identical workload distribution, so the warm candidate must
+# pass the drift gate and promote.
+awk -F, 'BEGIN { CONVFMT = OFMT = "%.17g" }
+    NR>1 { $1+=1000000; $4+=50000000; $5+=50000000; print }' OFS=, \
+    "$tmp/full.csv" | head -n 200 >>"$log"
+wait_grep "$tmp/stream.out" "refresh 2: promote" "gate-passed promotion"
+step "refresh 2 promoted"
+
+# The daemon's watcher must adopt generation 2 while still serving.
+for _ in $(seq 1 50); do
+    resp="$(predict "$body")"
+    echo "$resp" | grep -q '"generation":2' && break
+    echo "$resp" | grep -q '"rate_mbps"' || fail "prediction dropped during reload: $resp"
+    sleep 0.2
+done
+echo "$resp" | grep -q '"generation":2' || fail "daemon never adopted generation 2: $resp"
+step "hot-reloaded to generation 2"
+
+reg_stat_before="$(stat -c '%Y %s' "$reg" 2>/dev/null || stat -f '%m %z' "$reg")"
+
+# Window 3: the same records again, but with bytes ×100 — rates two
+# orders of magnitude off. The gate must reject the candidate.
+awk -F, 'BEGIN { CONVFMT = OFMT = "%.17g" }
+    NR>1 { $1+=2000000; $4+=100000000; $5+=100000000; $6*=100; print }' OFS=, \
+    "$tmp/full.csv" | head -n 200 >>"$log"
+wait_grep "$tmp/stream.out" "refresh 3: REJECTED" "drift rejection"
+step "drifted window rejected"
+
+reg_stat_after="$(stat -c '%Y %s' "$reg" 2>/dev/null || stat -f '%m %z' "$reg")"
+[ "$reg_stat_before" = "$reg_stat_after" ] || fail "rejected candidate rewrote the registry"
+
+resp="$(predict "$body")"
+echo "$resp" | grep -q '"generation":2' || fail "generation moved after rejection: $resp"
+step "prior generation still serving"
+
+step "stopping stream (SIGTERM)"
+kill -TERM "$stream_pid"
+for _ in $(seq 1 50); do
+    kill -0 "$stream_pid" 2>/dev/null || break
+    sleep 0.2
+done
+if kill -0 "$stream_pid" 2>/dev/null; then
+    fail "stream did not exit on SIGTERM"
+fi
+wait "$stream_pid" && rc=0 || rc=$?
+[ "$rc" -eq 0 ] || { cat "$tmp/stream.err" >&2; fail "stream exited with $rc"; }
+stream_pid=""
+
+step "PASS"
