@@ -255,6 +255,7 @@ func usage() {
 	b.WriteString("       wanperf simulate [-format csv|columnar] [-out FILE]\n")
 	b.WriteString("       wanperf convert -in FILE [-to csv|columnar] [-out FILE]\n")
 	b.WriteString("       wanperf serve -registry FILE [-addr ADDR] [-queue N] [-batch N]\n")
+	b.WriteString("                     [-batchers N] [-no-codespace]\n")
 	b.WriteString("                     [-queue-timeout DUR] [-request-timeout DUR]\n")
 	b.WriteString("                     [-drain-timeout DUR] [-watch DUR]\n")
 	b.WriteString("       wanperf stream -in FILE -registry FILE [-log-format auto|csv|columnar]\n")
@@ -326,6 +327,8 @@ type options struct {
 	registry       string
 	queueDepth     int
 	batchMax       int
+	batchers       int
+	noCodeSpace    bool
 	queueTimeout   time.Duration
 	requestTimeout time.Duration
 	drainTimeout   time.Duration
@@ -367,6 +370,8 @@ func parseArgs(args []string) (cmd string, cfg simulate.Config, opts options, er
 	registry := fs.String("registry", "", "serve: registry file (required)")
 	queueDepth := fs.Int("queue", 0, "serve: admission-queue depth (0 = default)")
 	batchMax := fs.Int("batch", 0, "serve: max rows per inference batch (0 = default)")
+	batchers := fs.Int("batchers", 0, "serve: parallel batcher goroutines (0 = GOMAXPROCS)")
+	noCodeSpace := fs.Bool("no-codespace", false, "serve: disable quantized (uint8 code-space) inference")
 	queueTimeout := fs.Duration("queue-timeout", 0, "serve: max queue wait before shedding (0 = default)")
 	requestTimeout := fs.Duration("request-timeout", 0, "serve: end-to-end request deadline (0 = default)")
 	drainTimeout := fs.Duration("drain-timeout", 0, "serve: hard deadline for graceful drain (0 = default)")
@@ -408,6 +413,8 @@ func parseArgs(args []string) (cmd string, cfg simulate.Config, opts options, er
 	opts.registry = *registry
 	opts.queueDepth = *queueDepth
 	opts.batchMax = *batchMax
+	opts.batchers = *batchers
+	opts.noCodeSpace = *noCodeSpace
 	opts.queueTimeout = *queueTimeout
 	opts.requestTimeout = *requestTimeout
 	opts.drainTimeout = *drainTimeout
@@ -700,10 +707,13 @@ func cmdServe(c cmdContext) error {
 		RegistryPath:   c.opts.registry,
 		QueueDepth:     c.opts.queueDepth,
 		BatchMax:       c.opts.batchMax,
+		Batchers:       c.opts.batchers,
 		QueueTimeout:   c.opts.queueTimeout,
 		RequestTimeout: c.opts.requestTimeout,
 		DrainTimeout:   c.opts.drainTimeout,
 		WatchInterval:  c.opts.watch,
+
+		DisableCodeSpace: c.opts.noCodeSpace,
 	}
 	if c.o != nil && c.o.Metrics != nil {
 		scfg.Metrics = c.o.Metrics

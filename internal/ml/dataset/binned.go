@@ -161,7 +161,8 @@ func (b *Binned) NumFeatures() int { return len(b.Names) }
 func (b *Binned) NumBins(f int) int { return len(b.Cuts[f]) + 1 }
 
 // Code returns the bin code raw value v maps to for feature f — the same
-// mapping Bin applied to the training matrix.
+// mapping Bin applied to the training matrix (and the same kernel the
+// row Quantizer runs, see quantize.go).
 func (b *Binned) Code(f int, v float64) int {
-	return sort.SearchFloat64s(b.Cuts[f], v)
+	return codeOf(b.Cuts[f], v)
 }

@@ -1,0 +1,89 @@
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNonFinite is returned when a value to be quantized is NaN or ±Inf.
+// Raw-space tree traversal has a defined (if arbitrary) answer for
+// non-finite inputs — NaN fails every comparison and walks right — but
+// binary search over cut points does not, so the quantizer refuses them
+// and callers fall back to the float path.
+var ErrNonFinite = errors.New("dataset: non-finite feature value")
+
+// linearCuts is the widest cut array quantized by linear scan instead of
+// binary search. Most features bin onto a handful of distinct values, and
+// for those a forward scan through one cache line beats the branchy
+// bisection loop; past ~16 cuts the O(log b) search wins.
+const linearCuts = 16
+
+// Quantizer maps raw feature vectors onto bin codes under a fixed set of
+// per-feature cut points — the same code(v) = smallest b with
+// v <= cuts[b] rule Bin applies to a training matrix, so quantized rows
+// are directly comparable to a Binned's Codes columns. It is immutable
+// and safe for concurrent use; the serve daemon quantizes every admitted
+// request through one.
+type Quantizer struct {
+	cuts [][]float64
+}
+
+// NewQuantizer wraps per-feature cut points (strictly increasing, as
+// produced by Bin; the slice is aliased, not copied).
+func NewQuantizer(cuts [][]float64) *Quantizer {
+	return &Quantizer{cuts: cuts}
+}
+
+// Quantizer returns a row quantizer over the binned matrix's cut points.
+func (b *Binned) Quantizer() *Quantizer { return NewQuantizer(b.Cuts) }
+
+// NumFeatures returns the width of the rows Row expects.
+func (q *Quantizer) NumFeatures() int { return len(q.cuts) }
+
+// Code returns the bin code of value v for feature f.
+func (q *Quantizer) Code(f int, v float64) int {
+	return codeOf(q.cuts[f], v)
+}
+
+// Row fills dst with the bin codes of the raw feature vector x. Both
+// slices must be NumFeatures wide. Values above the last cut code to
+// len(cuts) (always <= 255: Bin emits at most MaxBins-1 cuts); NaN and
+// ±Inf are refused with ErrNonFinite.
+func (q *Quantizer) Row(x []float64, dst []uint8) error {
+	if len(x) != len(q.cuts) || len(dst) != len(q.cuts) {
+		return fmt.Errorf("%w: row %d wide, codes %d, want %d", ErrShape, len(x), len(dst), len(q.cuts))
+	}
+	for f, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: feature %d is %v", ErrNonFinite, f, v)
+		}
+		dst[f] = uint8(codeOf(q.cuts[f], v))
+	}
+	return nil
+}
+
+// codeOf is the shared scalar kernel: the smallest b with v <= cuts[b],
+// len(cuts) when v exceeds every cut — identical to
+// sort.SearchFloat64s(cuts, v), hand-inlined with a short-array fast
+// path so the per-feature cost on the serve admission path stays flat.
+func codeOf(cuts []float64, v float64) int {
+	if len(cuts) <= linearCuts {
+		for b, c := range cuts {
+			if v <= c {
+				return b
+			}
+		}
+		return len(cuts)
+	}
+	lo, hi := 0, len(cuts)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if v <= cuts[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}

@@ -1,0 +1,128 @@
+package dataset
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestCodeOfMatchesSearch pins the kernel against the spec it hand-inlines:
+// codeOf must equal sort.SearchFloat64s for every cut-array length across
+// the linear-scan/binary-search switchover, on values below, between,
+// exactly on, and above the cuts.
+func TestCodeOfMatchesSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for nc := 0; nc <= 2*linearCuts+3; nc++ {
+		cuts := make([]float64, nc)
+		v := rng.Float64()
+		for i := range cuts {
+			v += rng.Float64() + 0.01
+			cuts[i] = v
+		}
+		probes := []float64{-1e18, 1e18}
+		for _, c := range cuts {
+			probes = append(probes, c, c-1e-9, c+1e-9, math.Nextafter(c, math.Inf(1)))
+		}
+		for i := 0; i < 50; i++ {
+			probes = append(probes, rng.Float64()*float64(nc+2))
+		}
+		for _, p := range probes {
+			if got, want := codeOf(cuts, p), sort.SearchFloat64s(cuts, p); got != want {
+				t.Fatalf("%d cuts: codeOf(%v) = %d, want %d", nc, p, got, want)
+			}
+		}
+	}
+}
+
+// TestQuantizerMatchesBinnedCodes: quantizing the training rows must
+// reproduce the Binned matrix's own code columns exactly, and the
+// convenience accessors must agree with each other.
+func TestQuantizerMatchesBinnedCodes(t *testing.T) {
+	d := randomDataset(t, 300, 3, 11)
+	b, err := Bin(d, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := b.Quantizer()
+	if q.NumFeatures() != 3 {
+		t.Fatalf("NumFeatures = %d, want 3", q.NumFeatures())
+	}
+	dst := make([]uint8, 3)
+	for i, row := range d.X {
+		if err := q.Row(row, dst); err != nil {
+			t.Fatal(err)
+		}
+		for f := range dst {
+			if dst[f] != b.Codes[f][i] {
+				t.Fatalf("row %d feature %d: quantizer code %d != binned code %d", i, f, dst[f], b.Codes[f][i])
+			}
+			if got := q.Code(f, row[f]); got != int(dst[f]) {
+				t.Fatalf("row %d feature %d: Code %d != Row %d", i, f, got, dst[f])
+			}
+			if got := b.Code(f, row[f]); got != int(dst[f]) {
+				t.Fatalf("row %d feature %d: Binned.Code %d != quantizer %d", i, f, got, dst[f])
+			}
+		}
+	}
+}
+
+// TestQuantizerEdgeValues pins the boundary semantics: a value exactly on
+// a cut codes to that cut's bin (code(v) <= b ⇔ v <= cuts[b] requires
+// the <= to be inclusive), the next float above crosses into the next
+// bin, anything above the last cut codes to len(cuts), and anything
+// below the first cut codes to 0.
+func TestQuantizerEdgeValues(t *testing.T) {
+	q := NewQuantizer([][]float64{{1.0, 2.5, 7.0}})
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{-1e300, 0},
+		{0.999, 0},
+		{1.0, 0}, // exactly on a cut: inclusive
+		{math.Nextafter(1.0, 2), 1},
+		{2.5, 1},
+		{math.Nextafter(2.5, 3), 2},
+		{7.0, 2},
+		{math.Nextafter(7.0, 8), 3}, // above the last cut
+		{1e300, 3},
+	}
+	dst := make([]uint8, 1)
+	for _, c := range cases {
+		if got := q.Code(0, c.v); got != c.want {
+			t.Errorf("Code(%v) = %d, want %d", c.v, got, c.want)
+		}
+		if err := q.Row([]float64{c.v}, dst); err != nil {
+			t.Fatal(err)
+		}
+		if int(dst[0]) != c.want {
+			t.Errorf("Row(%v) = %d, want %d", c.v, dst[0], c.want)
+		}
+	}
+}
+
+// TestQuantizerRejectsNonFinite: NaN and ±Inf have no defined bin and
+// must be refused with ErrNonFinite, leaving the caller the float path.
+func TestQuantizerRejectsNonFinite(t *testing.T) {
+	q := NewQuantizer([][]float64{{0}, {0}})
+	dst := make([]uint8, 2)
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if err := q.Row([]float64{1, bad}, dst); !errors.Is(err, ErrNonFinite) {
+			t.Errorf("Row with %v: got %v, want ErrNonFinite", bad, err)
+		}
+	}
+}
+
+// TestQuantizerRejectsShapeMismatch: ragged inputs and outputs fail with
+// ErrShape before any write.
+func TestQuantizerRejectsShapeMismatch(t *testing.T) {
+	q := NewQuantizer([][]float64{{0}, {0}})
+	if err := q.Row([]float64{1}, make([]uint8, 2)); !errors.Is(err, ErrShape) {
+		t.Errorf("short row: got %v, want ErrShape", err)
+	}
+	if err := q.Row([]float64{1, 2}, make([]uint8, 1)); !errors.Is(err, ErrShape) {
+		t.Errorf("short dst: got %v, want ErrShape", err)
+	}
+}

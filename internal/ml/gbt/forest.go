@@ -56,6 +56,7 @@ func (m *Model) buildFlat() {
 		}
 	}
 	m.flat = f
+	m.code = buildCodeForest(m)
 }
 
 // predictRange fills out[k] with base plus the ensemble output for each
@@ -65,6 +66,13 @@ func (m *Model) buildFlat() {
 func (f *forest) predictRange(xs [][]float64, out []float64, base float64) {
 	feature, thresh := f.feature, f.thresh
 	left, right, weight := f.left, f.right, f.weight
+	// Hoist one shared length so the compiler can prove the five parallel
+	// arrays are at least len(feature) long and drop the per-field bounds
+	// checks inside the walk (child indices themselves stay checked — they
+	// are data, not induction variables).
+	n := len(feature)
+	thresh, weight = thresh[:n], weight[:n]
+	left, right = left[:n], right[:n]
 	for r, x := range xs {
 		s := base
 		for _, root := range f.roots {

@@ -165,7 +165,8 @@ type Model struct {
 	Base   float64 // initial prediction (mean of training targets)
 	Names  []string
 	trees  []tree
-	flat   *forest // SoA layout for batch inference (see forest.go)
+	flat   *forest  // SoA layout for batch inference (see forest.go)
+	code   *cforest // quantized layout for code-space inference (see cforest.go)
 	params Params
 
 	// Histogram-training provenance, persisted by Save so a binned model

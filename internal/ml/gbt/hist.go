@@ -357,19 +357,27 @@ func (hb *histBuilder) grow(w *flatWriter, rows []int32, cols []int, hist []floa
 // threshold converts the winning bin boundary into a raw-space threshold
 // and the code-space split bin the traversals use.
 //
-// The exact presorted search stores the midpoint between the two values
-// adjacent to its cut; reproducing that here matters because a bin
-// boundary sits at the far-left edge of whatever value gap the node's
-// split straddles, and a test row falling inside the gap would otherwise
-// be routed differently by the two paths. The node's neighbouring values
-// are bracketed by the occupied ranges of bin (its last non-empty left
-// bin — empty bins never win the scan) and of the first non-empty bin to
-// its right, so the midpoint of Hi[bin] and Lo[right] is the exact rule
-// up to bin resolution — and bit-identical to it when every bin holds one
-// distinct value. The split bin is then re-snapped to the last bin whose
-// occupied range lies at or below the threshold, which keeps code-space
-// and raw-space traversal in agreement for every training row, including
-// rows of OTHER nodes whose values land inside this node's gap.
+// The split bin m is located the way the exact presorted search would
+// place its cut: the node's neighbouring values are bracketed by the
+// occupied ranges of bin (its last non-empty left bin — empty bins never
+// win the scan) and of the first non-empty bin to its right, and m is the
+// last bin whose occupied range lies at or below the midpoint of that
+// gap. The stored raw threshold is then Cuts[f][m] — the global bin edge
+// separating m from m+1 — which is the one value in the gap making
+// raw-space and code-space traversal provably identical for EVERY input,
+// not just training rows: code(v) <= m ⇔ v <= Cuts[f][m] is the binned
+// representation's defining invariant, so a tree whose thresholds all sit
+// on bin edges can be walked entirely in uint8 code space (see
+// cforest.go, which refuses any model violating this). For dataset rows
+// the snap changes nothing — Cuts[f][m] lies in the same occupied-value
+// gap [Hi[f][m], Lo[f][m+1]) as the old midpoint rule, and no training or
+// evaluation value of the binned matrix falls strictly inside a gap — so
+// tree structure, boosting updates, and all in-data predictions are
+// unchanged; only queries landing inside the gap (values the data never
+// exhibited) now split at the bin edge instead of the node-local
+// midpoint. When every bin holds one distinct value the gap collapses and
+// the edge IS the exact search's midpoint, preserving bit-identity with
+// the exact path on narrow data.
 func (hb *histBuilder) threshold(hist []float64, f, bin int) (float64, int) {
 	off := 2 * hb.offsets[f]
 	right := bin + 1
@@ -382,11 +390,16 @@ func (hb *histBuilder) threshold(hist []float64, f, bin int) (float64, int) {
 	if m == len(lo) || lo[m] != ideal {
 		m--
 	}
-	t := ideal
-	if t < hi[m] {
-		t = hi[m]
+	// Clamp to [bin, right-1]: float rounding at the gap's ends could
+	// otherwise pin m onto a bin whose rows the partition sent the other
+	// way (and right-1 keeps Cuts[f][m] in range: right <= len(cuts)).
+	if m >= right {
+		m = right - 1
 	}
-	return t, m
+	if m < bin {
+		m = bin
+	}
+	return hb.cuts[f][m], m
 }
 
 // buildHist accumulates the (gradient, hessian) histogram of rows for the

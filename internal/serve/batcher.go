@@ -18,8 +18,10 @@ var pendingPool = sync.Pool{
 }
 
 // newPending checks a pending out of the pool, vectorizing the request
-// against snap. Returns an error for unknown feature names.
-func newPending(snap *Registry, req *PredictRequest) (*pending, error) {
+// against snap and — when the code path is on — quantizing it against
+// the model that will serve it. Returns an error for unknown feature
+// names.
+func (s *Server) newPending(snap *Registry, req *PredictRequest) (*pending, error) {
 	p := pendingPool.Get().(*pending)
 	p.req = req
 	if cap(p.x) >= len(snap.Features) {
@@ -32,13 +34,41 @@ func newPending(snap *Registry, req *PredictRequest) (*pending, error) {
 		return nil, err
 	}
 	p.vgen = snap.Generation
+	p.qm = nil
+	if !s.cfg.DisableCodeSpace {
+		m, _ := snap.Lookup(req.Src, req.Dst)
+		quantizePending(p, m, snap.Generation)
+	}
 	p.enq = time.Now()
 	return p, nil
+}
+
+// quantizePending fills p.cx with p.x quantized against m's cut points
+// and stamps the (model, generation) pair the codes are valid for. A
+// model without a code forest — or a row the quantizer refuses — leaves
+// p.qm nil and the request on the float path; the code path is an
+// optimization, never a requirement.
+func quantizePending(p *pending, m *gbt.Model, gen int64) {
+	p.qm = nil
+	if m == nil || !m.CodeSpace() {
+		return
+	}
+	nf := len(m.Names)
+	if cap(p.cx) >= nf {
+		p.cx = p.cx[:nf]
+	} else {
+		p.cx = make([]uint8, nf)
+	}
+	if m.QuantizeRow(p.x, p.cx) != nil {
+		return
+	}
+	p.qm, p.qgen = m, gen
 }
 
 // recycle returns a pending whose result has been consumed.
 func (p *pending) recycle() {
 	p.req = nil
+	p.qm = nil
 	pendingPool.Put(p)
 }
 
@@ -50,6 +80,7 @@ type batchScratch struct {
 	labels   []string
 	answered []bool
 	xs       [][]float64
+	cxs      [][]uint8
 	out      []float64
 }
 
@@ -66,6 +97,7 @@ func (s *Server) batcherLoop() {
 		labels:   make([]string, s.cfg.BatchMax),
 		answered: make([]bool, s.cfg.BatchMax),
 		xs:       make([][]float64, 0, s.cfg.BatchMax),
+		cxs:      make([][]uint8, 0, s.cfg.BatchMax),
 		out:      make([]float64, s.cfg.BatchMax),
 	}
 	for {
@@ -143,6 +175,13 @@ func (s *Server) runBatch(sc *batchScratch) {
 			revectorize(snap, p)
 		}
 		sc.models[i], sc.labels[i] = snap.Lookup(p.req.Src, p.req.Dst)
+		// Codes quantized at admission are valid only for the model and
+		// generation they were cut against; a reload (or an edge-model
+		// change between admission and batching) re-quantizes against
+		// this batch's snapshot — the code-space twin of revectorize.
+		if !s.cfg.DisableCodeSpace && (p.qm != sc.models[i] || p.qgen != snap.Generation) {
+			quantizePending(p, sc.models[i], snap.Generation)
+		}
 	}
 
 	// Fast path: every live request resolved to the same model (the
@@ -165,14 +204,40 @@ func (s *Server) runBatch(sc *batchScratch) {
 		return // everything shed
 	}
 	if single {
-		xs := sc.xs[:0]
+		// Prefer the code-space walk: when every live row carries codes
+		// quantized against this batch's model, inference runs entirely
+		// in uint8 space (bit-identical to PredictBatch by construction).
+		// One row without codes — quantizer refusal, code space off —
+		// sends the whole batch down the float path; mixing would split
+		// the batch and cost more than the traversal saves.
+		codes := first.CodeSpace()
 		for i, p := range batch {
-			if !answered[i] {
-				xs = append(xs, p.x)
+			if !answered[i] && p.qm != first {
+				codes = false
+				break
 			}
 		}
-		out := sc.out[:len(xs)]
-		err := first.PredictBatch(xs, out)
+		var err error
+		out := sc.out
+		if codes {
+			cxs := sc.cxs[:0]
+			for i, p := range batch {
+				if !answered[i] {
+					cxs = append(cxs, p.cx)
+				}
+			}
+			out = out[:len(cxs)]
+			err = first.PredictCodes(cxs, out)
+		} else {
+			xs := sc.xs[:0]
+			for i, p := range batch {
+				if !answered[i] {
+					xs = append(xs, p.x)
+				}
+			}
+			out = out[:len(xs)]
+			err = first.PredictBatch(xs, out)
+		}
 		k := 0
 		for i, p := range batch {
 			if answered[i] {
@@ -185,10 +250,11 @@ func (s *Server) runBatch(sc *batchScratch) {
 		return
 	}
 
-	// General path: group rows by resolved model, one PredictBatch per
-	// group.
+	// General path: group rows by resolved model, one batch predict per
+	// group, code-space when the whole group carries codes.
 	type group struct {
 		label string
+		codes bool
 		idx   []int
 	}
 	groups := map[*gbt.Model]*group{}
@@ -198,18 +264,30 @@ func (s *Server) runBatch(sc *batchScratch) {
 		}
 		g := groups[sc.models[i]]
 		if g == nil {
-			g = &group{label: sc.labels[i]}
+			g = &group{label: sc.labels[i], codes: sc.models[i].CodeSpace()}
 			groups[sc.models[i]] = g
+		}
+		if batch[i].qm != sc.models[i] {
+			g.codes = false
 		}
 		g.idx = append(g.idx, i)
 	}
 	for m, g := range groups {
-		xs := make([][]float64, len(g.idx))
-		for k, i := range g.idx {
-			xs[k] = batch[i].x
+		out := make([]float64, len(g.idx))
+		var err error
+		if g.codes {
+			cxs := make([][]uint8, len(g.idx))
+			for k, i := range g.idx {
+				cxs[k] = batch[i].cx
+			}
+			err = m.PredictCodes(cxs, out)
+		} else {
+			xs := make([][]float64, len(g.idx))
+			for k, i := range g.idx {
+				xs[k] = batch[i].x
+			}
+			err = m.PredictBatch(xs, out)
 		}
-		out := make([]float64, len(xs))
-		err := m.PredictBatch(xs, out)
 		for k, i := range g.idx {
 			s.reply(batch[i], snap, g.label, out[k], err, now)
 			answered[i] = true

@@ -36,8 +36,14 @@ import (
 	"repro/internal/ml/gbt"
 )
 
-// registryVersion is the registry file format version.
-const registryVersion = 1
+// registryVersion is the registry file format version. Version 2 is the
+// code-space era: promotion additionally replays every probe through the
+// quantized (uint8) inference path when the probed model carries one,
+// requiring EXACT agreement with the float path — so a registry can
+// never serve a code-space forest that diverges from its float twin.
+// Version-1 files fail closed (ErrBadRegistry): they predate that gate,
+// and the deployment story is retrain-and-rewrite, not silent upgrade.
+const registryVersion = 2
 
 // defaultTolerance bounds the relative error a probe may show before the
 // registry is rejected. Predictions are deterministic and JSON round-trips
@@ -231,6 +237,24 @@ func (r *Registry) Validate() error {
 		if !(math.Abs(got-p.Want) <= tol*math.Max(1, math.Abs(p.Want))) {
 			return fmt.Errorf("%w: probe %d (%s) predicted %v, want %v (tolerance %g)",
 				ErrBadRegistry, i, what, got, p.Want, tol)
+		}
+		// Code-space gate: a model carrying a quantized forest must
+		// reproduce the float answer BIT-identically on every probe it
+		// can quantize — no tolerance. Divergence here means the cuts or
+		// packed nodes were corrupted in a way the float probes can't
+		// see, and the file must not serve.
+		if m.CodeSpace() {
+			codes := make([]uint8, len(p.X))
+			if qerr := m.QuantizeRow(p.X, codes); qerr == nil {
+				var cout [1]float64
+				if cerr := m.PredictCodes([][]uint8{codes}, cout[:]); cerr != nil {
+					return fmt.Errorf("%w: probe %d (%s) code path: %v", ErrBadRegistry, i, what, cerr)
+				}
+				if cout[0] != got {
+					return fmt.Errorf("%w: probe %d (%s) code path predicted %v, float path %v — quantized forest diverges",
+						ErrBadRegistry, i, what, cout[0], got)
+				}
+			}
 		}
 	}
 	return nil

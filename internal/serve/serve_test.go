@@ -38,9 +38,17 @@ func testModel(t testing.TB, seed int64, scale float64) *gbt.Model {
 	p := gbt.DefaultParams()
 	p.Rounds = 25
 	p.Seed = seed
+	// Histogram-trained, so serve tests exercise the code-space (uint8)
+	// inference path end to end — the exact-rate assertions below then
+	// pin quantized serving bit-identical to Model.Predict. (The float
+	// batch path is covered by the DisableCodeSpace A/B test.)
+	p.Bins = 256
 	m, err := gbt.Train(d, p)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if !m.CodeSpace() {
+		t.Fatal("test model unexpectedly has no code-space forest")
 	}
 	return m
 }

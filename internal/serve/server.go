@@ -10,12 +10,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
+	"repro/internal/ml/gbt"
 	"repro/internal/obs"
 )
 
@@ -27,12 +29,19 @@ type Config struct {
 
 	QueueDepth     int           // admission-queue capacity (default 1024)
 	BatchMax       int           // max rows coalesced into one batch (default 256)
-	Batchers       int           // batcher goroutines (default 2)
+	Batchers       int           // batcher goroutines (default GOMAXPROCS); each drains the shared queue with its own scratch
 	QueueTimeout   time.Duration // max admission-queue wait before shedding (default 100ms)
 	RequestTimeout time.Duration // server-side cap on end-to-end wait (default 2s)
 	DrainTimeout   time.Duration // hard deadline for SIGTERM drain (default 5s)
 	WatchInterval  time.Duration // registry-file poll period (default 2s; <0 disables)
 	RetryAfter     time.Duration // Retry-After hint on shed responses (default 1s)
+
+	// DisableCodeSpace turns off quantized (uint8 code-space) inference,
+	// forcing every batch through the float traversal. The code path is
+	// bit-identical to the float path by construction — this switch exists
+	// for A/B measurement and as an operational escape hatch, not because
+	// outputs differ.
+	DisableCodeSpace bool
 
 	Metrics *obs.Registry        // instrument sink (default: fresh registry)
 	Logf    func(string, ...any) // operational log (default log.Printf)
@@ -49,7 +58,7 @@ func (c *Config) fillDefaults() {
 		c.BatchMax = 256
 	}
 	if c.Batchers <= 0 {
-		c.Batchers = 2
+		c.Batchers = runtime.GOMAXPROCS(0)
 	}
 	if c.QueueTimeout <= 0 {
 		c.QueueTimeout = 100 * time.Millisecond
@@ -121,6 +130,16 @@ type pending struct {
 	vgen int64     // generation of the registry x was vectorized against
 	enq  time.Time
 	resp chan result // buffered(1); the batcher replies exactly once
+
+	// Code-space admission state: cx holds x quantized against qm's cut
+	// points (qm nil when the resolved model has no code forest, the
+	// server disabled code space, or quantization refused the row). qgen
+	// mirrors vgen — a reload invalidates the codes exactly like it
+	// invalidates the vector, and the batcher re-quantizes against its
+	// own snapshot (see runBatch).
+	cx   []uint8
+	qm   *gbt.Model
+	qgen int64
 }
 
 // result is the batcher's answer to one pending request.
@@ -418,9 +437,10 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Vectorize against the admission-time snapshot; unknown feature
-	// names are the client's error and refuse admission.
-	p, err := newPending(s.reg.Load(), req)
+	// Vectorize (and quantize, when the code path is on) against the
+	// admission-time snapshot; unknown feature names are the client's
+	// error and refuse admission.
+	p, err := s.newPending(s.reg.Load(), req)
 	if err != nil {
 		s.badRequest(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
 		return
@@ -465,7 +485,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 // overhead). Unlike the HTTP path it blocks for queue room (ctx bounds
 // the wait), so callers get backpressure instead of shedding.
 func (s *Server) PredictSync(ctx context.Context, req *PredictRequest) (*PredictResponse, error) {
-	p, err := newPending(s.reg.Load(), req)
+	p, err := s.newPending(s.reg.Load(), req)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}

@@ -54,6 +54,23 @@ func TestChaosSoak(t *testing.T) {
 		failMu          sync.Mutex
 		failures        []string
 	)
+
+	// Every 200 must carry a rate BIT-identical to what some promoted
+	// generation's edge model predicts for goodBody's features — the
+	// serve-soak half of the code-space differential: requests race
+	// reloads, get re-quantized across generations, and still must land
+	// exactly on a float-path prediction. validRates grows as generations
+	// are promoted (a racing request may be answered by old or new).
+	goodX := []float64{0.5, 0.2, 0.9}
+	validRates := sync.Map{}
+	expectRate := func(reg *Registry) {
+		want, err := reg.Edges["S1->D1"].Predict(goodX)
+		if err != nil {
+			t.Fatal(err)
+		}
+		validRates.Store(want, true)
+	}
+	expectRate(s.Registry())
 	note := func(format string, args ...any) {
 		failMu.Lock()
 		if len(failures) < 10 {
@@ -78,6 +95,11 @@ func TestChaosSoak(t *testing.T) {
 			var pr PredictResponse
 			if err := json.Unmarshal(body.Bytes(), &pr); err != nil || pr.Generation < 1 {
 				note("malformed 200 body: %s", body.String())
+				other.Add(1)
+				return
+			}
+			if _, known := validRates.Load(pr.Rate); !known {
+				note("rate %v matches no promoted generation's float-path prediction", pr.Rate)
 				other.Add(1)
 				return
 			}
@@ -125,7 +147,9 @@ func TestChaosSoak(t *testing.T) {
 		switch op.Kind {
 		case chaos.SoakReloadGood:
 			scale += 0.5
-			writeRegistryFile(t, path, testRegistry(t, scale))
+			next := testRegistry(t, scale)
+			expectRate(next)
+			writeRegistryFile(t, path, next)
 			if err := s.Reload(); err != nil {
 				t.Errorf("good reload failed: %v", err)
 			}

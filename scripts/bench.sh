@@ -16,6 +16,9 @@
 #   BENCH_COUNT        -count               (default: 5)
 #   BENCH_TIME         -benchtime           (default: 1x)
 #   BENCH_SHARD_COUNT  -count for the shard-scaling sweep (default: 3)
+#   BENCH_SERVE_COUNT  -count for the serve/code-space stage (default: 3)
+#   BENCH_SERVE_TIME   -benchtime for the serve/code-space stage (default: 1s)
+#   BENCH_SERVE_CPUS   -cpu matrix for the serve stage (default: 1,4,8)
 #   BENCH_XLARGE       set to 1 to append the paper-scale XLarge
 #                      end-to-end run (>1M transfers; takes minutes)
 set -eu
@@ -34,6 +37,9 @@ pattern="${BENCH_PATTERN:-GBTTrain|GBTTrainHist|Fig11Headline|FeatureEngineering
 count="${BENCH_COUNT:-5}"
 benchtime="${BENCH_TIME:-1x}"
 shard_count="${BENCH_SHARD_COUNT:-3}"
+serve_count="${BENCH_SERVE_COUNT:-3}"
+serve_time="${BENCH_SERVE_TIME:-1s}"
+serve_cpus="${BENCH_SERVE_CPUS:-1,4,8}"
 
 mkdir -p bench
 txt="bench/BENCH_${label}.txt"
@@ -55,6 +61,36 @@ go test -run '^$' -bench 'LogRead|LogWrite' -benchmem -count 3 -benchtime 20x . 
 echo "running shard-scaling sweep (count=${shard_count})..." >&2
 go test -run '^$' -bench 'EngineShardLarge' -benchmem -count "$shard_count" -benchtime 1x . | tee -a "$txt"
 
+# Serve / code-space inference stage: the quantized batch-inference
+# kernel, its float-path twin, admission quantization, and end-to-end
+# daemon throughput, across a -cpu matrix. The batcher count follows
+# GOMAXPROCS, so the matrix shows multi-batcher scaling; the parser
+# below keeps the cpu width as its own field so runs don't merge.
+echo "running serve/code-space stage (-cpu ${serve_cpus}, count=${serve_count})..." >&2
+go test -run '^$' -bench 'ServeBatchInference|ServePredict|QuantizeRow' \
+    -benchmem -count "$serve_count" -benchtime "$serve_time" -cpu "$serve_cpus" . | tee -a "$txt"
+
+# Aggregate serving throughput: best code-space ServePredict rows/s
+# across the cpu matrix — the one-line number for EXPERIMENTS.md.
+awk '/^BenchmarkServePredict-/ {
+    for (i = 2; i <= NF; i++) if ($i == "rows/s" && $(i-1)+0 > best) best = $(i-1)+0
+} END {
+    if (best) printf("aggregate serving throughput: %.0f rows/s (best ServePredict across -cpu matrix)\n", best)
+}' "$txt" | tee -a "$txt"
+
+# Bounds-check-elimination audit for the inference hot path, recorded
+# alongside the numbers it explains. The checks that remain are the
+# data-indexed gathers (tree cursors, per-feature code bytes, leaf
+# weights) whose indices come from model data the prover cannot see;
+# block bounds and accumulator checks are hoisted in walkBlock.
+echo "recording check_bce audit for the hot path..." >&2
+{
+    echo ""
+    echo "# go build -gcflags=-d=ssa/check_bce audit (quantized inference hot path)"
+    go build -gcflags='-d=ssa/check_bce' ./internal/ml/gbt/ ./internal/ml/dataset/ 2>&1 \
+        | grep -E 'cforest\.go|quantize\.go' | sed 's/^/# /' || true
+} >> "$txt"
+
 # Paper-scale end to end: generate the XLarge world (>1M transfers),
 # simulate sharded, columnar round trip, feature engineering from column
 # views. One iteration; opt-in because it takes minutes.
@@ -65,23 +101,35 @@ fi
 
 # Parse the benchstat-compatible text into JSON. Benchmark lines look like:
 #   BenchmarkGBTTrain    	       2	 601234567 ns/op	 123456 B/op	   789 allocs/op
+# The -N name suffix is the GOMAXPROCS the run executed under; it becomes
+# its own "cpu" field rather than being discarded, so -cpu matrix runs of
+# the same benchmark stay distinguishable in the JSON.
 awk -v label="$label" '
 BEGIN { print "["; first = 1 }
 /^Benchmark/ {
     name = $1
-    sub(/-[0-9]+$/, "", name)  # strip -GOMAXPROCS suffix if present
-    ns = ""; bytes = ""; allocs = ""
+    cpu = ""
+    if (match(name, /-[0-9]+$/)) {
+        cpu = substr(name, RSTART + 1)
+        name = substr(name, 1, RSTART - 1)
+    }
+    ns = ""; bytes = ""; allocs = ""; nsrow = ""; rowss = ""
     for (i = 2; i <= NF; i++) {
         if ($i == "ns/op")     ns = $(i-1)
         if ($i == "B/op")      bytes = $(i-1)
         if ($i == "allocs/op") allocs = $(i-1)
+        if ($i == "ns/row")    nsrow = $(i-1)
+        if ($i == "rows/s")    rowss = $(i-1)
     }
     if (ns == "") next
     if (!first) printf(",\n")
     first = 0
     printf("  {\"label\": \"%s\", \"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", label, name, $2, ns)
+    if (cpu != "")    printf(", \"cpu\": %s", cpu)
     if (bytes != "")  printf(", \"bytes_per_op\": %s", bytes)
     if (allocs != "") printf(", \"allocs_per_op\": %s", allocs)
+    if (nsrow != "")  printf(", \"ns_per_row\": %s", nsrow)
+    if (rowss != "")  printf(", \"rows_per_s\": %s", rowss)
     printf("}")
 }
 END { print "\n]" }

@@ -57,6 +57,8 @@ cat "$tmp"/w* | awk -v elapsed="$elapsed" '
 END {
     printf "requests: %d in %ss (%.1f req/s)\n", total, elapsed, total / elapsed
     for (c in code) printf "  status %s: %d\n", c, code[c]
+    if (n200 > 0)
+        printf "aggregate throughput: %.1f rows/s (%d served predictions)\n", n200 / elapsed, n200
     if (n200 > 0) {
         # insertion sort: n is small enough
         for (i = 1; i < n200; i++) {

@@ -15,21 +15,26 @@ import (
 
 var (
 	serveBenchOnce sync.Once
-	serveBenchSrv  *serve.Server
+	serveBenchPath string
 	serveBenchReqs []*serve.PredictRequest
 	serveBenchErr  error
 )
 
-// serveBenchServer builds the serving registry from the bench pipeline
-// (one model per study edge + global fallback), boots a daemon on it, and
-// prepares one request per row of the busiest edge — the same rows
-// BenchmarkPredictAll scores, so the two benchmarks compare the full
-// queue+batch serving path against raw forest inference directly.
-func serveBenchServer(b *testing.B) (*serve.Server, []*serve.PredictRequest) {
+// serveBenchRegistry builds the serving registry from the bench pipeline
+// (one model per study edge + global fallback) exactly once and writes it
+// to a registry file. Models are histogram-trained with the CLI's default
+// 256 bins — the production configuration — so they carry code-space
+// forests and the serve benchmarks measure the quantized path a deployed
+// daemon runs. Also prepares one request per row of the busiest edge —
+// the same rows BenchmarkPredictAll scores, so the serving benchmarks
+// compare against raw forest inference directly.
+func serveBenchRegistry(b *testing.B) (string, []*serve.PredictRequest) {
 	b.Helper()
-	pl, edges := benchPipeline(b)
 	serveBenchOnce.Do(func() {
-		reg, err := serve.Build(context.Background(), pl, edges)
+		pl, edges := benchPipeline(b)
+		plb := *pl
+		plb.GBTBins = 256
+		reg, err := serve.Build(context.Background(), &plb, edges)
 		if err != nil {
 			serveBenchErr = err
 			return
@@ -39,25 +44,17 @@ func serveBenchServer(b *testing.B) (*serve.Server, []*serve.PredictRequest) {
 			serveBenchErr = err
 			return
 		}
-		dir := b.TempDir()
-		path := filepath.Join(dir, "registry.json")
-		if serveBenchErr = os.WriteFile(path, buf.Bytes(), 0o644); serveBenchErr != nil {
-			return
-		}
-		srv, err := serve.New(serve.Config{
-			RegistryPath:   path,
-			QueueDepth:     4096,
-			QueueTimeout:   time.Minute,
-			RequestTimeout: time.Minute,
-			WatchInterval:  -1,
-			Logf:           func(string, ...any) {},
-		})
+		// Not b.TempDir(): that is torn down when the FIRST benchmark
+		// finishes, and later benchmarks boot fresh servers off this path.
+		dir, err := os.MkdirTemp("", "wanperf-serve-bench-*")
 		if err != nil {
 			serveBenchErr = err
 			return
 		}
-		srv.Start()
-		serveBenchSrv = srv
+		serveBenchPath = filepath.Join(dir, "registry.json")
+		if serveBenchErr = os.WriteFile(serveBenchPath, buf.Bytes(), 0o644); serveBenchErr != nil {
+			return
+		}
 
 		edge := edges[0]
 		for _, v := range pl.VectorsAt(edge.Qualifying) {
@@ -76,18 +73,91 @@ func serveBenchServer(b *testing.B) (*serve.Server, []*serve.PredictRequest) {
 	if serveBenchErr != nil {
 		b.Fatal(serveBenchErr)
 	}
-	return serveBenchSrv, serveBenchReqs
+	return serveBenchPath, serveBenchReqs
 }
 
+// serveBenchServer boots a fresh daemon on the shared registry file. A
+// new server per benchmark (not a cached one) matters for the -cpu
+// matrix: the batcher count defaults to GOMAXPROCS, which the harness
+// varies per -cpu run, so a server cached at the first run's width would
+// silently pin every later run to it.
+func serveBenchServer(b *testing.B, mod func(*serve.Config)) (*serve.Server, []*serve.PredictRequest) {
+	b.Helper()
+	path, reqs := serveBenchRegistry(b)
+	cfg := serve.Config{
+		RegistryPath:   path,
+		QueueDepth:     4096,
+		QueueTimeout:   time.Minute,
+		RequestTimeout: time.Minute,
+		WatchInterval:  -1,
+		Logf:           func(string, ...any) {},
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	srv, err := serve.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv.Start()
+	b.Cleanup(func() { _ = srv.Drain() })
+	return srv, reqs
+}
+
+// serveBenchBatch vectorizes (and optionally quantizes) the first `batch`
+// requests against the registry, returning the edge model and both row
+// representations.
+const serveBenchBatchRows = 64
+
 // BenchmarkServeBatchInference measures the exact inference call the
-// daemon's batcher issues — PredictBatch on a coalesced batch of rows
-// through the registry's edge model — reported per row. Compare against
-// BenchmarkPredictAll's ns/op divided by its row count: batching at the
-// daemon's batch size must stay within ~20% of raw full-matrix inference,
-// i.e. coalescing recovers batch efficiency.
+// daemon's batcher issues in steady state — PredictCodes on a coalesced
+// batch of admission-quantized rows through the registry's edge model —
+// reported per row and in rows/sec. This is the quantized engine's
+// headline number; BenchmarkServeBatchInferenceFloat is the float
+// traversal of the same model on the same rows, and the committed
+// bench/BENCH_pre-codespace artifact is the pre-engine baseline.
 func BenchmarkServeBatchInference(b *testing.B) {
-	srv, reqs := serveBenchServer(b)
-	const batch = 64
+	srv, reqs := serveBenchServer(b, nil)
+	const batch = serveBenchBatchRows
+	if len(reqs) < batch {
+		b.Fatalf("only %d rows", len(reqs))
+	}
+	reg := srv.Registry()
+	m, _ := reg.Lookup(reqs[0].Src, reqs[0].Dst)
+	if !m.CodeSpace() {
+		b.Fatal("bench registry model has no code-space forest")
+	}
+	cxs := make([][]uint8, batch)
+	x := make([]float64, len(reg.Features))
+	for i := 0; i < batch; i++ {
+		if err := reg.Vectorize(reqs[i].Features, x); err != nil {
+			b.Fatal(err)
+		}
+		cxs[i] = make([]uint8, len(reg.Features))
+		if err := m.QuantizeRow(x, cxs[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	out := make([]float64, batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.PredictCodes(cxs, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rows := float64(b.N * batch)
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/rows, "ns/row")
+	b.ReportMetric(rows/b.Elapsed().Seconds(), "rows/s")
+}
+
+// BenchmarkServeBatchInferenceFloat is the same coalesced batch through
+// the float SoA traversal (PredictBatch) — the in-tree A/B partner for
+// BenchmarkServeBatchInference, isolating the code-space speedup from
+// model or data drift between bench runs.
+func BenchmarkServeBatchInferenceFloat(b *testing.B) {
+	srv, reqs := serveBenchServer(b, nil)
+	const batch = serveBenchBatchRows
 	if len(reqs) < batch {
 		b.Fatalf("only %d rows", len(reqs))
 	}
@@ -95,11 +165,10 @@ func BenchmarkServeBatchInference(b *testing.B) {
 	m, _ := reg.Lookup(reqs[0].Src, reqs[0].Dst)
 	xs := make([][]float64, batch)
 	for i := 0; i < batch; i++ {
-		x := make([]float64, len(reg.Features))
-		if err := reg.Vectorize(reqs[i].Features, x); err != nil {
+		xs[i] = make([]float64, len(reg.Features))
+		if err := reg.Vectorize(reqs[i].Features, xs[i]); err != nil {
 			b.Fatal(err)
 		}
-		xs[i] = x
 	}
 	out := make([]float64, batch)
 	b.ReportAllocs()
@@ -109,18 +178,44 @@ func BenchmarkServeBatchInference(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/row")
+	rows := float64(b.N * batch)
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/rows, "ns/row")
+	b.ReportMetric(rows/b.Elapsed().Seconds(), "rows/s")
+}
+
+// BenchmarkQuantizeRow measures the admission-side half of the code
+// path: one request row quantized to uint8 codes against the model's cut
+// points. This cost is paid once per request, then every tree level of
+// every tree reads codes instead of floats.
+func BenchmarkQuantizeRow(b *testing.B) {
+	srv, reqs := serveBenchServer(b, nil)
+	reg := srv.Registry()
+	m, _ := reg.Lookup(reqs[0].Src, reqs[0].Dst)
+	x := make([]float64, len(reg.Features))
+	if err := reg.Vectorize(reqs[0].Features, x); err != nil {
+		b.Fatal(err)
+	}
+	dst := make([]uint8, len(reg.Features))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.QuantizeRow(x, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkServePredict measures per-prediction throughput through the
-// daemon's full serving path — admission queue, batcher coalescing, and
-// grouped PredictBatch on the flat SoA forest — under concurrent clients,
-// so batches actually fill. ns/op here is the end-to-end cost of one
-// served prediction: batched inference (see BenchmarkServeBatchInference)
-// plus admission (feature-map vectorization) and the cross-goroutine
-// queue handoff.
+// daemon's full serving path — admission (vectorize + quantize), the
+// bounded queue, batcher coalescing, and grouped code-space inference —
+// under concurrent clients, so batches actually fill. ns/op is the
+// end-to-end cost of one served prediction; rows/s is the aggregate
+// serving throughput, the number the ROADMAP's millions-per-second goal
+// is scored against. Run with -cpu 1,4,8 (scripts/bench.sh does): the
+// batcher count follows GOMAXPROCS, so the matrix shows multi-batcher
+// scaling directly.
 func BenchmarkServePredict(b *testing.B) {
-	srv, reqs := serveBenchServer(b)
+	srv, reqs := serveBenchServer(b, nil)
 	ctx := context.Background()
 	b.ReportAllocs()
 	// Enough concurrent clients per core that the batchers coalesce real
@@ -138,4 +233,26 @@ func BenchmarkServePredict(b *testing.B) {
 			}
 		}
 	})
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+}
+
+// BenchmarkServePredictFloat is BenchmarkServePredict with code-space
+// inference disabled — the aggregate-throughput A/B partner.
+func BenchmarkServePredictFloat(b *testing.B) {
+	srv, reqs := serveBenchServer(b, func(c *serve.Config) { c.DisableCodeSpace = true })
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.SetParallelism(64)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			req := reqs[i%len(reqs)]
+			i++
+			if _, err := srv.PredictSync(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rows/s")
 }
