@@ -328,6 +328,7 @@ type options struct {
 	queueDepth     int
 	batchMax       int
 	batchers       int
+	maxBatchRows   int
 	noCodeSpace    bool
 	queueTimeout   time.Duration
 	requestTimeout time.Duration
@@ -371,6 +372,7 @@ func parseArgs(args []string) (cmd string, cfg simulate.Config, opts options, er
 	queueDepth := fs.Int("queue", 0, "serve: admission-queue depth (0 = default)")
 	batchMax := fs.Int("batch", 0, "serve: max rows per inference batch (0 = default)")
 	batchers := fs.Int("batchers", 0, "serve: parallel batcher goroutines (0 = GOMAXPROCS)")
+	maxBatchRows := fs.Int("max-batch-rows", 0, "serve: max rows per /predict/batch request (0 = default)")
 	noCodeSpace := fs.Bool("no-codespace", false, "serve: disable quantized (uint8 code-space) inference")
 	queueTimeout := fs.Duration("queue-timeout", 0, "serve: max queue wait before shedding (0 = default)")
 	requestTimeout := fs.Duration("request-timeout", 0, "serve: end-to-end request deadline (0 = default)")
@@ -414,6 +416,7 @@ func parseArgs(args []string) (cmd string, cfg simulate.Config, opts options, er
 	opts.queueDepth = *queueDepth
 	opts.batchMax = *batchMax
 	opts.batchers = *batchers
+	opts.maxBatchRows = *maxBatchRows
 	opts.noCodeSpace = *noCodeSpace
 	opts.queueTimeout = *queueTimeout
 	opts.requestTimeout = *requestTimeout
@@ -708,6 +711,7 @@ func cmdServe(c cmdContext) error {
 		QueueDepth:     c.opts.queueDepth,
 		BatchMax:       c.opts.batchMax,
 		Batchers:       c.opts.batchers,
+		MaxBatchRows:   c.opts.maxBatchRows,
 		QueueTimeout:   c.opts.queueTimeout,
 		RequestTimeout: c.opts.requestTimeout,
 		DrainTimeout:   c.opts.drainTimeout,

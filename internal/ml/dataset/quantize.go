@@ -27,6 +27,77 @@ const linearCuts = 16
 // request through one.
 type Quantizer struct {
 	cuts [][]float64
+	grid []qgrid // per-feature accel tables; nil unless Accelerate was called
+}
+
+// qgrid is a uniform-grid acceleration table over one feature's cut
+// array. A value's bucket index is one multiply away, and base[bucket]
+// is a starting code from which a short local scan lands on the exact
+// lower bound — replacing the binary search whose data-dependent
+// branches mispredict on every varied input. The table is advisory:
+// code() corrects the starting guess in both directions, so results are
+// exact regardless of floating-point rounding in the bucket math.
+type qgrid struct {
+	lo   float64
+	invw float64 // buckets per unit of value: len(base)/(hi-lo)
+	base []uint8 // conservative starting code per bucket
+}
+
+// qgridBuckets is the accel table width per feature. 256 buckets for at
+// most 255 cuts keeps the average scan under two comparisons while the
+// table (256 B/feature) stays inside L1 alongside the cuts.
+const qgridBuckets = 256
+
+// Accelerate builds the uniform-grid tables and returns q. Worth the
+// one-time cost when the quantizer is long-lived and hot (the serve
+// admission path); throwaway quantizers should skip it. Codes are
+// identical with and without acceleration.
+func (q *Quantizer) Accelerate() *Quantizer {
+	if q.grid != nil {
+		return q
+	}
+	grid := make([]qgrid, len(q.cuts))
+	for f, cuts := range q.cuts {
+		if len(cuts) <= linearCuts {
+			continue // the forward scan is already cheap and predictable
+		}
+		lo, hi := cuts[0], cuts[len(cuts)-1]
+		w := (hi - lo) / qgridBuckets
+		if !(w > 0) || math.IsInf(w, 0) {
+			continue // degenerate span; keep binary search
+		}
+		g := qgrid{lo: lo, invw: 1 / w, base: make([]uint8, qgridBuckets)}
+		for i := range g.base {
+			g.base[i] = uint8(codeOf(cuts, lo+float64(i)*w))
+		}
+		grid[f] = g
+	}
+	q.grid = grid
+	return q
+}
+
+// code returns codeOf(cuts, v) via the accel table.
+func (g *qgrid) code(cuts []float64, v float64) uint8 {
+	if v <= cuts[0] {
+		return 0
+	}
+	if v > cuts[len(cuts)-1] {
+		return uint8(len(cuts))
+	}
+	i := int((v - g.lo) * g.invw)
+	if i >= len(g.base) {
+		i = len(g.base) - 1
+	}
+	b := int(g.base[i])
+	// Correct the starting guess to the exact lower bound. v is inside
+	// (cuts[0], cuts[last]], so both loops stay in range.
+	for v > cuts[b] {
+		b++
+	}
+	for b > 0 && v <= cuts[b-1] {
+		b--
+	}
+	return uint8(b)
 }
 
 // NewQuantizer wraps per-feature cut points (strictly increasing, as
@@ -58,7 +129,48 @@ func (q *Quantizer) Row(x []float64, dst []uint8) error {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
 			return fmt.Errorf("%w: feature %d is %v", ErrNonFinite, f, v)
 		}
-		dst[f] = uint8(codeOf(q.cuts[f], v))
+		if q.grid != nil && q.grid[f].base != nil {
+			dst[f] = q.grid[f].code(q.cuts[f], v)
+		} else {
+			dst[f] = uint8(codeOf(q.cuts[f], v))
+		}
+	}
+	return nil
+}
+
+// Slab quantizes many rows packed into one contiguous row-major slab:
+// x holds k rows of NumFeatures values each and dst receives the k rows
+// of codes at the same offsets. The loop runs column-major — one
+// feature's cut array stays hot while every row's value for it is coded
+// — which amortizes the cut loads and keeps the comparison branches on
+// one feature's distribution, measurably cheaper per value than k calls
+// to Row. Results are identical to Row on each row (pinned by
+// TestQuantizerSlabMatchesRow); NaN and ±Inf are refused with
+// ErrNonFinite naming the first offending row.
+func (q *Quantizer) Slab(x []float64, dst []uint8) error {
+	nf := len(q.cuts)
+	if nf == 0 || len(x) != len(dst) || len(x)%nf != 0 {
+		return fmt.Errorf("%w: slab of %d values, codes %d, want a multiple of %d", ErrShape, len(x), len(dst), nf)
+	}
+	for f, cuts := range q.cuts {
+		if q.grid != nil && q.grid[f].base != nil {
+			g := &q.grid[f]
+			for off := f; off < len(x); off += nf {
+				v := x[off]
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return fmt.Errorf("%w: row %d feature %d is %v", ErrNonFinite, off/nf, f, v)
+				}
+				dst[off] = g.code(cuts, v)
+			}
+			continue
+		}
+		for off := f; off < len(x); off += nf {
+			v := x[off]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("%w: row %d feature %d is %v", ErrNonFinite, off/nf, f, v)
+			}
+			dst[off] = uint8(codeOf(cuts, v))
+		}
 	}
 	return nil
 }

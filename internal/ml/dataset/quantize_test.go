@@ -126,3 +126,166 @@ func TestQuantizerRejectsShapeMismatch(t *testing.T) {
 		t.Errorf("short dst: got %v, want ErrShape", err)
 	}
 }
+
+// TestQuantizerSlabMatchesRow: the column-major slab kernel must write
+// exactly the codes Row writes for each packed row, across slab sizes
+// that cover empty, single-row, and multi-cache-line shapes, plus the
+// off-cut probe values the edge-value test pins for the scalar kernel.
+func TestQuantizerSlabMatchesRow(t *testing.T) {
+	d := randomDataset(t, 200, 4, 23)
+	b, err := Bin(d, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := b.Quantizer()
+	nf := q.NumFeatures()
+	rng := rand.New(rand.NewSource(37))
+	for _, k := range []int{0, 1, 2, 7, 64, 200} {
+		x := make([]float64, k*nf)
+		for i := range x {
+			// Half training-range values, half wide-range probes so
+			// slots land between bins and beyond the last cut.
+			if i%2 == 0 {
+				x[i] = d.X[rng.Intn(len(d.X))][i%nf]
+			} else {
+				x[i] = rng.Float64()*40 - 20
+			}
+		}
+		got := make([]uint8, len(x))
+		if err := q.Slab(x, got); err != nil {
+			t.Fatal(err)
+		}
+		want := make([]uint8, nf)
+		for r := 0; r < k; r++ {
+			if err := q.Row(x[r*nf:(r+1)*nf], want); err != nil {
+				t.Fatal(err)
+			}
+			for f := 0; f < nf; f++ {
+				if got[r*nf+f] != want[f] {
+					t.Fatalf("k=%d row %d feature %d: Slab code %d != Row code %d", k, r, f, got[r*nf+f], want[f])
+				}
+			}
+		}
+	}
+}
+
+// TestQuantizerAccelerateMatchesPlain: the uniform-grid accelerated
+// quantizer must be bit-identical to the plain binary-search quantizer
+// on Row, Slab, and the exact-cut boundary probes — across bin widths
+// spanning the linear-scan cutover and on values near, on, between, and
+// far outside the cuts. The grid is a speed structure only; any
+// disagreement is a correctness bug.
+func TestQuantizerAccelerateMatchesPlain(t *testing.T) {
+	for _, bins := range []int{4, 16, 17, 64, 256} {
+		d := randomDataset(t, 400, 5, int64(100+bins))
+		b, err := Bin(d, bins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain := NewQuantizer(b.Cuts)
+		accel := NewQuantizer(b.Cuts).Accelerate()
+		nf := plain.NumFeatures()
+		rng := rand.New(rand.NewSource(int64(bins)))
+
+		// Probe set: every cut, its neighbors in both float directions,
+		// training values, and wide-range randoms.
+		var probes []float64
+		for _, cuts := range b.Cuts {
+			for _, c := range cuts {
+				probes = append(probes, c,
+					math.Nextafter(c, math.Inf(-1)), math.Nextafter(c, math.Inf(1)))
+			}
+		}
+		for i := 0; i < 300; i++ {
+			probes = append(probes, rng.Float64()*60-30)
+		}
+		probes = append(probes, -1e300, 1e300, 0)
+
+		row := make([]float64, nf)
+		gp := make([]uint8, nf)
+		ga := make([]uint8, nf)
+		for i, p := range probes {
+			for f := range row {
+				row[f] = probes[(i+f)%len(probes)]
+			}
+			row[i%nf] = p
+			if err := plain.Row(row, gp); err != nil {
+				t.Fatal(err)
+			}
+			if err := accel.Row(row, ga); err != nil {
+				t.Fatal(err)
+			}
+			for f := range gp {
+				if gp[f] != ga[f] {
+					t.Fatalf("bins=%d feature %d value %v: plain %d, accelerated %d", bins, f, row[f], gp[f], ga[f])
+				}
+			}
+		}
+
+		// Slab agreement on a packed block of training + probe rows.
+		k := 97
+		x := make([]float64, k*nf)
+		for i := range x {
+			if i%3 == 0 {
+				x[i] = probes[rng.Intn(len(probes))]
+			} else {
+				x[i] = d.X[rng.Intn(len(d.X))][i%nf]
+			}
+		}
+		sp := make([]uint8, len(x))
+		sa := make([]uint8, len(x))
+		if err := plain.Slab(x, sp); err != nil {
+			t.Fatal(err)
+		}
+		if err := accel.Slab(x, sa); err != nil {
+			t.Fatal(err)
+		}
+		for i := range sp {
+			if sp[i] != sa[i] {
+				t.Fatalf("bins=%d slab offset %d value %v: plain %d, accelerated %d", bins, i, x[i], sp[i], sa[i])
+			}
+		}
+	}
+}
+
+// TestQuantizerAccelerateDegenerate: single-cut and zero-width-span cut
+// arrays must survive acceleration (the grid skips them) with unchanged
+// codes, and accelerated quantizers still refuse non-finite input.
+func TestQuantizerAccelerateDegenerate(t *testing.T) {
+	wide := make([]float64, linearCuts+4)
+	for i := range wide {
+		wide[i] = 5 // pathological: all cuts equal, zero span
+	}
+	q := NewQuantizer([][]float64{{1}, wide}).Accelerate()
+	dst := make([]uint8, 2)
+	if err := q.Row([]float64{0.5, 4}, dst); err != nil || dst[0] != 0 || dst[1] != 0 {
+		t.Fatalf("degenerate row: codes %v err %v", dst, err)
+	}
+	if err := q.Row([]float64{2, 6}, dst); err != nil || dst[0] != 1 || dst[1] != uint8(len(wide)) {
+		t.Fatalf("degenerate above-cut row: codes %v err %v", dst, err)
+	}
+	if err := q.Row([]float64{math.NaN(), 0}, dst); !errors.Is(err, ErrNonFinite) {
+		t.Fatalf("accelerated NaN: %v, want ErrNonFinite", err)
+	}
+}
+
+// TestQuantizerSlabRejectsBadInput: shape and non-finite validation on
+// the slab path, mirroring the Row contract.
+func TestQuantizerSlabRejectsBadInput(t *testing.T) {
+	q := NewQuantizer([][]float64{{0}, {1}})
+	if err := q.Slab(make([]float64, 3), make([]uint8, 3)); !errors.Is(err, ErrShape) {
+		t.Errorf("ragged slab: got %v, want ErrShape", err)
+	}
+	if err := q.Slab(make([]float64, 4), make([]uint8, 2)); !errors.Is(err, ErrShape) {
+		t.Errorf("short dst: got %v, want ErrShape", err)
+	}
+	var empty Quantizer
+	if err := empty.Slab(nil, nil); !errors.Is(err, ErrShape) {
+		t.Errorf("no features: got %v, want ErrShape", err)
+	}
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if err := q.Slab([]float64{0, 0, 0, bad}, make([]uint8, 4)); !errors.Is(err, ErrNonFinite) {
+			t.Errorf("slab with %v: got %v, want ErrNonFinite", bad, err)
+		}
+	}
+}

@@ -252,6 +252,27 @@ func (c *cforest) predictRows(rows [][]uint8, out []float64, base float64) {
 	}
 }
 
+// predictDense is predictRows for rows already packed into one
+// contiguous row-major slab (row r's codes at cb[r*nf : (r+1)*nf]): the
+// walker reads the caller's slab in place, so the per-row gather copy —
+// and the per-row slice-header traffic of [][]uint8 — disappears from
+// the hot path. This is the serve front door's steady-state entry: the
+// admission codec quantizes straight into a job's code slab and the
+// batcher hands the slab here untouched.
+func (c *cforest) predictDense(cb []uint8, out []float64, base float64) {
+	nf := c.nf
+	var acc [codeBlock]float64
+	for lo := 0; lo < len(out); lo += codeBlock {
+		hi := min(lo+codeBlock, len(out))
+		n := hi - lo
+		for r := 0; r < n; r++ {
+			acc[r] = base
+		}
+		c.walkBlock(cb[lo*nf:hi*nf], n, acc[:n])
+		copy(out[lo:hi], acc[:n])
+	}
+}
+
 // predictCols is predictRows for column-major code storage (a Binned's
 // Codes columns): the block gather transposes on the fly.
 func (c *cforest) predictCols(cols [][]uint8, first int, out []float64, base float64) {
@@ -287,12 +308,15 @@ func (m *Model) CodeSpace() bool { return m.code != nil }
 
 // Quantizer returns a row quantizer over the model's stored cut points,
 // or nil for exact-trained models. The quantizer is the admission-side
-// half of the code path: quantize once, predict many.
+// half of the code path: quantize once, predict many. Built once per
+// model with the uniform-grid acceleration tables (the model serves for
+// its lifetime, so the table build amortizes to nothing) and shared by
+// every caller — Quantizer is immutable and concurrency-safe.
 func (m *Model) Quantizer() *dataset.Quantizer {
 	if len(m.cuts) == 0 {
 		return nil
 	}
-	return dataset.NewQuantizer(m.cuts)
+	return m.rowQuantizer()
 }
 
 // QuantizeRow fills dst with the bin codes of the raw feature vector x
@@ -302,7 +326,28 @@ func (m *Model) QuantizeRow(x []float64, dst []uint8) error {
 	if m.code == nil {
 		return ErrNoCodeSpace
 	}
-	return dataset.NewQuantizer(m.cuts).Row(x, dst)
+	return m.rowQuantizer().Row(x, dst)
+}
+
+// rowQuantizer returns the shared accelerated quantizer, falling back to
+// a plain one for models whose construction path predates the cache.
+func (m *Model) rowQuantizer() *dataset.Quantizer {
+	if m.quant != nil {
+		return m.quant
+	}
+	return dataset.NewQuantizer(m.cuts)
+}
+
+// QuantizeSlab fills dst with the bin codes of k rows packed row-major
+// into x (both k*len(Names) long), suitable for PredictCodesDense — the
+// batch twin of QuantizeRow, column-major so one feature's cuts stay hot
+// across all rows. Returns ErrNoCodeSpace when the model has no code
+// forest.
+func (m *Model) QuantizeSlab(x []float64, dst []uint8) error {
+	if m.code == nil {
+		return ErrNoCodeSpace
+	}
+	return m.rowQuantizer().Slab(x, dst)
 }
 
 // PredictCodes fills out[i] with the prediction for the pre-quantized
@@ -341,6 +386,44 @@ func (m *Model) PredictCodes(codes [][]uint8, out []float64) error {
 		})
 	} else {
 		m.code.predictRows(codes, out, m.Base)
+	}
+	return nil
+}
+
+// PredictCodesDense is PredictCodes for rows packed into one contiguous
+// row-major slab: codes holds len(out) rows of exactly len(Names) bytes
+// each (row i at codes[i*len(Names) : (i+1)*len(Names)]), as produced by
+// dataset.Quantizer.Slab. The walker reads the slab in place — no
+// per-row gather copy, no slice-of-slices indirection — which is why the
+// serve batcher's zero-alloc hot path stores admitted codes this way.
+// Results are bit-identical to PredictCodes on the same rows (pinned by
+// TestPredictCodesDenseMatchesRows). Large slabs fan out on the worker
+// pool exactly like PredictCodes.
+func (m *Model) PredictCodesDense(codes []uint8, out []float64) error {
+	if len(m.trees) == 0 {
+		return ErrNotTrained
+	}
+	if m.code == nil {
+		return ErrNoCodeSpace
+	}
+	nf := len(m.Names)
+	n := len(out)
+	if len(codes) != n*nf {
+		return fmt.Errorf("gbt: code slab has %d bytes for %d rows of %d features", len(codes), n, nf)
+	}
+	workers := m.params.Workers
+	if workers <= 0 {
+		workers = pool.Workers()
+	}
+	batches := (n + predictBatch - 1) / predictBatch
+	if workers > 1 && batches > 1 {
+		pool.Do(batches, workers, func(bi int) {
+			lo := bi * predictBatch
+			hi := min(lo+predictBatch, n)
+			m.code.predictDense(codes[lo*nf:hi*nf], out[lo:hi], m.Base)
+		})
+	} else {
+		m.code.predictDense(codes, out, m.Base)
 	}
 	return nil
 }

@@ -313,6 +313,98 @@ func TestPredictCodesValidation(t *testing.T) {
 	}
 }
 
+// TestPredictCodesDenseMatchesRows: the in-place slab walker must write
+// the same bits as PredictCodes on slice-of-slices rows, and QuantizeSlab
+// the same codes as per-row QuantizeRow, across slab sizes straddling the
+// codeBlock boundary and through the pool fan-out threshold.
+func TestPredictCodesDenseMatchesRows(t *testing.T) {
+	const p = 5
+	d := makeDataset(t, 600, 71, func(x []float64) float64 { return x[0]*x[1] - x[3] }, 0.3, p)
+	bd, err := dataset.Bin(d, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := histParams(64)
+	pr.Rounds = 15
+	pr.Workers = 4
+	m, err := TrainBinned(bd, nil, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(72))
+	for _, n := range []int{1, 63, 64, 65, 256, 300, 600} {
+		rows := make([][]float64, n)
+		slab := make([]float64, n*p)
+		for i := range rows {
+			row := slab[i*p : (i+1)*p]
+			for j := range row {
+				row[j] = rng.Float64()*30 - 15
+			}
+			rows[i] = row
+		}
+		codes := quantizeRows(t, m, rows)
+		dense := make([]uint8, n*p)
+		if err := m.QuantizeSlab(slab, dense); err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range codes {
+			for f, c := range r {
+				if dense[i*p+f] != c {
+					t.Fatalf("n=%d row %d feature %d: QuantizeSlab code %d != QuantizeRow %d", n, i, f, dense[i*p+f], c)
+				}
+			}
+		}
+		want := make([]float64, n)
+		if err := m.PredictCodes(codes, want); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]float64, n)
+		if err := m.PredictCodesDense(dense, got); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d row %d: PredictCodesDense %v != PredictCodes %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestPredictCodesDenseValidation pins the dense entry point's error
+// contract: mis-sized slabs, float-trained models, and untrained models
+// are refused before any walk.
+func TestPredictCodesDenseValidation(t *testing.T) {
+	d := makeDataset(t, 100, 73, func(x []float64) float64 { return x[0] }, 0.1, 2)
+	m, err := Train(d, histParams(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.PredictCodesDense(make([]uint8, 3), make([]float64, 2)); err == nil {
+		t.Error("ragged slab accepted")
+	}
+	if err := m.QuantizeSlab(make([]float64, 3), make([]uint8, 3)); err != nil && !errors.Is(err, dataset.ErrShape) {
+		t.Errorf("ragged quantize slab: got %v, want ErrShape", err)
+	}
+	exact := makeDataset(t, 80, 74, func(x []float64) float64 { return x[0] }, 0.1, 2)
+	me, err := Train(exact, Params{Rounds: 3, LearningRate: 0.3, MaxDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if me.CodeSpace() {
+		t.Fatal("exact-trained model unexpectedly has a code forest")
+	}
+	if err := me.PredictCodesDense(make([]uint8, 2), make([]float64, 1)); !errors.Is(err, ErrNoCodeSpace) {
+		t.Errorf("float model: got %v, want ErrNoCodeSpace", err)
+	}
+	if err := me.QuantizeSlab(make([]float64, 2), make([]uint8, 2)); !errors.Is(err, ErrNoCodeSpace) {
+		t.Errorf("float model quantize: got %v, want ErrNoCodeSpace", err)
+	}
+	var empty Model
+	if err := empty.PredictCodesDense(nil, nil); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("untrained: got %v, want ErrNotTrained", err)
+	}
+}
+
 // TestCodeSpaceParallelMatchesSerial: the pool fan-out writes the same
 // bits as the single-worker walk, for both batch entry points.
 func TestCodeSpaceParallelMatchesSerial(t *testing.T) {

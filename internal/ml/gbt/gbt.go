@@ -174,6 +174,19 @@ type Model struct {
 	// the trainer derived. Zero/nil for exact-trained models.
 	bins int
 	cuts [][]float64
+
+	// Accelerated row quantizer over cuts, built once wherever cuts are
+	// set (training, deserialization) so every admission-path caller
+	// shares the grid tables. Derived state, not persisted.
+	quant *dataset.Quantizer
+}
+
+// buildQuantizer derives the shared accelerated quantizer from m.cuts.
+// Called once per model right after cuts are assigned.
+func (m *Model) buildQuantizer() {
+	if len(m.cuts) > 0 {
+		m.quant = dataset.NewQuantizer(m.cuts).Accelerate()
+	}
 }
 
 // Bins reports the quantization level the model was trained with

@@ -112,6 +112,7 @@ func trainHistFrom(bd *dataset.Binned, codes [][]uint8, y []float64, p Params, p
 		bins:   binsOf(bd),
 		cuts:   bd.Cuts,
 	}
+	m.buildQuantizer()
 	grad := make([]float64, n)
 	hess := make([]float64, n)
 

@@ -135,6 +135,7 @@ func fromJSON(jm *jsonModel) (*Model, error) {
 		return nil, fmt.Errorf("%w: %d cut-point columns for %d features", ErrBadModel, len(jm.Cuts), len(jm.Names))
 	}
 	m := &Model{Base: jm.Base, Names: jm.Names, bins: jm.Bins, cuts: jm.Cuts}
+	m.buildQuantizer()
 	for ti, flat := range jm.Trees {
 		t, err := unflatten(flat, len(jm.Names))
 		if err != nil {

@@ -8,318 +8,405 @@ import (
 	"repro/internal/ml/gbt"
 )
 
-// pendingPool recycles pending slots (and their reply channels) across
-// requests. A pending is returned to the pool only by the consumer that
-// received its result — an abandoned request (deadline, drain) is left to
-// the garbage collector, because the batcher may still be about to reply
-// into it.
-var pendingPool = sync.Pool{
-	New: func() any { return &pending{resp: make(chan result, 1)} },
+// The handoff machinery behind the front door. One admitted unit of work
+// is a job — n rows sharing an admission snapshot, an enqueue timestamp,
+// and ONE completion notification, whether it came from /predict (n=1),
+// /predict/batch, or PredictBatchSync. Jobs are sync.Pool-recycled
+// completion slots: the waiter checks one out, fills the row slabs, and
+// hands it to a per-batcher admission shard; the batcher that drains the
+// shard coalesces jobs up to BatchMax rows, runs ONE inference over the
+// gathered rows, publishes every result, and wakes each job with a
+// single channel send — one wake per job per drained batch, never one
+// per row. The waiter alone recycles the job (an abandoned job — client
+// deadline, drain hard-stop — is left to the GC, because the batcher may
+// still be writing into it).
+
+// job is one admitted unit of work.
+type job struct {
+	n  int       // rows
+	x  []float64 // n*nf row-major slab, vectorized against areg's layout
+	cx []uint8   // n*nf bin codes when qm != nil
+
+	// qm is the code-space model cx was quantized against — non-nil only
+	// when every row resolved to that one model at admission (the
+	// all-or-nothing code-admission rule). A reload between admission and
+	// batching invalidates it exactly like it invalidates x (see
+	// refreshJob).
+	qm *gbt.Model
+
+	srcs, dsts []string
+	areg       *Registry // admission snapshot (layout + generation of x)
+	enq        time.Time
+
+	// Results, written by the batcher before the done send.
+	out      []float64    // per-row rate
+	ents     []*edgeEntry // per-row serving entry (label, latency key)
+	gen      int64
+	queueMS  float64
+	shed     bool // whole job shed on queue-wait timeout
+	err      error
+	notified bool // batcher-local: done send already issued
+
+	done chan struct{} // buffered(1); the batcher notifies exactly once
 }
 
-// newPending checks a pending out of the pool, vectorizing the request
-// against snap and — when the code path is on — quantizing it against
-// the model that will serve it. Returns an error for unknown feature
-// names.
-func (s *Server) newPending(snap *Registry, req *PredictRequest) (*pending, error) {
-	p := pendingPool.Get().(*pending)
-	p.req = req
-	if cap(p.x) >= len(snap.Features) {
-		p.x = p.x[:len(snap.Features)]
-	} else {
-		p.x = make([]float64, len(snap.Features))
-	}
-	if err := snap.Vectorize(req.Features, p.x); err != nil {
-		pendingPool.Put(p)
-		return nil, err
-	}
-	p.vgen = snap.Generation
-	p.qm = nil
-	if !s.cfg.DisableCodeSpace {
-		m, _ := snap.Lookup(req.Src, req.Dst)
-		quantizePending(p, m, snap.Generation)
-	}
-	p.enq = time.Now()
-	return p, nil
+var jobPool = sync.Pool{
+	New: func() any { return &job{done: make(chan struct{}, 1)} },
 }
 
-// quantizePending fills p.cx with p.x quantized against m's cut points
-// and stamps the (model, generation) pair the codes are valid for. A
-// model without a code forest — or a row the quantizer refuses — leaves
-// p.qm nil and the request on the float path; the code path is an
-// optimization, never a requirement.
-func quantizePending(p *pending, m *gbt.Model, gen int64) {
-	p.qm = nil
-	if m == nil || !m.CodeSpace() {
-		return
+// grow returns s resized to n, reusing its backing array when it fits.
+func grow[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
 	}
-	nf := len(m.Names)
-	if cap(p.cx) >= nf {
-		p.cx = p.cx[:nf]
-	} else {
-		p.cx = make([]uint8, nf)
-	}
-	if m.QuantizeRow(p.x, p.cx) != nil {
-		return
-	}
-	p.qm, p.qgen = m, gen
+	return make([]T, n)
 }
 
-// recycle returns a pending whose result has been consumed.
-func (p *pending) recycle() {
-	p.req = nil
-	p.qm = nil
-	pendingPool.Put(p)
+// newJob checks a job for n rows of nf features out of the pool.
+func newJob(n, nf int) *job {
+	j := jobPool.Get().(*job)
+	j.n = n
+	j.x = grow(j.x, n*nf)
+	j.cx = grow(j.cx, n*nf)
+	j.out = grow(j.out, n)
+	j.srcs = grow(j.srcs, n)
+	j.dsts = grow(j.dsts, n)
+	j.ents = grow(j.ents, n)
+	j.qm = nil
+	j.shed, j.err, j.notified = false, nil, false
+	return j
 }
 
-// batchScratch is one batcher's reusable working storage, so a steady
-// request flow batches with zero per-batch allocation.
-type batchScratch struct {
-	batch    []*pending
-	models   []*gbt.Model
-	labels   []string
-	answered []bool
-	xs       [][]float64
-	cxs      [][]uint8
-	out      []float64
-}
-
-// batcherLoop pulls admitted requests off the queue and coalesces them
-// into batches. The first item of a batch is taken blocking; the rest are
-// whatever is already queued, up to BatchMax — under load batches fill to
-// capacity and amortize inference across the flat SoA forest, while an
-// idle daemon answers a lone request immediately instead of waiting for
-// company.
-func (s *Server) batcherLoop() {
-	sc := &batchScratch{
-		batch:    make([]*pending, 0, s.cfg.BatchMax),
-		models:   make([]*gbt.Model, s.cfg.BatchMax),
-		labels:   make([]string, s.cfg.BatchMax),
-		answered: make([]bool, s.cfg.BatchMax),
-		xs:       make([][]float64, 0, s.cfg.BatchMax),
-		cxs:      make([][]uint8, 0, s.cfg.BatchMax),
-		out:      make([]float64, s.cfg.BatchMax),
+// free recycles a job whose result has been consumed (or that was never
+// enqueued). Registry-retaining fields are cleared so a pooled job does
+// not pin an old generation's models in memory.
+func (j *job) free() {
+	j.areg, j.qm = nil, nil
+	for i := range j.ents {
+		j.ents[i] = nil
 	}
+	jobPool.Put(j)
+}
+
+// notify publishes the job's results to its waiter.
+func (j *job) notify() {
+	j.notified = true
+	j.done <- struct{}{}
+}
+
+// quantizeJob resolves each row's serving model against the admission
+// snapshot and, when every row lands on the same code-space model,
+// quantizes the whole slab column-major in one pass. Mixed-model jobs
+// (and models without a code forest) ride the float path — bit-identical
+// by construction, so this is purely a speed decision.
+func (s *Server) quantizeJob(j *job, snap *Registry) {
+	j.areg = snap
+	single := true
+	var first *edgeEntry
+	// Memoize the previous row's (src, dst): batch rows overwhelmingly
+	// share an edge, and with interned labels the equality checks are
+	// pointer comparisons — two map hits become two pointer tests.
+	var psrc, pdst string
+	var pent *edgeEntry
+	for r := 0; r < j.n; r++ {
+		e := pent
+		if e == nil || j.srcs[r] != psrc || j.dsts[r] != pdst {
+			e = snap.lookupEntry(j.srcs[r], j.dsts[r])
+			psrc, pdst, pent = j.srcs[r], j.dsts[r], e
+		}
+		j.ents[r] = e
+		if first == nil {
+			first = e
+		} else if e.m != first.m {
+			single = false
+		}
+	}
+	j.qm = nil
+	if single && !s.cfg.DisableCodeSpace && first.m.CodeSpace() {
+		k := j.n * len(snap.Features)
+		if first.m.QuantizeSlab(j.x[:k], j.cx[:k]) == nil {
+			j.qm = first.m
+		}
+	}
+}
+
+// shardScratch is one batcher's reusable working storage, so a steady
+// flow of jobs batches with zero per-batch allocation.
+type shardScratch struct {
+	jobs []*job
+	xs   [][]float64 // gathered row views, float path
+	cx   []uint8     // gathered code slab, multi-job dense path
+	out  []float64
+	cm   []int     // refresh column remap
+	rx   []float64 // refresh slab
+}
+
+// batcherLoop drains one admission shard. The first job of a batch is
+// taken blocking; more are coalesced nonblocking until the gathered rows
+// reach BatchMax — under singleton load batches fill with many one-row
+// jobs and amortize inference, while an idle daemon answers a lone
+// request immediately instead of waiting for company.
+func (s *Server) batcherLoop(shard chan *job) {
+	sc := &shardScratch{jobs: make([]*job, 0, s.cfg.BatchMax)}
 	for {
-		var p *pending
+		var j *job
 		select {
 		case <-s.stop:
 			return
-		case p = <-s.queue:
+		case j = <-shard:
 		}
-		sc.batch = append(sc.batch[:0], p)
-		for len(sc.batch) < s.cfg.BatchMax {
+		sc.jobs = append(sc.jobs[:0], j)
+		rows := j.n
+		for rows < s.cfg.BatchMax {
 			select {
-			case q := <-s.queue:
-				sc.batch = append(sc.batch, q)
+			case q := <-shard:
+				sc.jobs = append(sc.jobs, q)
+				rows += q.n
 			default:
 				goto full
 			}
 		}
 	full:
-		s.mQueueDepth.Set(float64(len(s.queue)))
-		s.runBatch(sc)
+		s.mQueueDepth.Set(float64(s.queueLen()))
+		s.runJobs(sc)
 	}
 }
 
-// runBatch answers every request in the batch exactly once. The whole
-// batch runs against one registry snapshot taken here: a reload promoted
-// after this line is picked up by the next batch, and the old snapshot
-// stays valid (immutable, atomically swapped) for as long as this batch
-// needs it — the mechanism behind zero dropped requests across reloads.
+// runJobs answers every gathered job exactly once. The whole batch runs
+// against one registry snapshot taken here: a reload promoted after this
+// line is picked up by the next batch, and the old snapshot stays valid
+// (immutable, atomically swapped) for as long as this batch needs it —
+// the mechanism behind zero dropped requests across reloads.
 //
 // Panic isolation: a panicking model (or a pool.PanicError rethrown by
 // the parallel predictor) is recovered here and converted into an error
-// answer for the requests still unanswered; the batcher survives.
-func (s *Server) runBatch(sc *batchScratch) {
-	batch := sc.batch
-	answered := sc.answered[:len(batch)]
-	for i := range answered {
-		answered[i] = false
-	}
+// answer for the jobs not yet notified; the batcher survives.
+func (s *Server) runJobs(sc *shardScratch) {
+	jobs := sc.jobs
 	defer func() {
 		if v := recover(); v != nil {
 			s.cfg.Logf("serve: batch panic: %v", v)
-			for i, p := range batch {
-				if !answered[i] {
-					p.resp <- result{err: fmt.Errorf("batch panic: %v", v)}
+			for _, j := range jobs {
+				if !j.notified {
+					j.err = fmt.Errorf("batch panic: %v", v)
+					j.notify()
 				}
 			}
 		}
 	}()
 
 	snap := s.reg.Load()
+	nf := len(snap.Features)
 	now := time.Now()
 	s.mBatches.Inc()
-	s.mBatchSize.Observe(float64(len(batch)))
 
-	// Resolve each request: shed the stale, re-vectorize across reloads,
-	// look up the serving model.
-	for i, p := range batch {
-		wait := now.Sub(p.enq)
-		s.mQueueWait.Observe(float64(wait) / float64(time.Millisecond))
+	// Per-job admission bookkeeping: shed the stale, refresh jobs
+	// admitted under an older generation.
+	live := 0
+	liveJobs := 0
+	var lone *job
+	for _, j := range jobs {
+		j.gen = snap.Generation
+		wait := now.Sub(j.enq)
+		j.queueMS = float64(wait) / float64(time.Millisecond)
+		s.mQueueWait.Observe(j.queueMS)
 		if wait > s.cfg.QueueTimeout {
-			p.resp <- result{shed: true}
-			answered[i] = true
-			sc.models[i] = nil
+			j.shed = true
 			continue
 		}
-		// A reload between admission and batching may have changed the
-		// feature layout; re-vectorize leniently against this batch's
-		// snapshot (unknown names drop out rather than fail — the request
-		// was validated at admission).
-		if len(p.x) != len(snap.Features) {
-			p.x = make([]float64, len(snap.Features))
-			revectorize(snap, p)
-		} else if p.vgen != snap.Generation {
-			revectorize(snap, p)
+		if j.areg != snap {
+			s.refreshJob(sc, j, snap)
 		}
-		sc.models[i], sc.labels[i] = snap.Lookup(p.req.Src, p.req.Dst)
-		// Codes quantized at admission are valid only for the model and
-		// generation they were cut against; a reload (or an edge-model
-		// change between admission and batching) re-quantizes against
-		// this batch's snapshot — the code-space twin of revectorize.
-		if !s.cfg.DisableCodeSpace && (p.qm != sc.models[i] || p.qgen != snap.Generation) {
-			quantizePending(p, sc.models[i], snap.Generation)
-		}
+		live += j.n
+		liveJobs++
+		lone = j
 	}
-
-	// Fast path: every live request resolved to the same model (the
-	// common shape — one hot edge, or global fallback) is one PredictBatch
-	// with no grouping structures.
-	var first *gbt.Model
-	single := true
-	for i := range batch {
-		if answered[i] {
-			continue
-		}
-		if first == nil {
-			first = sc.models[i]
-		} else if sc.models[i] != first {
-			single = false
-			break
-		}
-	}
-	if first == nil {
-		return // everything shed
-	}
-	if single {
-		// Prefer the code-space walk: when every live row carries codes
-		// quantized against this batch's model, inference runs entirely
-		// in uint8 space (bit-identical to PredictBatch by construction).
-		// One row without codes — quantizer refusal, code space off —
-		// sends the whole batch down the float path; mixing would split
-		// the batch and cost more than the traversal saves.
-		codes := first.CodeSpace()
-		for i, p := range batch {
-			if !answered[i] && p.qm != first {
-				codes = false
-				break
-			}
-		}
-		var err error
-		out := sc.out
-		if codes {
-			cxs := sc.cxs[:0]
-			for i, p := range batch {
-				if !answered[i] {
-					cxs = append(cxs, p.cx)
-				}
-			}
-			out = out[:len(cxs)]
-			err = first.PredictCodes(cxs, out)
-		} else {
-			xs := sc.xs[:0]
-			for i, p := range batch {
-				if !answered[i] {
-					xs = append(xs, p.x)
-				}
-			}
-			out = out[:len(xs)]
-			err = first.PredictBatch(xs, out)
-		}
-		k := 0
-		for i, p := range batch {
-			if answered[i] {
-				continue
-			}
-			s.reply(p, snap, sc.labels[i], out[k], err, now)
-			answered[i] = true
-			k++
+	s.mBatchSize.Observe(float64(live))
+	if live == 0 {
+		for _, j := range jobs {
+			j.notify()
 		}
 		return
 	}
 
-	// General path: group rows by resolved model, one batch predict per
-	// group, code-space when the whole group carries codes.
-	type group struct {
-		label string
-		codes bool
-		idx   []int
-	}
-	groups := map[*gbt.Model]*group{}
-	for i := range batch {
-		if answered[i] {
+	// Every live job's rows are resolved on this batch's snapshot — by
+	// quantizeJob at admission when the snapshot is unchanged (the steady
+	// state: just scan the entries it stored), or by refreshJob above
+	// after a reload. Either way j.ents is current; no row needs a second
+	// map lookup here.
+	single := true
+	var first *edgeEntry
+	for _, j := range jobs {
+		if j.shed {
 			continue
 		}
-		g := groups[sc.models[i]]
-		if g == nil {
-			g = &group{label: sc.labels[i], codes: sc.models[i].CodeSpace()}
-			groups[sc.models[i]] = g
+		for r := 0; r < j.n; r++ {
+			e := j.ents[r]
+			if first == nil {
+				first = e
+			} else if e.m != first.m {
+				single = false
+			}
 		}
-		if batch[i].qm != sc.models[i] {
-			g.codes = false
-		}
-		g.idx = append(g.idx, i)
 	}
-	for m, g := range groups {
-		out := make([]float64, len(g.idx))
+
+	if single {
+		// Fast path: one model serves every live row. Prefer the dense
+		// code-space walk — in place over a job's own slab when the
+		// batch is one job (the /predict/batch steady state), via a
+		// gathered scratch slab otherwise (coalesced singletons).
+		codes := !s.cfg.DisableCodeSpace && first.m.CodeSpace()
+		if codes {
+			for _, j := range jobs {
+				if !j.shed && j.qm != first.m {
+					codes = false
+					break
+				}
+			}
+		}
 		var err error
-		if g.codes {
-			cxs := make([][]uint8, len(g.idx))
-			for k, i := range g.idx {
-				cxs[k] = batch[i].cx
+		switch {
+		case codes && liveJobs == 1:
+			err = first.m.PredictCodesDense(lone.cx[:lone.n*nf], lone.out[:lone.n])
+		case codes:
+			sc.cx = grow(sc.cx, live*nf)
+			sc.out = grow(sc.out, live)
+			off := 0
+			for _, j := range jobs {
+				if j.shed {
+					continue
+				}
+				copy(sc.cx[off*nf:], j.cx[:j.n*nf])
+				off += j.n
+			}
+			err = first.m.PredictCodesDense(sc.cx[:live*nf], sc.out[:live])
+			scatter(jobs, sc.out)
+		default:
+			xs := sc.xs[:0]
+			for _, j := range jobs {
+				if j.shed {
+					continue
+				}
+				for r := 0; r < j.n; r++ {
+					xs = append(xs, j.x[r*nf:(r+1)*nf])
+				}
+			}
+			sc.xs = xs
+			sc.out = grow(sc.out, live)
+			err = first.m.PredictBatch(xs, sc.out[:live])
+			scatter(jobs, sc.out)
+		}
+		if err != nil {
+			for _, j := range jobs {
+				if !j.shed {
+					j.err = err
+				}
+			}
+		}
+		for _, j := range jobs {
+			j.notify()
+		}
+		return
+	}
+
+	// General path: group live rows by resolved model, one batch predict
+	// per group, code-space when the whole group's jobs carry codes cut
+	// for it. Rare (a batch spanning edges with different models), so the
+	// grouping structures may allocate.
+	type rowRef struct {
+		j *job
+		r int
+	}
+	groups := map[*gbt.Model][]rowRef{}
+	for _, j := range jobs {
+		if j.shed {
+			continue
+		}
+		for r := 0; r < j.n; r++ {
+			m := j.ents[r].m
+			groups[m] = append(groups[m], rowRef{j, r})
+		}
+	}
+	for m, refs := range groups {
+		out := make([]float64, len(refs))
+		codes := !s.cfg.DisableCodeSpace && m.CodeSpace()
+		if codes {
+			for _, rr := range refs {
+				if rr.j.qm != m {
+					codes = false
+					break
+				}
+			}
+		}
+		var err error
+		if codes {
+			cxs := make([][]uint8, len(refs))
+			for k, rr := range refs {
+				cxs[k] = rr.j.cx[rr.r*nf : (rr.r+1)*nf]
 			}
 			err = m.PredictCodes(cxs, out)
 		} else {
-			xs := make([][]float64, len(g.idx))
-			for k, i := range g.idx {
-				xs[k] = batch[i].x
+			xs := make([][]float64, len(refs))
+			for k, rr := range refs {
+				xs[k] = rr.j.x[rr.r*nf : (rr.r+1)*nf]
 			}
 			err = m.PredictBatch(xs, out)
 		}
-		for k, i := range g.idx {
-			s.reply(batch[i], snap, g.label, out[k], err, now)
-			answered[i] = true
+		for k, rr := range refs {
+			if err != nil {
+				rr.j.err = err
+			} else {
+				rr.j.out[rr.r] = out[k]
+			}
 		}
+	}
+	for _, j := range jobs {
+		j.notify()
 	}
 }
 
-// reply sends one request's answer.
-func (s *Server) reply(p *pending, snap *Registry, label string, rate float64, err error, now time.Time) {
-	res := result{
-		model:      label,
-		generation: snap.Generation,
-		queueMS:    float64(now.Sub(p.enq)) / float64(time.Millisecond),
+// scatter copies gathered results back into each live job's out slab, in
+// the same job order the gather walked.
+func scatter(jobs []*job, out []float64) {
+	off := 0
+	for _, j := range jobs {
+		if j.shed {
+			continue
+		}
+		copy(j.out[:j.n], out[off:off+j.n])
+		off += j.n
 	}
-	if err != nil {
-		res.err = err
-	} else {
-		res.rate = rate
-	}
-	p.resp <- res
 }
 
-// revectorize refills p.x from the request's feature map using snap's
-// layout, ignoring names snap does not know.
-func revectorize(snap *Registry, p *pending) {
-	for i := range p.x {
-		p.x[i] = 0
-	}
-	for name, v := range p.req.Features {
-		if j, ok := snap.nameIdx[name]; ok {
-			p.x[j] = v
+// refreshJob rebases a job admitted under an older registry generation
+// onto this batch's snapshot: every column of the new layout is remapped
+// by feature name from the old slab (names the new layout does not know
+// drop out, exactly like the lenient re-vectorization the map-based
+// handoff performed), then the rows are re-quantized against the new
+// snapshot's serving models — the code-space twin of the remap.
+func (s *Server) refreshJob(sc *shardScratch, j *job, snap *Registry) {
+	old := j.areg
+	onf, nf := len(old.Features), len(snap.Features)
+	sc.cm = grow(sc.cm, nf)
+	for c, name := range snap.Features {
+		if k, ok := old.nameIdx[name]; ok {
+			sc.cm[c] = k
+		} else {
+			sc.cm[c] = -1
 		}
 	}
-	p.vgen = snap.Generation
+	sc.rx = grow(sc.rx, j.n*nf)
+	for r := 0; r < j.n; r++ {
+		for c := 0; c < nf; c++ {
+			if k := sc.cm[c]; k >= 0 {
+				sc.rx[r*nf+c] = j.x[r*onf+k]
+			} else {
+				sc.rx[r*nf+c] = 0
+			}
+		}
+	}
+	j.x = grow(j.x, j.n*nf)
+	copy(j.x, sc.rx[:j.n*nf])
+	j.cx = grow(j.cx, j.n*nf)
+	s.quantizeJob(j, snap)
 }

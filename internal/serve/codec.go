@@ -1,0 +1,420 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"sync"
+	"time"
+	"unicode/utf8"
+	"unsafe"
+)
+
+// This file is the front door's zero-allocation request/response codec.
+//
+// Decode side: decodeFast is a hand-rolled scanner for the one fixed
+// schema /predict speaks, fused with vectorization — feature values land
+// directly in the job's positional row, no map, no reflection, no
+// intermediate request struct. It is strict and fail-closed: on ANY
+// shape it is not absolutely certain encoding/json would decode
+// identically (escaped strings, duplicate keys, unknown keys or feature
+// names, numbers off the strict JSON grammar, non-ASCII names) it
+// abstains and the caller falls back to ParseRequest + Vectorize, which
+// remains the semantic reference and the producer of every error
+// message. The scanner therefore never rejects a request — it only
+// accepts or abstains — and FuzzCodecDifferential pins that every
+// accept agrees with the encoding/json path bit for bit.
+//
+// Encode side: appendPredictResponse builds the exact byte sequence
+// json.NewEncoder(w).Encode(PredictResponse{...}) would emit — same
+// float formatting (appendJSONFloat replicates encoding/json's
+// floatEncoder, exponent trim included), same HTML-escaped strings
+// (appendJSONString replicates its string escaper), same trailing
+// newline — into a pooled buffer. TestResponseEncoderDifferential pins
+// the equivalence.
+
+// fastReq receives the non-feature fields of one fast-decoded request.
+// src and dst alias the request body and must be interned (or copied)
+// before the body buffer is recycled.
+type fastReq struct {
+	src, dst []byte
+	deadline float64
+}
+
+// decodeFast scans one predict-request object into the positional
+// vector x (len = len(reg.Features), zeroed here) and fr. Returns false
+// to make the caller fall back to the encoding/json path.
+func decodeFast(data []byte, reg *Registry, x []float64, fr *fastReq) bool {
+	for i := range x {
+		x[i] = 0
+	}
+	fr.src, fr.dst, fr.deadline = nil, nil, 0
+	p := skipWS(data, 0)
+	if p >= len(data) || data[p] != '{' {
+		return false
+	}
+	p = skipWS(data, p+1)
+	nfeat := 0
+	var sawSrc, sawDst, sawFeat, sawDeadline bool
+	for {
+		if p >= len(data) {
+			return false
+		}
+		if data[p] == '}' {
+			p++
+			break
+		}
+		if nfeat > 0 || sawSrc || sawDst || sawFeat || sawDeadline {
+			if data[p] != ',' {
+				return false
+			}
+			p = skipWS(data, p+1)
+		}
+		key, np, ok := scanJSONString(data, p)
+		if !ok {
+			return false
+		}
+		p = skipWS(data, np)
+		if p >= len(data) || data[p] != ':' {
+			return false
+		}
+		p = skipWS(data, p+1)
+		switch string(key) {
+		case "src":
+			if sawSrc {
+				return false
+			}
+			sawSrc = true
+			if fr.src, p, ok = scanJSONString(data, p); !ok {
+				return false
+			}
+		case "dst":
+			if sawDst {
+				return false
+			}
+			sawDst = true
+			if fr.dst, p, ok = scanJSONString(data, p); !ok {
+				return false
+			}
+		case "deadline_ms":
+			if sawDeadline {
+				return false
+			}
+			sawDeadline = true
+			var v float64
+			if v, p, ok = scanJSONNumber(data, p); !ok || v < 0 {
+				return false
+			}
+			fr.deadline = v
+		case "features":
+			// A second "features" object would make encoding/json merge
+			// maps; the scanner abstains rather than model that.
+			if sawFeat {
+				return false
+			}
+			sawFeat = true
+			var n int
+			if n, p, ok = scanFeatures(data, p, reg, x); !ok {
+				return false
+			}
+			nfeat += n
+		default:
+			return false
+		}
+		p = skipWS(data, p)
+	}
+	if skipWS(data, p) != len(data) {
+		return false // trailing bytes: the json path rejects, so abstain
+	}
+	return nfeat > 0
+}
+
+// scanFeatures scans the {"name": value, ...} object, writing each value
+// at its registry column. Unknown names abstain (the json path turns
+// them into the vectorizer's error); duplicate names last-win exactly
+// like a JSON map.
+func scanFeatures(d []byte, p int, reg *Registry, x []float64) (int, int, bool) {
+	if p >= len(d) || d[p] != '{' {
+		return 0, p, false
+	}
+	p = skipWS(d, p+1)
+	if p < len(d) && d[p] == '}' {
+		return 0, p + 1, true
+	}
+	n := 0
+	for {
+		name, np, ok := scanJSONString(d, p)
+		if !ok {
+			return n, np, false
+		}
+		idx, known := reg.nameIdx[string(name)]
+		if !known {
+			return n, np, false
+		}
+		p = skipWS(d, np)
+		if p >= len(d) || d[p] != ':' {
+			return n, p, false
+		}
+		p = skipWS(d, p+1)
+		var v float64
+		if v, p, ok = scanJSONNumber(d, p); !ok {
+			return n, p, false
+		}
+		x[idx] = v
+		n++
+		p = skipWS(d, p)
+		if p >= len(d) {
+			return n, p, false
+		}
+		switch d[p] {
+		case ',':
+			p = skipWS(d, p+1)
+		case '}':
+			return n, p + 1, true
+		default:
+			return n, p, false
+		}
+	}
+}
+
+// skipWS advances past JSON whitespace (the exact set encoding/json
+// skips: space, tab, newline, carriage return).
+func skipWS(d []byte, p int) int {
+	for p < len(d) && (d[p] == ' ' || d[p] == '\t' || d[p] == '\n' || d[p] == '\r') {
+		p++
+	}
+	return p
+}
+
+// scanJSONString scans a string literal containing only printable ASCII
+// and no escapes, returning the raw bytes between the quotes. Anything
+// else — backslash escapes, control bytes, non-ASCII (where
+// encoding/json's invalid-UTF-8 coercion could change the decoded
+// value) — abstains.
+func scanJSONString(d []byte, p int) ([]byte, int, bool) {
+	if p >= len(d) || d[p] != '"' {
+		return nil, p, false
+	}
+	p++
+	start := p
+	for p < len(d) {
+		switch c := d[p]; {
+		case c == '"':
+			return d[start:p], p + 1, true
+		case c == '\\' || c < 0x20 || c >= 0x80:
+			return nil, p, false
+		default:
+			p++
+		}
+	}
+	return nil, p, false
+}
+
+// scanJSONNumber scans a number under the strict JSON grammar (no
+// leading zeros, no "+", no hex, no Inf — all shapes strconv would take
+// but encoding/json rejects), then parses it with strconv.ParseFloat,
+// the same routine encoding/json uses for float64 targets, so accepted
+// values are bit-identical to the fallback path. Range overflow
+// abstains (the json path errors there).
+func scanJSONNumber(d []byte, p int) (float64, int, bool) {
+	start := p
+	if p < len(d) && d[p] == '-' {
+		p++
+	}
+	switch {
+	case p < len(d) && d[p] == '0':
+		p++
+	case p < len(d) && d[p] >= '1' && d[p] <= '9':
+		for p < len(d) && d[p] >= '0' && d[p] <= '9' {
+			p++
+		}
+	default:
+		return 0, p, false
+	}
+	if p < len(d) && d[p] == '.' {
+		p++
+		if p >= len(d) || d[p] < '0' || d[p] > '9' {
+			return 0, p, false
+		}
+		for p < len(d) && d[p] >= '0' && d[p] <= '9' {
+			p++
+		}
+	}
+	if p < len(d) && (d[p] == 'e' || d[p] == 'E') {
+		p++
+		if p < len(d) && (d[p] == '+' || d[p] == '-') {
+			p++
+		}
+		if p >= len(d) || d[p] < '0' || d[p] > '9' {
+			return 0, p, false
+		}
+		for p < len(d) && d[p] >= '0' && d[p] <= '9' {
+			p++
+		}
+	}
+	v, err := strconv.ParseFloat(unsafeString(d[start:p]), 64)
+	if err != nil {
+		return 0, p, false
+	}
+	return v, p, true
+}
+
+// unsafeString views a byte slice as a string without copying, for
+// strconv.ParseFloat (which has no []byte form). The bytes are not
+// mutated while the view is alive.
+func unsafeString(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
+}
+
+// ---- response encoding ----
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONFloat appends f exactly as encoding/json encodes a float64:
+// 'f' form in the human range, 'e' form with the exponent's leading
+// zero trimmed outside it.
+func appendJSONFloat(b []byte, f float64) []byte {
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b
+}
+
+// appendJSONString appends s as a JSON string literal with encoding/
+// json's default escaping: quotes, backslashes, control characters,
+// the HTML trio (<, >, &), invalid UTF-8 as U+FFFD, and U+2028/U+2029.
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if c := s[i]; c < utf8.RuneSelf {
+			if c >= ' ' && c != '"' && c != '\\' && c != '<' && c != '>' && c != '&' {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch c {
+			case '\\', '"':
+				dst = append(dst, '\\', c)
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				dst = append(dst, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if c == '\u2028' || c == '\u2029' {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', hexDigits[c&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
+}
+
+// appendPredictResponse appends one PredictResponse line — byte for
+// byte what writeJSON (json.Encoder) emits for the same values,
+// trailing newline included. jlabel is the entry's pre-escaped model
+// label.
+func appendPredictResponse(b []byte, rate float64, jlabel []byte, gen int64, queueMS float64) []byte {
+	b = append(b, `{"rate":`...)
+	b = appendJSONFloat(b, rate)
+	b = append(b, `,"model":`...)
+	b = append(b, jlabel...)
+	b = append(b, `,"generation":`...)
+	b = strconv.AppendInt(b, gen, 10)
+	b = append(b, `,"queue_ms":`...)
+	b = appendJSONFloat(b, queueMS)
+	return append(b, '}', '\n')
+}
+
+// ---- pooled buffers and timers ----
+
+// bufPool recycles request-body and response buffers across requests.
+var bufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 4096); return &b },
+}
+
+func getBuf() *[]byte  { return bufPool.Get().(*[]byte) }
+func putBuf(b *[]byte) { *b = (*b)[:0]; bufPool.Put(b) }
+
+// readBody reads r into buf (reusing its capacity) up to limit bytes,
+// failing once the limit is exceeded — io.ReadAll without the
+// per-request allocation.
+func readBody(r io.Reader, buf []byte, limit int) ([]byte, error) {
+	buf = buf[:0]
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if len(buf) > limit {
+			return buf, fmt.Errorf("body exceeds %d bytes", limit)
+		}
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
+}
+
+// timerPool recycles request-deadline timers. A timer is returned only
+// after Stop + drain (getTimer Resets a quiescent timer), so the pool is
+// safe under the pre-1.23 timer semantics this module's go directive
+// selects.
+var timerPool sync.Pool
+
+func getTimer(d time.Duration) *time.Timer {
+	if v := timerPool.Get(); v != nil {
+		t := v.(*time.Timer)
+		t.Reset(d)
+		return t
+	}
+	return time.NewTimer(d)
+}
+
+// putTimer stops and drains t, then pools it. Pass fired=true from the
+// select arm that consumed t.C.
+func putTimer(t *time.Timer, fired bool) {
+	if !fired && !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	timerPool.Put(t)
+}

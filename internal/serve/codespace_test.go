@@ -134,7 +134,7 @@ func TestServeManyBatchersDrainCleanly(t *testing.T) {
 	if err := s.Drain(); err != nil {
 		t.Fatal(err)
 	}
-	if n := len(s.queue); n != 0 {
+	if n := s.queueLen(); n != 0 {
 		t.Fatalf("%d requests abandoned in queue after drain", n)
 	}
 }

@@ -1,7 +1,12 @@
 package serve
 
 import (
+	"bytes"
 	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
 	"testing"
 )
 
@@ -41,6 +46,83 @@ func FuzzPredictRequest(f *testing.F) {
 			if math.IsNaN(v) || math.IsInf(v, 0) {
 				t.Fatalf("accepted non-finite feature %q=%v", name, v)
 			}
+		}
+	})
+}
+
+// fuzzRegistry builds the shared registry once per fuzz process — model
+// training is far too slow to repeat per input.
+var fuzzRegistry = sync.OnceValue(func() *Registry { return testRegistry(fuzzT{}, 1) })
+
+// fuzzT satisfies testing.TB for the one-time registry build inside a
+// fuzz worker (testRegistry only uses Helper and the Fatal family).
+type fuzzT struct{ testing.TB }
+
+func (fuzzT) Helper()                   {}
+func (fuzzT) Fatal(args ...any)         { panic(args) }
+func (fuzzT) Fatalf(f string, a ...any) { panic(f) }
+
+// FuzzCodecDifferential pins the fast codec's accept-or-abstain
+// contract: for ANY input, if decodeFast accepts then the encoding/json
+// reference path (ParseRequest + Vectorize) must also accept and must
+// produce the bit-identical vector, src, dst, and deadline. Abstention
+// is always legal; acceptance must agree.
+func FuzzCodecDifferential(f *testing.F) {
+	f.Add([]byte(goodBody))
+	f.Add([]byte(`{"features":{"a":1}}`))
+	f.Add([]byte(`{"src":"S1","dst":"D1","deadline_ms":5,"features":{"a":0.5,"b":-1e-7,"c":2E+21}}`))
+	f.Add([]byte(` { "features" : { "a" : 0 , "a" : -0 } } `))
+	f.Add([]byte(`{"features":{"a":1},"features":{"b":2}}`))
+	f.Add([]byte(`{"src":"S1","src":"S2","features":{"a":1}}`))
+	f.Add([]byte(`{"features":{"a":01}}`))
+	f.Add([]byte(`{"features":{"a":1e400}}`))
+	f.Add([]byte(`{"features":{"a":5e-324}}`))
+	f.Add([]byte(`{"src":"S1","features":{"a":1}}`))
+	f.Add([]byte(`{"features":{"a":1}} `))
+	f.Add([]byte(`{"features":{"a":1}}x`))
+	f.Add([]byte("\x00\xff{"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		checkCodecAgreement(t, fuzzRegistry(), data)
+	})
+}
+
+// FuzzBatchRequest pins the NDJSON batch front door end to end: any
+// body is answered exactly once with 200, 400, or 429 — never a 5xx,
+// never a panic — and a 200 carries exactly one response line per
+// non-blank input line.
+func FuzzBatchRequest(f *testing.F) {
+	f.Add([]byte(goodBody + "\n"))
+	f.Add([]byte(goodBody + "\n" + goodBody))
+	f.Add([]byte(goodBody + "\n\n  \r\n" + `{"features":{"b":2}}` + "\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte(`{"features":{"a":1}}` + "\n{bad\n"))
+	f.Add([]byte(`{"src":"SX","dst":"DX","features":{"a":1},"deadline_ms":1000}` + "\n"))
+	f.Add([]byte("\x00\xff\n" + goodBody))
+
+	srv, _ := newTestServer(f, 1, func(c *Config) { c.MaxBatchRows = 64 })
+	srv.Start()
+	f.Cleanup(func() { _ = srv.Drain() })
+	handler := srv.Handler()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		w := httptest.NewRecorder()
+		r := httptest.NewRequest(http.MethodPost, "/predict/batch", bytes.NewReader(data))
+		handler.ServeHTTP(w, r)
+		switch w.Code {
+		case 200:
+			want := 0
+			for _, line := range strings.Split(string(data), "\n") {
+				if !blankLine([]byte(line)) {
+					want++
+				}
+			}
+			if got := strings.Count(w.Body.String(), "\n"); got != want {
+				t.Fatalf("200 with %d lines for %d input rows", got, want)
+			}
+		case 400, 429:
+		default:
+			t.Fatalf("batch answered %d: %s", w.Code, w.Body.String())
 		}
 	})
 }

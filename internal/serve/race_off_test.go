@@ -1,0 +1,8 @@
+//go:build !race
+
+package serve
+
+// raceEnabled lets allocation-count assertions skip under the race
+// detector, whose instrumentation allocates on paths that are
+// allocation-free in a normal build.
+const raceEnabled = false

@@ -83,6 +83,28 @@ type Registry struct {
 	Generation int64 `json:"-"`
 
 	nameIdx map[string]int // feature name -> column, built at load
+
+	// srcIdx is the allocation-free edge index built at load: src ->
+	// dst -> precomputed entry. Lookup through it costs two map hits and
+	// zero string concatenation, which is what lets the admission path
+	// resolve a serving model per row without allocating the "SRC->DST"
+	// key the Edges map is keyed by.
+	srcIdx map[string]map[string]*edgeEntry
+	global *edgeEntry
+}
+
+// edgeEntry is one resolved serving assignment, precomputed at registry
+// load so the request path never rebuilds strings: the canonical key
+// halves (for interning src/dst out of a transient request buffer), the
+// response label, its JSON-escaped wire form for the pooled response
+// encoder, and the per-edge latency metric name.
+type edgeEntry struct {
+	m        *gbt.Model
+	src, dst string
+	label    string // "edge:SRC->DST", or "global" for the fallback entry
+	jlabel   []byte // label as a JSON string literal, escaped exactly like encoding/json
+	latKey   string // `serve.latency_ms{edge="SRC->DST"}`; "" on the fallback
+	isGlobal bool
 }
 
 // registryFile is the on-disk form. gbt.Model marshals through the same
@@ -179,9 +201,38 @@ func (r *Registry) init() error {
 	if err := r.checkModel("global", r.Global); err != nil {
 		return err
 	}
+	r.global = &edgeEntry{m: r.Global, label: "global", jlabel: appendJSONString(nil, "global"), isGlobal: true}
+	r.srcIdx = make(map[string]map[string]*edgeEntry, len(r.Edges))
 	for edge, m := range r.Edges {
 		if err := r.checkModel("edge "+edge, m); err != nil {
 			return err
+		}
+		e := &edgeEntry{
+			m:      m,
+			label:  "edge:" + edge,
+			latKey: fmt.Sprintf("serve.latency_ms{edge=%q}", edge),
+		}
+		e.jlabel = appendJSONString(nil, e.label)
+		// Register the entry under every (src, dst) split of the key, so
+		// the index answers exactly the pairs whose src+"->"+dst
+		// concatenation equals this key — including pathological keys
+		// with "->" inside src or dst, which are ambiguous by the same
+		// rule the flat Edges map applies.
+		for i := 0; i+2 <= len(edge); i++ {
+			if edge[i] != '-' || i+1 >= len(edge) || edge[i+1] != '>' {
+				continue
+			}
+			src, dst := edge[:i], edge[i+2:]
+			byDst := r.srcIdx[src]
+			if byDst == nil {
+				byDst = make(map[string]*edgeEntry)
+				r.srcIdx[src] = byDst
+			}
+			if prev := byDst[dst]; prev == nil {
+				se := *e
+				se.src, se.dst = src, dst
+				byDst[dst] = &se
+			}
 		}
 	}
 	return nil
@@ -264,11 +315,45 @@ func (r *Registry) Validate() error {
 // model when the registry has one, the global fallback otherwise — plus
 // the label the response and metrics report.
 func (r *Registry) Lookup(src, dst string) (*gbt.Model, string) {
-	key := src + "->" + dst
-	if m := r.Edges[key]; m != nil {
-		return m, "edge:" + key
+	e := r.lookupEntry(src, dst)
+	return e.m, e.label
+}
+
+// lookupEntry resolves the serving entry for one src→dst pair with two
+// map hits and zero allocations — the per-row resolver on the admission
+// and batch paths. Registries that skipped init (hand-built in tests)
+// fall back to the flat key concatenation.
+func (r *Registry) lookupEntry(src, dst string) *edgeEntry {
+	if byDst := r.srcIdx[src]; byDst != nil {
+		if e := byDst[dst]; e != nil {
+			return e
+		}
 	}
-	return r.Global, "global"
+	if r.global == nil {
+		key := src + "->" + dst
+		if m := r.Edges[key]; m != nil {
+			return &edgeEntry{m: m, src: src, dst: dst, label: "edge:" + key,
+				jlabel: appendJSONString(nil, "edge:"+key),
+				latKey: fmt.Sprintf("serve.latency_ms{edge=%q}", key)}
+		}
+		return &edgeEntry{m: r.Global, label: "global", jlabel: appendJSONString(nil, "global"), isGlobal: true}
+	}
+	return r.global
+}
+
+// lookupEntryB is lookupEntry over byte slices still aliasing a request
+// buffer — the map lookups compile to zero-copy string views, so the
+// codec can resolve an edge before interning src/dst.
+func (r *Registry) lookupEntryB(src, dst []byte) *edgeEntry {
+	if byDst := r.srcIdx[string(src)]; byDst != nil {
+		if e := byDst[string(dst)]; e != nil {
+			return e
+		}
+	}
+	if r.global == nil {
+		return r.lookupEntry(string(src), string(dst))
+	}
+	return r.global
 }
 
 // Vectorize fills dst (len(Features)) with the request's named feature

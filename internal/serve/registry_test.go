@@ -85,11 +85,11 @@ func TestReadRegistryRejects(t *testing.T) {
 	}
 
 	cases := map[string]func(map[string]json.RawMessage){
-		"bad version":    func(r map[string]json.RawMessage) { r["version"] = json.RawMessage("99") },
-		"no global":      func(r map[string]json.RawMessage) { delete(r, "global") },
-		"no features":    func(r map[string]json.RawMessage) { r["features"] = json.RawMessage("[]") },
-		"dup features":   func(r map[string]json.RawMessage) { r["features"] = json.RawMessage(`["a","a","c"]`) },
-		"no probes":      func(r map[string]json.RawMessage) { r["probes"] = json.RawMessage("[]") },
+		"bad version":  func(r map[string]json.RawMessage) { r["version"] = json.RawMessage("99") },
+		"no global":    func(r map[string]json.RawMessage) { delete(r, "global") },
+		"no features":  func(r map[string]json.RawMessage) { r["features"] = json.RawMessage("[]") },
+		"dup features": func(r map[string]json.RawMessage) { r["features"] = json.RawMessage(`["a","a","c"]`) },
+		"no probes":    func(r map[string]json.RawMessage) { r["probes"] = json.RawMessage("[]") },
 		"unknown probe edge": func(r map[string]json.RawMessage) {
 			r["probes"] = json.RawMessage(`[{"edge":"NO->PE","x":[0,0,0],"want":1}]`)
 		},

@@ -227,12 +227,12 @@ func TestServerBadRequests(t *testing.T) {
 		``,
 		`{`,
 		`[1,2,3]`,
-		`{"src":"A","dst":"B"}`,                                // no features
-		`{"src":"A","dst":"B","features":{}}`,                  // empty features
-		`{"src":"A","dst":"B","features":{"nope":1}}`,          // unknown feature
-		`{"src":"A","dst":"B","features":{"a":1},"extra":2}`,   // unknown field
-		`{"src":"A","dst":"B","features":{"a":"x"}}`,           // wrong type
-		`{"src":"A","dst":"B","features":{"a":1}} trailing`,    // trailing data
+		`{"src":"A","dst":"B"}`,               // no features
+		`{"src":"A","dst":"B","features":{}}`, // empty features
+		`{"src":"A","dst":"B","features":{"nope":1}}`,               // unknown feature
+		`{"src":"A","dst":"B","features":{"a":1},"extra":2}`,        // unknown field
+		`{"src":"A","dst":"B","features":{"a":"x"}}`,                // wrong type
+		`{"src":"A","dst":"B","features":{"a":1}} trailing`,         // trailing data
 		`{"src":"A","dst":"B","features":{"a":1},"deadline_ms":-5}`, // negative deadline
 	}
 	for _, c := range cases {
@@ -259,6 +259,7 @@ func TestServerBadRequests(t *testing.T) {
 func TestServerShedsWhenQueueFull(t *testing.T) {
 	s, _ := newTestServer(t, 1, func(c *Config) {
 		c.QueueDepth = 1
+		c.Batchers = 1 // one shard, so QueueDepth=1 means exactly one slot
 		c.RequestTimeout = 300 * time.Millisecond
 	})
 	// No Start: nothing drains the queue. Mark ready so /predict admits.
@@ -273,7 +274,7 @@ func TestServerShedsWhenQueueFull(t *testing.T) {
 	}()
 	// Wait until the first request occupies the queue slot.
 	deadline := time.Now().Add(2 * time.Second)
-	for len(s.queue) == 0 {
+	for s.queueLen() == 0 {
 		if time.Now().After(deadline) {
 			t.Fatal("first request never enqueued")
 		}

@@ -3,8 +3,8 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
-	"io"
 	"log"
 	"net"
 	"net/http"
@@ -17,7 +17,6 @@ import (
 	"syscall"
 	"time"
 
-	"repro/internal/ml/gbt"
 	"repro/internal/obs"
 )
 
@@ -27,9 +26,10 @@ type Config struct {
 	Addr         string // listen address (default ":8723")
 	RegistryPath string // registry file, watched for changes
 
-	QueueDepth     int           // admission-queue capacity (default 1024)
-	BatchMax       int           // max rows coalesced into one batch (default 256)
-	Batchers       int           // batcher goroutines (default GOMAXPROCS); each drains the shared queue with its own scratch
+	QueueDepth     int           // total admission capacity, in jobs, split across shards (default 1024)
+	BatchMax       int           // max rows coalesced into one inference batch (default 256)
+	Batchers       int           // batcher goroutines / admission shards (default GOMAXPROCS)
+	MaxBatchRows   int           // max rows in one /predict/batch request or PredictBatchSync call (default 4096)
 	QueueTimeout   time.Duration // max admission-queue wait before shedding (default 100ms)
 	RequestTimeout time.Duration // server-side cap on end-to-end wait (default 2s)
 	DrainTimeout   time.Duration // hard deadline for SIGTERM drain (default 5s)
@@ -60,6 +60,9 @@ func (c *Config) fillDefaults() {
 	if c.Batchers <= 0 {
 		c.Batchers = runtime.GOMAXPROCS(0)
 	}
+	if c.MaxBatchRows <= 0 {
+		c.MaxBatchRows = 4096
+	}
 	if c.QueueTimeout <= 0 {
 		c.QueueTimeout = 100 * time.Millisecond
 	}
@@ -83,6 +86,11 @@ func (c *Config) fillDefaults() {
 	}
 }
 
+// ErrShed is returned by the sync prediction entry points when the job
+// waited past QueueTimeout and the batcher shed it (the HTTP twin is a
+// 429 with reason queue_wait).
+var ErrShed = errors.New("serve: shed on queue-wait timeout")
+
 // Server is the prediction daemon. Create with New, drive with Run (the
 // full daemon: listener, SIGHUP, drain) or with Start/Handler/Drain for
 // embedding and tests.
@@ -92,7 +100,13 @@ type Server struct {
 	reg atomic.Pointer[Registry] // current serving snapshot
 	gen atomic.Int64             // generation counter; stamped onto promoted registries
 
-	queue    chan *pending
+	// shards are the per-batcher admission channels. A request round-
+	// robins over them (nonblocking admission tries every shard before
+	// shedding), and each batcher drains its own shard — so a drained
+	// batch is handed off with per-shard channel operations instead of
+	// every batcher contending on one queue.
+	shards   []chan *job
+	rr       atomic.Uint64
 	ready    atomic.Bool
 	draining atomic.Bool
 	inflight sync.WaitGroup // accepted (enqueued) requests not yet answered
@@ -111,9 +125,11 @@ type Server struct {
 	// Instruments (all on cfg.Metrics).
 	mRequests, mPredictions, mBadRequests *obs.Counter
 	mPanics, mReloads, mReloadFailures    *obs.Counter
-	mBatches                              *obs.Counter
+	mBatches, mBatchRequests              *obs.Counter
 	mGeneration, mQueueDepth              *obs.Gauge
 	mBatchSize, mQueueWait, mLatency      *obs.Histogram
+	mBatchRows                            *obs.Histogram
+	latBuckets                            []float64
 }
 
 // registryStamp identifies a registry file state, so the watcher can skip
@@ -123,35 +139,6 @@ type registryStamp struct {
 	size  int64
 }
 
-// pending is one admitted request waiting for its batch.
-type pending struct {
-	req  *PredictRequest
-	x    []float64 // vectorized against the admission-time registry
-	vgen int64     // generation of the registry x was vectorized against
-	enq  time.Time
-	resp chan result // buffered(1); the batcher replies exactly once
-
-	// Code-space admission state: cx holds x quantized against qm's cut
-	// points (qm nil when the resolved model has no code forest, the
-	// server disabled code space, or quantization refused the row). qgen
-	// mirrors vgen — a reload invalidates the codes exactly like it
-	// invalidates the vector, and the batcher re-quantizes against its
-	// own snapshot (see runBatch).
-	cx   []uint8
-	qm   *gbt.Model
-	qgen int64
-}
-
-// result is the batcher's answer to one pending request.
-type result struct {
-	rate       float64
-	model      string
-	generation int64
-	queueMS    float64
-	shed       bool  // queue-wait deadline passed before a batch picked it up
-	err        error // internal failure (panic isolation); answered as 500
-}
-
 // New builds a server and loads the boot registry from
 // cfg.RegistryPath. A missing or invalid registry fails construction —
 // the daemon never starts without a validated model set.
@@ -159,9 +146,16 @@ func New(cfg Config) (*Server, error) {
 	cfg.fillDefaults()
 	s := &Server{
 		cfg:      cfg,
-		queue:    make(chan *pending, cfg.QueueDepth),
 		hardStop: make(chan struct{}),
 		stop:     make(chan struct{}),
+	}
+	per := cfg.QueueDepth / cfg.Batchers
+	if per < 1 {
+		per = 1
+	}
+	s.shards = make([]chan *job, cfg.Batchers)
+	for i := range s.shards {
+		s.shards[i] = make(chan *job, per)
 	}
 	reg := cfg.Metrics
 	s.mRequests = reg.Counter("serve.requests")
@@ -171,11 +165,14 @@ func New(cfg Config) (*Server, error) {
 	s.mReloads = reg.Counter("serve.reloads")
 	s.mReloadFailures = reg.Counter("serve.reload_failures")
 	s.mBatches = reg.Counter("serve.batches")
+	s.mBatchRequests = reg.Counter("serve.batch_requests")
 	s.mGeneration = reg.Gauge("serve.generation")
 	s.mQueueDepth = reg.Gauge("serve.queue_depth")
 	s.mBatchSize = reg.Histogram("serve.batch_size", obs.ExpBuckets(1, 2, 10))
+	s.mBatchRows = reg.Histogram("serve.batch_rows", obs.ExpBuckets(1, 2, 13))
 	s.mQueueWait = reg.Histogram("serve.queue_wait_ms", obs.ExpBuckets(0.05, 2, 16))
 	s.mLatency = reg.Histogram("serve.latency_ms", obs.ExpBuckets(0.05, 2, 16))
+	s.latBuckets = obs.ExpBuckets(0.05, 2, 16)
 
 	boot, err := LoadRegistryFile(cfg.RegistryPath)
 	if err != nil {
@@ -188,6 +185,7 @@ func New(cfg Config) (*Server, error) {
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/predict", s.handlePredict)
+	s.mux.HandleFunc("/predict/batch", s.handlePredictBatch)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -200,17 +198,59 @@ func (s *Server) Registry() *Registry { return s.reg.Load() }
 // Generation returns the current registry generation.
 func (s *Server) Generation() int64 { return s.reg.Load().Generation }
 
+// queueLen is the number of jobs currently queued across all shards.
+func (s *Server) queueLen() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += len(sh)
+	}
+	return n
+}
+
+// admit tries to enqueue without blocking: the round-robin shard either
+// has room now or every other shard is tried once; all full means the
+// daemon is saturated and the job is shed.
+func (s *Server) admit(j *job) bool {
+	n := uint64(len(s.shards))
+	start := s.rr.Add(1)
+	for k := uint64(0); k < n; k++ {
+		select {
+		case s.shards[(start+k)%n] <- j:
+			return true
+		default:
+		}
+	}
+	return false
+}
+
+// admitBlocking waits for queue room on one shard — the backpressure
+// variant the sync entry points use instead of shedding.
+func (s *Server) admitBlocking(ctx context.Context, j *job) error {
+	if s.admit(j) {
+		return nil
+	}
+	sh := s.shards[s.rr.Add(1)%uint64(len(s.shards))]
+	select {
+	case sh <- j:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-s.hardStop:
+		return errors.New("serve: draining")
+	}
+}
+
 // Start launches the batchers and the registry-file watcher and marks the
 // server ready. It is idempotent.
 func (s *Server) Start() {
 	if !s.started.CompareAndSwap(false, true) {
 		return
 	}
-	for i := 0; i < s.cfg.Batchers; i++ {
+	for _, shard := range s.shards {
 		s.workers.Add(1)
 		go func() {
 			defer s.workers.Done()
-			s.batcherLoop()
+			s.batcherLoop(shard)
 		}()
 	}
 	if s.cfg.WatchInterval > 0 {
@@ -389,7 +429,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	s.mQueueDepth.Set(float64(len(s.queue)))
+	s.mQueueDepth.Set(float64(s.queueLen()))
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := obs.WritePrometheus(w, s.cfg.Metrics.Snapshot()); err != nil {
 		s.cfg.Logf("serve: writing /metrics: %v", err)
@@ -402,7 +442,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 // which would look like failure to a health-checking load balancer.
 func (s *Server) shed(w http.ResponseWriter, reason string) {
 	s.cfg.Metrics.Counter(`serve.shed{reason="` + reason + `"}`).Inc()
-	w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter + time.Second - 1) / time.Second)))
+	w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
 	writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "overloaded: " + reason})
 }
 
@@ -411,6 +451,9 @@ func (s *Server) badRequest(w http.ResponseWriter, err error) {
 	writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 }
 
+// handlePredict is the singleton front door: pooled body read, fast
+// codec (encoding/json fallback), one-row job through the sharded
+// admission queue, pooled response encoding.
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	s.mRequests.Inc()
 	if r.Method != http.MethodPost {
@@ -422,92 +465,143 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		s.shed(w, "draining")
 		return
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, MaxRequestBody+1))
+	buf := getBuf()
+	defer putBuf(buf)
+	body, err := readBody(r.Body, *buf, MaxRequestBody)
+	*buf = body[:0]
 	if err != nil {
 		s.badRequest(w, fmt.Errorf("reading body: %w", err))
 		return
 	}
-	if len(body) > MaxRequestBody {
-		s.badRequest(w, fmt.Errorf("body exceeds %d bytes", MaxRequestBody))
-		return
-	}
-	req, err := ParseRequest(body)
-	if err != nil {
-		s.badRequest(w, err)
-		return
-	}
 
-	// Vectorize (and quantize, when the code path is on) against the
-	// admission-time snapshot; unknown feature names are the client's
-	// error and refuse admission.
-	p, err := s.newPending(s.reg.Load(), req)
-	if err != nil {
-		s.badRequest(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
-		return
+	snap := s.reg.Load()
+	nf := len(snap.Features)
+	j := newJob(1, nf)
+	var deadlineMS float64
+	var fr fastReq
+	if decodeFast(body, snap, j.x[:nf], &fr) {
+		// Intern src/dst out of the transient body buffer: a resolved
+		// edge entry carries the canonical strings; only the global
+		// fallback needs copies.
+		if e := snap.lookupEntryB(fr.src, fr.dst); e.isGlobal {
+			j.srcs[0], j.dsts[0] = string(fr.src), string(fr.dst)
+		} else {
+			j.srcs[0], j.dsts[0] = e.src, e.dst
+		}
+		deadlineMS = fr.deadline
+	} else {
+		req, perr := ParseRequest(body)
+		if perr != nil {
+			j.free()
+			s.badRequest(w, perr)
+			return
+		}
+		if verr := snap.Vectorize(req.Features, j.x[:nf]); verr != nil {
+			j.free()
+			s.badRequest(w, fmt.Errorf("%w: %v", ErrBadRequest, verr))
+			return
+		}
+		j.srcs[0], j.dsts[0] = req.Src, req.Dst
+		deadlineMS = req.DeadlineMS
 	}
+	s.quantizeJob(j, snap)
+	j.enq = time.Now()
 
-	// Admission: the queue either has room now or the request is shed.
+	// Admission: some shard either has room now or the request is shed.
 	s.inflight.Add(1)
 	defer s.inflight.Done()
-	select {
-	case s.queue <- p:
-		s.mQueueDepth.Set(float64(len(s.queue)))
-	default:
+	if !s.admit(j) {
+		j.free()
 		s.shed(w, "queue_full")
 		return
 	}
+	s.mQueueDepth.Set(float64(s.queueLen()))
 
 	// The request's end-to-end deadline: the client's deadline_ms when
 	// given (capped by the server's own limit), RequestTimeout otherwise.
 	wait := s.cfg.RequestTimeout
-	if req.DeadlineMS > 0 {
-		if d := time.Duration(req.DeadlineMS * float64(time.Millisecond)); d < wait {
+	if deadlineMS > 0 {
+		if d := time.Duration(deadlineMS * float64(time.Millisecond)); d < wait {
 			wait = d
 		}
 	}
-	timer := time.NewTimer(wait)
-	defer timer.Stop()
-
+	t := getTimer(wait)
 	select {
-	case res := <-p.resp:
-		s.respond(w, p, res)
-		p.recycle()
-	case <-timer.C:
+	case <-j.done:
+		putTimer(t, false)
+		s.respondJob(w, j)
+		j.free()
+	case <-t.C:
+		putTimer(t, true)
 		s.shed(w, "deadline")
 	case <-s.hardStop:
+		putTimer(t, false)
 		s.shed(w, "drain_deadline")
 	}
 }
 
+// respondJob writes a completed one-row job's answer.
+func (s *Server) respondJob(w http.ResponseWriter, j *job) {
+	switch {
+	case j.err != nil:
+		s.mPanics.Inc()
+		s.cfg.Logf("serve: batch failure: %v", j.err)
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: "internal error"})
+	case j.shed:
+		s.shed(w, "queue_wait")
+	default:
+		s.mPredictions.Inc()
+		e := j.ents[0]
+		totalMS := float64(time.Since(j.enq)) / float64(time.Millisecond)
+		s.mLatency.Observe(totalMS)
+		if !e.isGlobal {
+			s.cfg.Metrics.Histogram(e.latKey, s.latBuckets).Observe(totalMS)
+		}
+		buf := getBuf()
+		b := appendPredictResponse(*buf, j.out[0], e.jlabel, j.gen, j.queueMS)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(b)
+		*buf = b[:0]
+		bufPool.Put(buf)
+	}
+}
+
 // PredictSync submits one request through the admission queue and the
-// batchers and waits for the answer — the embedding entry point (the
-// benchmarks measure the queue+batch path through it, without HTTP
-// overhead). Unlike the HTTP path it blocks for queue room (ctx bounds
-// the wait), so callers get backpressure instead of shedding.
+// batchers and waits for the answer — the embedding entry point. Unlike
+// the HTTP path it blocks for queue room (ctx bounds the wait), so
+// callers get backpressure instead of shedding.
 func (s *Server) PredictSync(ctx context.Context, req *PredictRequest) (*PredictResponse, error) {
-	p, err := s.newPending(s.reg.Load(), req)
-	if err != nil {
+	snap := s.reg.Load()
+	nf := len(snap.Features)
+	j := newJob(1, nf)
+	if err := snap.Vectorize(req.Features, j.x[:nf]); err != nil {
+		j.free()
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
+	j.srcs[0], j.dsts[0] = req.Src, req.Dst
+	s.quantizeJob(j, snap)
+	j.enq = time.Now()
 	s.inflight.Add(1)
 	defer s.inflight.Done()
-	select {
-	case s.queue <- p:
-	case <-ctx.Done():
-		return nil, ctx.Err()
-	case <-s.hardStop:
-		return nil, fmt.Errorf("serve: draining")
+	if err := s.admitBlocking(ctx, j); err != nil {
+		j.free()
+		return nil, err
 	}
 	select {
-	case res := <-p.resp:
-		p.recycle()
-		if res.err != nil {
-			return nil, res.err
+	case <-j.done:
+		if j.err != nil {
+			err := j.err
+			j.free()
+			return nil, err
 		}
-		if res.shed {
-			return nil, fmt.Errorf("serve: shed on queue-wait timeout")
+		if j.shed {
+			j.free()
+			return nil, ErrShed
 		}
-		return &PredictResponse{Rate: res.rate, Model: res.model, Generation: res.generation, QueueMS: res.queueMS}, nil
+		res := &PredictResponse{Rate: j.out[0], Model: j.ents[0].label, Generation: j.gen, QueueMS: j.queueMS}
+		j.free()
+		return res, nil
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	case <-s.hardStop:
@@ -515,29 +609,72 @@ func (s *Server) PredictSync(ctx context.Context, req *PredictRequest) (*Predict
 	}
 }
 
-func (s *Server) respond(w http.ResponseWriter, p *pending, res result) {
-	switch {
-	case res.err != nil:
-		s.mPanics.Inc()
-		s.cfg.Logf("serve: batch failure: %v", res.err)
-		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: "internal error"})
-	case res.shed:
-		s.shed(w, "queue_wait")
-	default:
-		s.mPredictions.Inc()
-		totalMS := float64(time.Since(p.enq)) / float64(time.Millisecond)
-		s.mLatency.Observe(totalMS)
-		if res.model != "global" {
-			s.cfg.Metrics.Histogram(
-				fmt.Sprintf("serve.latency_ms{edge=%q}", p.req.Src+"->"+p.req.Dst),
-				obs.ExpBuckets(0.05, 2, 16)).Observe(totalMS)
+// BatchRow is one pre-vectorized row of a batch prediction: X carries
+// the feature values in registry column order (len(Registry.Features)).
+type BatchRow struct {
+	Src, Dst string
+	X        []float64
+}
+
+// PredictBatchSync submits every row as ONE admission unit — one queue
+// slot, one batcher handoff, one wake — and fills out[i] with row i's
+// answer. This is the embedding twin of POST /predict/batch and the
+// steady-state zero-allocation path: the job and all its slabs are
+// pooled, labels are interned registry strings, and the caller owns out.
+// All rows are answered by the same snapshot generation. Blocks for
+// queue room like PredictSync; a queue-wait shed sheds the whole batch
+// (ErrShed).
+func (s *Server) PredictBatchSync(ctx context.Context, rows []BatchRow, out []PredictResponse) error {
+	if len(rows) == 0 {
+		return fmt.Errorf("%w: empty batch", ErrBadRequest)
+	}
+	if len(rows) > s.cfg.MaxBatchRows {
+		return fmt.Errorf("%w: %d rows exceeds max %d", ErrBadRequest, len(rows), s.cfg.MaxBatchRows)
+	}
+	if len(out) != len(rows) {
+		return fmt.Errorf("%w: out has %d slots for %d rows", ErrBadRequest, len(out), len(rows))
+	}
+	snap := s.reg.Load()
+	nf := len(snap.Features)
+	n := len(rows)
+	j := newJob(n, nf)
+	for i := range rows {
+		if len(rows[i].X) != nf {
+			j.free()
+			return fmt.Errorf("%w: row %d has %d features, want %d", ErrBadRequest, i, len(rows[i].X), nf)
 		}
-		writeJSON(w, http.StatusOK, PredictResponse{
-			Rate:       res.rate,
-			Model:      res.model,
-			Generation: res.generation,
-			QueueMS:    res.queueMS,
-		})
+		copy(j.x[i*nf:(i+1)*nf], rows[i].X)
+		j.srcs[i], j.dsts[i] = rows[i].Src, rows[i].Dst
+	}
+	s.quantizeJob(j, snap)
+	s.mBatchRows.Observe(float64(n))
+	j.enq = time.Now()
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	if err := s.admitBlocking(ctx, j); err != nil {
+		j.free()
+		return err
+	}
+	select {
+	case <-j.done:
+		if j.err != nil {
+			err := j.err
+			j.free()
+			return err
+		}
+		if j.shed {
+			j.free()
+			return ErrShed
+		}
+		for i := 0; i < n; i++ {
+			out[i] = PredictResponse{Rate: j.out[i], Model: j.ents[i].label, Generation: j.gen, QueueMS: j.queueMS}
+		}
+		j.free()
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-s.hardStop:
+		return fmt.Errorf("serve: drain deadline passed")
 	}
 }
 

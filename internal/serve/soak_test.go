@@ -220,7 +220,7 @@ func TestChaosSoak(t *testing.T) {
 
 	// Bookkeeping: every accepted (enqueued) request was answered — the
 	// queue is empty and inflight has fully drained (Drain returned).
-	if n := len(s.queue); n != 0 {
+	if n := s.queueLen(); n != 0 {
 		t.Errorf("%d requests abandoned in queue after drain", n)
 	}
 	t.Logf("soak: %d ok, %d shed, generation %d (%d good + %d corrupt reloads)",

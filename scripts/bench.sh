@@ -70,12 +70,17 @@ echo "running serve/code-space stage (-cpu ${serve_cpus}, count=${serve_count}).
 go test -run '^$' -bench 'ServeBatchInference|ServePredict|QuantizeRow' \
     -benchmem -count "$serve_count" -benchtime "$serve_time" -cpu "$serve_cpus" . | tee -a "$txt"
 
-# Aggregate serving throughput: best code-space ServePredict rows/s
-# across the cpu matrix — the one-line number for EXPERIMENTS.md.
-awk '/^BenchmarkServePredict-/ {
+# Aggregate serving throughput: best singleton and batch front-door
+# rows/s across the cpu matrix — the one-line numbers for
+# EXPERIMENTS.md. (-cpu 1 runs have no -N name suffix.)
+awk '/^BenchmarkServePredict(-[0-9]+)? / {
     for (i = 2; i <= NF; i++) if ($i == "rows/s" && $(i-1)+0 > best) best = $(i-1)+0
+}
+/^BenchmarkServePredictBatch(-[0-9]+)? / {
+    for (i = 2; i <= NF; i++) if ($i == "rows/s" && $(i-1)+0 > bbest) bbest = $(i-1)+0
 } END {
-    if (best) printf("aggregate serving throughput: %.0f rows/s (best ServePredict across -cpu matrix)\n", best)
+    if (best)  printf("aggregate serving throughput: %.0f rows/s (best ServePredict across -cpu matrix)\n", best)
+    if (bbest) printf("aggregate batch throughput: %.0f rows/s (best ServePredictBatch across -cpu matrix)\n", bbest)
 }' "$txt" | tee -a "$txt"
 
 # Bounds-check-elimination audit for the inference hot path, recorded

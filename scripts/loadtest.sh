@@ -9,18 +9,22 @@
 #   requests-per-client  requests each     (default 200)
 #
 # Environment:
-#   LOADTEST_BODY  request JSON (default: a global-fallback prediction)
+#   LOADTEST_BODY   request JSON (default: a global-fallback prediction)
+#   LOADTEST_BATCH  rows per request; 0 (default) drives POST /predict
+#                   with singleton requests, N>0 drives POST
+#                   /predict/batch with N-row NDJSON bodies
 #
-# Each worker POSTs /predict in a tight loop recording curl's total time
-# per request; the summary aggregates all workers: requests by status
-# code, throughput, and p50/p90/p99/max latency of the 200s. Exits 1 if
-# any request returned a 5xx (the daemon's shed policy is 429-only) or if
-# nothing succeeded.
+# Each worker POSTs in a tight loop recording curl's total time per
+# request; the summary aggregates all workers: requests by status code,
+# aggregate rows/s, and p50/p90/p99/max per-request (per-batch in batch
+# mode) latency of the 200s. Exits 1 if any request returned a 5xx (the
+# daemon's shed policy is 429-only) or if nothing succeeded.
 set -eu
 
 url="${1:-http://127.0.0.1:8723}"
 clients="${2:-8}"
 per="${3:-200}"
+batch="${LOADTEST_BATCH:-0}"
 body="${LOADTEST_BODY:-{\"src\":\"loadtest\",\"dst\":\"loadtest\",\"features\":{\"C\":4,\"P\":4,\"Nf\":100,\"Nb\":1e9}}}"
 
 command -v curl >/dev/null || { echo "loadtest: curl not found" >&2; exit 1; }
@@ -28,18 +32,38 @@ command -v curl >/dev/null || { echo "loadtest: curl not found" >&2; exit 1; }
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
+# In batch mode each request body is the singleton body repeated as NDJSON
+# lines, and every 200 counts LOADTEST_BATCH served rows.
+endpoint="/predict"
+rows_per_req=1
+if [ "$batch" -gt 0 ] 2>/dev/null; then
+    endpoint="/predict/batch"
+    rows_per_req="$batch"
+    : >"$tmp/body"
+    for _ in $(seq 1 "$batch"); do printf '%s\n' "$body" >>"$tmp/body"; done
+    bodyfile="$tmp/body"
+fi
+
 worker() {
     local out="$1" i
     for i in $(seq 1 "$per"); do
-        curl -s -o /dev/null \
-            -w '%{http_code} %{time_total}\n' \
-            -X POST -H 'Content-Type: application/json' \
-            --data "$body" \
-            "$url/predict" >>"$out" || echo "000 0" >>"$out"
+        if [ "$batch" -gt 0 ]; then
+            curl -s -o /dev/null \
+                -w '%{http_code} %{time_total}\n' \
+                -X POST -H 'Content-Type: application/x-ndjson' \
+                --data-binary "@$bodyfile" \
+                "$url$endpoint" >>"$out" || echo "000 0" >>"$out"
+        else
+            curl -s -o /dev/null \
+                -w '%{http_code} %{time_total}\n' \
+                -X POST -H 'Content-Type: application/json' \
+                --data "$body" \
+                "$url$endpoint" >>"$out" || echo "000 0" >>"$out"
+        fi
     done
 }
 
-echo "loadtest: $clients clients x $per requests against $url/predict" >&2
+echo "loadtest: $clients clients x $per requests ($rows_per_req rows/request) against $url$endpoint" >&2
 start=$(date +%s.%N)
 for c in $(seq 1 "$clients"); do
     worker "$tmp/w$c" &
@@ -47,7 +71,7 @@ done
 wait
 elapsed=$(date +%s.%N | awk -v s="$start" '{printf "%.3f", $1 - s}')
 
-cat "$tmp"/w* | awk -v elapsed="$elapsed" '
+cat "$tmp"/w* | awk -v elapsed="$elapsed" -v rows="$rows_per_req" '
 {
     code[$1]++
     total++
@@ -58,7 +82,8 @@ END {
     printf "requests: %d in %ss (%.1f req/s)\n", total, elapsed, total / elapsed
     for (c in code) printf "  status %s: %d\n", c, code[c]
     if (n200 > 0)
-        printf "aggregate throughput: %.1f rows/s (%d served predictions)\n", n200 / elapsed, n200
+        printf "aggregate throughput: %.1f rows/s (%d served predictions)\n", \
+            n200 * rows / elapsed, n200 * rows
     if (n200 > 0) {
         # insertion sort: n is small enough
         for (i = 1; i < n200; i++) {
@@ -66,7 +91,10 @@ END {
             for (j = i - 1; j >= 0 && lat[j] > v; j--) lat[j+1] = lat[j]
             lat[j+1] = v
         }
-        printf "latency (200s): p50 %.1fms  p90 %.1fms  p99 %.1fms  max %.1fms\n", \
+        # parenthesized: a bare `rows > 1` in a printf argument list is
+        # an output redirection to awk, not a comparison
+        printf "latency (200s%s): p50 %.1fms  p90 %.1fms  p99 %.1fms  max %.1fms\n", \
+            (rows > 1 ? ", per batch" : ""), \
             lat[int(n200*0.50)]*1000, lat[int(n200*0.90)]*1000, \
             lat[int(n200*0.99)]*1000, lat[n200-1]*1000
     }

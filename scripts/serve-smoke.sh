@@ -4,6 +4,9 @@
 # workload, boot the daemon, and walk the whole lifecycle:
 #
 #   /healthz → /readyz → /predict (edge + global + bad request)
+#   → /predict/batch (NDJSON rows, rate parity with the singleton path,
+#     whole-batch 400 on a bad line, whole-batch 429 + Retry-After under
+#     overload, batch metrics on /metrics)
 #   → corrupt-registry reload is rejected, last good registry keeps serving
 #   → SIGHUP hot reload promotes a new generation
 #   → SIGTERM drains gracefully within the deadline, exit 0
@@ -19,9 +22,11 @@ url="http://$addr"
 tmp="$(mktemp -d)"
 pid=""
 pid2=""
+pid3=""
 cleanup() {
     [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
     [ -n "$pid2" ] && kill -9 "$pid2" 2>/dev/null || true
+    [ -n "$pid3" ] && kill -9 "$pid3" 2>/dev/null || true
     rm -rf "$tmp"
 }
 trap cleanup EXIT
@@ -62,6 +67,58 @@ step "predict ok ($resp)"
 code="$(curl -s -o /dev/null -w '%{http_code}' -X POST --data '{"features":{}}' "$url/predict")"
 [ "$code" = 400 ] || fail "empty-features request returned $code, want 400"
 step "bad request rejected with 400"
+
+# Batch front door: NDJSON in, one response line per input line, in
+# input order, with the rate byte-identical to the singleton path.
+step "batch predict: 3-row NDJSON (with a blank line) through /predict/batch"
+bbody='{"src":"smoke","dst":"smoke","features":{"C":4,"Nf":100}}
+
+{"src":"smoke","dst":"smoke","features":{"C":8,"P":2,"Nf":7,"Nb":1e8}}
+{"src":"smoke","dst":"smoke","features":{"C":4,"Nf":100}}'
+bresp="$(curl -s -X POST -H 'Content-Type: application/x-ndjson' --data-binary "$bbody" "$url/predict/batch")"
+[ "$(printf '%s\n' "$bresp" | wc -l)" = 3 ] || fail "batch answered $(printf '%s\n' "$bresp" | wc -l) lines, want 3: $bresp"
+if printf '%s\n' "$bresp" | grep -qv '"rate":'; then fail "batch line missing rate: $bresp"; fi
+srate="$(curl -s -X POST -H 'Content-Type: application/json' \
+    --data '{"src":"smoke","dst":"smoke","features":{"C":4,"Nf":100}}' "$url/predict" | sed 's/.*"rate"://; s/[,}].*//')"
+brate="$(printf '%s\n' "$bresp" | head -1 | sed 's/.*"rate"://; s/[,}].*//')"
+[ "$brate" = "$srate" ] || fail "batch rate $brate != singleton rate $srate"
+step "batch predict ok (3 rows, rates match singleton path)"
+
+code="$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+    --data-binary "$(printf '%s\n%s' '{"src":"a","dst":"b","features":{"C":1}}' '{not json}')" "$url/predict/batch")"
+[ "$code" = 400 ] || fail "malformed batch line returned $code, want 400"
+curl -s -X POST --data-binary '{not json}' "$url/predict/batch" | grep -q 'line 1' \
+    || fail "batch 400 does not name the offending line"
+step "malformed batch rejected whole with 400 and line number"
+
+curl -s "$url/metrics" | grep -q '^serve_batch_rows_bucket' || fail "serve_batch_rows histogram not exported"
+curl -s "$url/metrics" | grep -q '^serve_batch_requests' || fail "serve_batch_requests counter not exported"
+step "batch metrics exported (serve_batch_rows, serve_batch_requests)"
+
+# Shed under overload, deterministically: a daemon with a 1ns queue
+# timeout sheds every admitted batch on queue-wait — the whole batch is
+# one 429 with Retry-After, never a partial answer, never a 5xx.
+step "batch shed under overload (1ns queue timeout daemon)"
+addr3="127.0.0.1:$((port+2))"
+url3="http://$addr3"
+"$tmp/wanperf" serve -registry "$tmp/registry.json" -addr "$addr3" \
+    -queue-timeout 1ns -drain-timeout 5s -watch -1s >"$tmp/serve3.log" 2>&1 &
+pid3=$!
+for i in $(seq 1 50); do
+    curl -sf "$url3/healthz" >/dev/null 2>&1 && break
+    kill -0 "$pid3" 2>/dev/null || { cat "$tmp/serve3.log" >&2; fail "shed daemon died on startup"; }
+    sleep 0.2
+done
+shed_hdrs="$(curl -s -D - -o /dev/null -X POST -H 'Content-Type: application/x-ndjson' \
+    --data-binary "$bbody" "$url3/predict/batch")"
+printf '%s' "$shed_hdrs" | grep -q '^HTTP/[0-9.]* 429' || fail "overloaded batch not shed with 429: $shed_hdrs"
+printf '%s' "$shed_hdrs" | grep -qi '^Retry-After:' || fail "batch shed missing Retry-After: $shed_hdrs"
+curl -s "$url3/metrics" | grep -q 'serve_batch_shed{reason="queue_wait"} 1' \
+    || fail "serve_batch_shed{reason=queue_wait} not counted"
+kill -TERM "$pid3" 2>/dev/null || true
+wait "$pid3" 2>/dev/null || true
+pid3=""
+step "overloaded batch shed whole with 429 + Retry-After, counted per reason"
 
 # Code-space differential: the same (binned, version-2) registry served
 # through a -no-codespace daemon — the float-only pre-upgrade behavior —
